@@ -1,0 +1,290 @@
+package efficientimm
+
+// Benchmark harness: one benchmark family per table and figure of the
+// paper's evaluation (see DESIGN.md for the experiment index). Custom
+// metrics carry the quantities the paper reports — modeled runtime,
+// speedups, cache misses, bitmap-time shares — since wall-clock on a
+// small host cannot express 128-way scaling directly.
+//
+// The full-resolution regeneration lives in cmd/benchharness; these
+// benches run the same code at bench-friendly sizes.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/counter"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/imm"
+	"repro/internal/numa"
+)
+
+// benchProfile returns a scale-clamped clone.
+func benchProfile(b *testing.B, name string, maxScale int, model graph.Model) *graph.Graph {
+	b.Helper()
+	p, err := gen.ProfileByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if p.Scale > maxScale {
+		p.Scale = maxScale
+	}
+	g, err := p.Generate(model, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func benchOpts(engine imm.EngineKind, model graph.Model, workers int) imm.Options {
+	o := imm.Defaults()
+	o.Engine = engine
+	o.Workers = workers
+	o.K = 25
+	o.Seed = 1
+	if model == graph.LT {
+		o.MaxTheta = 50000
+	} else {
+		o.MaxTheta = 5000
+	}
+	return o
+}
+
+// BenchmarkTable1RRRCoverage regenerates the Table I coverage columns
+// for every dataset clone.
+func BenchmarkTable1RRRCoverage(b *testing.B) {
+	for _, p := range gen.Profiles() {
+		p := p
+		if p.Scale > 10 {
+			p.Scale = 10
+		}
+		b.Run(p.Name, func(b *testing.B) {
+			g, err := p.Generate(graph.IC, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var st CoverageStats
+			for i := 0; i < b.N; i++ {
+				st = MeasureCoverage(g, 200, 2, 1)
+			}
+			b.ReportMetric(st.AvgCoverage*100, "avgCov%")
+			b.ReportMetric(st.MaxCoverage*100, "maxCov%")
+		})
+	}
+}
+
+// BenchmarkFig1RipplesScaling regenerates the Ripples-only strong
+// scaling view (Figure 1) on the web-Google clone.
+func BenchmarkFig1RipplesScaling(b *testing.B) {
+	for _, model := range []graph.Model{graph.LT, graph.IC} {
+		g := benchProfile(b, "web-Google", 9, model)
+		base := 0.0
+		for _, w := range []int{1, 4, 16, 64} {
+			b.Run(fmt.Sprintf("%s/w%d", model, w), func(b *testing.B) {
+				var modeled float64
+				for i := 0; i < b.N; i++ {
+					res, err := imm.Run(g, benchOpts(imm.Ripples, model, w))
+					if err != nil {
+						b.Fatal(err)
+					}
+					modeled = res.Breakdown.TotalModeled()
+				}
+				if w == 1 {
+					base = modeled
+				}
+				b.ReportMetric(modeled, "modeled")
+				if base > 0 {
+					b.ReportMetric(base/modeled, "speedup")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig2Breakdown regenerates the Ripples runtime breakdown
+// (Figure 2): phase shares of modeled time.
+func BenchmarkFig2Breakdown(b *testing.B) {
+	for _, model := range []graph.Model{graph.IC, graph.LT} {
+		g := benchProfile(b, "web-Google", 9, model)
+		for _, w := range []int{1, 16, 64} {
+			b.Run(fmt.Sprintf("%s/w%d", model, w), func(b *testing.B) {
+				var bd imm.Breakdown
+				for i := 0; i < b.N; i++ {
+					res, err := imm.Run(g, benchOpts(imm.Ripples, model, w))
+					if err != nil {
+						b.Fatal(err)
+					}
+					bd = res.Breakdown
+				}
+				total := bd.TotalModeled()
+				b.ReportMetric(100*bd.SamplingModeled/total, "genRRR%")
+				b.ReportMetric(100*bd.SelectionModeled/total, "findMIS%")
+			})
+		}
+	}
+}
+
+// BenchmarkTable2NUMA regenerates the NUMA placement comparison
+// (Table II): share of modeled core time spent on the visited bitmap.
+func BenchmarkTable2NUMA(b *testing.B) {
+	g := benchProfile(b, "com-YouTube", 10, graph.IC)
+	topo := numa.PerlmutterLike()
+	for _, placement := range []imm.NUMAPlacement{imm.PlacementOriginal, imm.PlacementAware} {
+		b.Run(placement.String(), func(b *testing.B) {
+			var rep imm.NUMAReport
+			var err error
+			for i := 0; i < b.N; i++ {
+				rep, err = imm.MeasureNUMAGeneration(g, topo, placement, 150, 64, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(rep.BitmapSharePercent(), "bitmap%")
+			b.ReportMetric(rep.Imbalance, "nodeImbalance")
+		})
+	}
+}
+
+// BenchmarkFig5AdaptiveUpdate regenerates the adaptive counter update
+// comparison (Figure 5) at high worker count.
+func BenchmarkFig5AdaptiveUpdate(b *testing.B) {
+	g := benchProfile(b, "com-YouTube", 9, graph.IC)
+	for _, strat := range []counter.UpdateStrategy{counter.Decrement, counter.AdaptiveUpdate} {
+		b.Run(strat.String(), func(b *testing.B) {
+			var modeled float64
+			for i := 0; i < b.N; i++ {
+				opt := benchOpts(imm.Efficient, graph.IC, 64)
+				opt.Update = strat
+				res, err := imm.Run(g, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				modeled = res.Breakdown.SelectionModeled
+			}
+			b.ReportMetric(modeled, "selModeled")
+		})
+	}
+}
+
+// BenchmarkTable3BestRuntime regenerates the engine comparison behind
+// Table III on two representative clones.
+func BenchmarkTable3BestRuntime(b *testing.B) {
+	for _, name := range []string{"web-Google", "com-Amazon"} {
+		for _, model := range []graph.Model{graph.IC, graph.LT} {
+			g := benchProfile(b, name, 9, model)
+			for _, engine := range []imm.EngineKind{imm.Ripples, imm.Efficient} {
+				b.Run(fmt.Sprintf("%s/%s/%s", name, model, engine), func(b *testing.B) {
+					var modeled float64
+					for i := 0; i < b.N; i++ {
+						res, err := imm.Run(g, benchOpts(engine, model, 64))
+						if err != nil {
+							b.Fatal(err)
+						}
+						modeled = res.Breakdown.TotalModeled()
+					}
+					b.ReportMetric(modeled, "modeled@64w")
+				})
+			}
+		}
+	}
+}
+
+// benchScaling regenerates the normalized strong-scaling curves of
+// Figures 6 (LT) and 7 (IC).
+func benchScaling(b *testing.B, model graph.Model) {
+	g := benchProfile(b, "web-Google", 9, model)
+	rip1 := 0.0
+	for _, engine := range []imm.EngineKind{imm.Ripples, imm.Efficient} {
+		for _, w := range []int{1, 8, 64} {
+			b.Run(fmt.Sprintf("%s/w%d", engine, w), func(b *testing.B) {
+				var modeled float64
+				for i := 0; i < b.N; i++ {
+					res, err := imm.Run(g, benchOpts(engine, model, w))
+					if err != nil {
+						b.Fatal(err)
+					}
+					modeled = res.Breakdown.TotalModeled()
+				}
+				if engine == imm.Ripples && w == 1 {
+					rip1 = modeled
+				}
+				if rip1 > 0 {
+					b.ReportMetric(rip1/modeled, "speedupVsRipples1")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig6ScalingLT regenerates Figure 6 (LT model).
+func BenchmarkFig6ScalingLT(b *testing.B) { benchScaling(b, graph.LT) }
+
+// BenchmarkFig7ScalingIC regenerates Figure 7 (IC model).
+func BenchmarkFig7ScalingIC(b *testing.B) { benchScaling(b, graph.IC) }
+
+// BenchmarkTable4CacheMisses regenerates the simulated L1+L2 miss
+// comparison (Table IV).
+func BenchmarkTable4CacheMisses(b *testing.B) {
+	g := benchProfile(b, "com-YouTube", 10, graph.IC)
+	for _, engine := range []imm.EngineKind{imm.Ripples, imm.Efficient} {
+		b.Run(engine.String(), func(b *testing.B) {
+			var misses int64
+			for i := 0; i < b.N; i++ {
+				rep := imm.TraceSelection(g, engine, 10, 300, 64, 1)
+				misses = rep.Stats.CombinedMisses()
+			}
+			b.ReportMetric(float64(misses), "L1+L2misses")
+		})
+	}
+}
+
+// BenchmarkAblation measures each §IV design choice in isolation at 64
+// workers on the web-Google clone (the design-choice index in
+// DESIGN.md).
+func BenchmarkAblation(b *testing.B) {
+	g := benchProfile(b, "web-Google", 9, graph.IC)
+	variants := []struct {
+		name   string
+		mutate func(*imm.Options)
+	}{
+		{"full", func(*imm.Options) {}},
+		{"no-fusion", func(o *imm.Options) { o.Fusion = false }},
+		{"no-adaptive-rep", func(o *imm.Options) { o.AdaptiveRep = false }},
+		{"decrement-only", func(o *imm.Options) { o.Update = counter.Decrement }},
+		{"rebuild-only", func(o *imm.Options) { o.Update = counter.Rebuild }},
+		{"static-schedule", func(o *imm.Options) { o.DynamicBalance = false }},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			var modeled float64
+			for i := 0; i < b.N; i++ {
+				opt := benchOpts(imm.Efficient, graph.IC, 64)
+				v.mutate(&opt)
+				res, err := imm.Run(g, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				modeled = res.Breakdown.TotalModeled()
+			}
+			b.ReportMetric(modeled, "modeled")
+		})
+	}
+}
+
+// BenchmarkEndToEnd measures real wall-clock of a complete Run on this
+// machine for both engines — the sanity check that the optimized engine
+// also wins in practice at the physical core count.
+func BenchmarkEndToEnd(b *testing.B) {
+	g := benchProfile(b, "web-Google", 10, graph.IC)
+	for _, engine := range []imm.EngineKind{imm.Ripples, imm.Efficient} {
+		b.Run(engine.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := imm.Run(g, benchOpts(engine, graph.IC, 2)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

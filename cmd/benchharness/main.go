@@ -1,0 +1,205 @@
+// Command benchharness regenerates every table and figure from the
+// paper's evaluation section, writing CSVs (plus the artifact-style JSON
+// logs and speedup summaries) to the output directory and a human-
+// readable digest to stdout.
+//
+// Usage:
+//
+//	benchharness -out results              # full suite at default sizes
+//	benchharness -exp table4 -out results  # one experiment
+//	benchharness -quick -out results       # smoke-test sizes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: table1|fig1|fig2|table2|fig5|table3|fig6|fig7|table4|ablations|all")
+		out     = flag.String("out", "results", "output directory for CSVs and JSON logs")
+		quick   = flag.Bool("quick", false, "small sizes for a fast smoke run")
+		scale   = flag.Int("scale", 0, "clamp profile scale (0 = config default)")
+		dataset = flag.String("datasets", "", "comma-separated dataset filter")
+	)
+	flag.Parse()
+
+	cfg := harness.DefaultConfig()
+	if *quick {
+		cfg = harness.QuickConfig()
+		cfg.Workers = []int{1, 4, 16}
+	}
+	cfg.OutDir = *out
+	if *scale > 0 {
+		cfg.MaxScale = *scale
+	}
+	if *dataset != "" {
+		cfg.Datasets = strings.Split(*dataset, ",")
+	}
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		fmt.Printf("== %s ==\n", name)
+		start := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchharness: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("   done in %.1fs\n\n", time.Since(start).Seconds())
+	}
+
+	run("table1", func() error {
+		rows, err := harness.Table1(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12s %9s %10s %8s %8s %10s %10s\n", "dataset", "nodes", "edges", "avgCov", "maxCov", "paperAvg", "paperMax")
+		for _, r := range rows {
+			fmt.Printf("%-12s %9d %10d %7.1f%% %7.1f%% %9.1f%% %9.1f%%\n",
+				r.Dataset, r.Nodes, r.Edges, 100*r.AvgCoverage, 100*r.MaxCoverage,
+				100*r.PaperAvgCoverage, 100*r.PaperMaxCoverage)
+		}
+		return nil
+	})
+
+	run("fig1", func() error {
+		// Figure 1 is the Ripples-only scaling view; the sweep emits both
+		// engines, and the fig CSVs retain everything.
+		for _, model := range []graph.Model{graph.LT, graph.IC} {
+			cfgG := cfg
+			cfgG.Datasets = pick(cfg.Datasets, "web-Google")
+			points, err := harness.ScalingSweep(cfgG, model)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("Ripples strong scaling, %v (speedup vs 1 worker):\n", model)
+			for _, pt := range points {
+				if pt.Engine != "ripples" {
+					continue
+				}
+				fmt.Printf("  w=%-4d speedup=%.2f\n", pt.Workers, pt.SpeedupVs1)
+			}
+		}
+		return nil
+	})
+
+	run("fig2", func() error {
+		points, err := harness.Fig2Breakdown(cfg)
+		if err != nil {
+			return err
+		}
+		for _, pt := range points {
+			fmt.Printf("%-3s w=%-4d Generate_RRRsets=%5.1f%%  Find_Most_Influential=%5.1f%%\n",
+				pt.Model, pt.Workers, pt.SamplingPct, pt.SelectionPct)
+		}
+		return nil
+	})
+
+	run("table2", func() error {
+		rows, err := harness.Table2(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12s %10s %10s %8s | paper: %6s %6s %5s\n", "dataset", "original", "aware", "improve", "orig", "aware", "impr")
+		for _, r := range rows {
+			fmt.Printf("%-12s %9.1f%% %9.1f%% %7.1f%% | %9.1f%% %5.1f%% %4.0f%%\n",
+				r.Dataset, r.OriginalPct, r.AwarePct, r.ImprovementPct,
+				r.PaperOriginalPct, r.PaperAwarePct, r.PaperImprovementPct)
+		}
+		return nil
+	})
+
+	run("fig5", func() error {
+		rows, err := harness.Fig5AdaptiveUpdate(cfg, nil)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			fmt.Printf("%-12s decrement=%12.0f adaptive=%12.0f speedup=%.1fx\n",
+				r.Dataset, r.DecrementOnly, r.Adaptive, r.RelativeSpeedup)
+		}
+		return nil
+	})
+
+	run("table3", func() error {
+		rows, err := harness.Table3(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12s %-3s %14s %14s %8s %6s\n", "dataset", "mod", "ripplesBest", "efficientBest", "speedup", "OOM")
+		for _, r := range rows {
+			oom := ""
+			if r.RipplesOOM {
+				oom = "OOM"
+			}
+			fmt.Printf("%-12s %-3s %14.0f %14.0f %7.2fx %6s\n",
+				r.Dataset, r.Model, r.RipplesBest, r.EfficientBest, r.Speedup, oom)
+		}
+		return nil
+	})
+
+	run("fig6", func() error { return sweepDigest(cfg, graph.LT) })
+	run("fig7", func() error { return sweepDigest(cfg, graph.IC) })
+
+	run("table4", func() error {
+		rows, err := harness.Table4(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12s %14s %14s %10s | paper: %9s\n", "dataset", "ripples", "efficientimm", "reduction", "reduction")
+		for _, r := range rows {
+			fmt.Printf("%-12s %14d %14d %9.1fx | %12.1fx\n",
+				r.Dataset, r.RipplesMisses, r.EfficientMisses, r.Reduction, r.PaperReduction)
+		}
+		return nil
+	})
+
+	run("ablations", func() error {
+		rows, err := harness.Ablations(cfg)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			fmt.Printf("%-18s modeled=%14.0f penalty=%.2fx\n", r.Variant, r.Modeled, r.Penalty)
+		}
+		return nil
+	})
+
+	if *exp == "all" {
+		if _, err := harness.ExtractResults(cfg.OutDir); err != nil {
+			fmt.Fprintf(os.Stderr, "benchharness: extract: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("speedup summaries written under %s/results\n", cfg.OutDir)
+	}
+}
+
+// sweepDigest prints the normalized scaling table for one model.
+func sweepDigest(cfg harness.Config, model graph.Model) error {
+	points, err := harness.ScalingSweep(cfg, model)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-12s %-13s %5s %10s %10s\n", "dataset", "engine", "w", "vsRip@1", "vsRip@8")
+	for _, pt := range points {
+		fmt.Printf("%-12s %-13s %5d %9.2fx %9.2fx\n", pt.Dataset, pt.Engine, pt.Workers, pt.SpeedupVs1, pt.SpeedupVs8)
+	}
+	return nil
+}
+
+// pick returns base if it already filters, else just the named dataset.
+func pick(base []string, name string) []string {
+	if base != nil {
+		return base
+	}
+	return []string{name}
+}

@@ -1,0 +1,42 @@
+// Command extractresults mirrors the artifact's extract_results.py: it
+// scans the strong-scaling-logs-* directories produced by benchharness
+// (or the efficientimm CLI) and writes speedup_ic.csv / speedup_lt.csv
+// summaries comparing EfficientIMM against Ripples.
+//
+// Usage:
+//
+//	extractresults -dir results
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	dir := flag.String("dir", "results", "directory containing strong-scaling-logs-*")
+	flag.Parse()
+
+	rows, err := harness.ExtractResults(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "extractresults:", err)
+		os.Exit(1)
+	}
+	for _, model := range []string{"ic", "lt"} {
+		rs := rows[model]
+		if len(rs) == 0 {
+			continue
+		}
+		fmt.Printf("== %s ==\n", model)
+		fmt.Printf("%-12s %8s %14s %14s %8s %8s\n", "Dataset", "Speedup", "EfficientIMM", "Ripples", "RipBest", "EffBest")
+		for _, r := range rs {
+			fmt.Printf("%-12s %7.2fx %14.3f %14.3f %8d %8d\n",
+				r.Dataset, r.Speedup, r.EfficientTimeS, r.RipplesTimeS,
+				r.RipplesBestThreads, r.EfficientBestThreads)
+		}
+	}
+	fmt.Printf("CSV summaries written under %s/results\n", *dir)
+}

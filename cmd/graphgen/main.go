@@ -1,0 +1,75 @@
+// Command graphgen emits synthetic graphs as SNAP-style edge lists:
+// either a calibrated dataset clone or a raw generator family.
+//
+// Usage:
+//
+//	graphgen -profile web-Google -out web-google.txt
+//	graphgen -kind rmat -scale 14 -edgefactor 8 -out rmat.txt
+//	graphgen -kind ba -n 100000 -k 4 -out ba.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	efficientimm "repro"
+)
+
+func main() {
+	var (
+		profile    = flag.String("profile", "", "dataset clone to generate (see efficientimm -list)")
+		kind       = flag.String("kind", "", "raw generator: rmat | ba | er | ws")
+		scale      = flag.Int("scale", 12, "rmat: log2 vertex count; also clamps -profile")
+		edgeFactor = flag.Float64("edgefactor", 8, "rmat: edges per vertex")
+		n          = flag.Int("n", 10000, "ba/er/ws: vertex count")
+		k          = flag.Int("k", 3, "ba: links per new vertex; ws: neighbors per side")
+		m          = flag.Int64("m", 50000, "er: edge count")
+		beta       = flag.Float64("beta", 0.05, "ws: rewiring probability")
+		seed       = flag.Uint64("seed", 1, "RNG seed")
+		outPath    = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	var g *efficientimm.Graph
+	var err error
+	switch {
+	case *profile != "":
+		for _, p := range efficientimm.Profiles() {
+			if p.Name == *profile {
+				if *scale > 0 && p.Scale > *scale {
+					p.Scale = *scale
+				}
+				g, err = p.Generate(efficientimm.IC, *seed)
+			}
+		}
+		if g == nil && err == nil {
+			err = fmt.Errorf("unknown profile %q", *profile)
+		}
+	case *kind == "rmat":
+		g, err = efficientimm.GenerateRMAT(*scale, *edgeFactor, efficientimm.IC, *seed)
+	case *kind == "ba":
+		g, err = efficientimm.GenerateBarabasiAlbert(int32(*n), *k, efficientimm.IC, *seed)
+	case *kind == "er":
+		g, err = efficientimm.GenerateErdosRenyi(int32(*n), *m, efficientimm.IC, *seed)
+	case *kind == "ws":
+		g, err = efficientimm.GenerateWattsStrogatz(int32(*n), *k, *beta, efficientimm.IC, *seed)
+	default:
+		err = fmt.Errorf("one of -profile or -kind is required")
+	}
+	fatalIf(err)
+
+	if *outPath == "" {
+		fatalIf(efficientimm.WriteEdgeList(os.Stdout, g))
+		return
+	}
+	fatalIf(efficientimm.WriteEdgeListFile(*outPath, g))
+	fmt.Fprintf(os.Stderr, "graphgen: wrote %d nodes, %d edges to %s\n", g.N, g.M, *outPath)
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "graphgen:", err)
+		os.Exit(1)
+	}
+}

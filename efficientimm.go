@@ -1,0 +1,193 @@
+// Package efficientimm is a Go implementation of EfficientIMM —
+// "Enhancing Scalability and Performance in Influence Maximization with
+// Optimized Parallel Processing" (SC 2024) — together with a faithful
+// port of the Ripples baseline it is evaluated against.
+//
+// Influence Maximization selects k seed vertices of a social graph that
+// maximize the expected diffusion spread under the Independent Cascade
+// (IC) or Linear Threshold (LT) model. Both engines implement the IMM
+// algorithm of Tang et al. (SIGMOD'15); they differ in how the two hot
+// kernels — Generate_RRRsets and Find_Most_Influential_Set — are
+// parallelized. See DESIGN.md for the system inventory and EXPERIMENTS.md
+// for the reproduction of every table and figure in the paper.
+//
+// Quick start:
+//
+//	g, err := efficientimm.GenerateProfile("web-Google", efficientimm.IC, 1)
+//	if err != nil { ... }
+//	opt := efficientimm.Defaults()
+//	opt.K = 50
+//	opt.Workers = runtime.NumCPU()
+//	res, err := efficientimm.Run(g, opt)
+//	// res.Seeds are the chosen influencers.
+package efficientimm
+
+import (
+	"io"
+
+	"repro/internal/diffusion"
+	"repro/internal/dist"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/imm"
+)
+
+// Re-exported core types. Aliases keep the internal packages as the
+// single source of truth while giving users one import.
+type (
+	// Graph is an immutable CSR directed graph with diffusion
+	// parameters. Construct through Load*, Generate* or Builder.
+	Graph = graph.Graph
+	// Model selects the diffusion model (IC or LT).
+	Model = graph.Model
+	// Edge is a directed edge for Builder-based construction.
+	Edge = graph.Edge
+	// Builder accumulates edges into a Graph.
+	Builder = graph.Builder
+	// Options configures Run.
+	Options = imm.Options
+	// Result carries the selected seeds and run statistics.
+	Result = imm.Result
+	// EngineKind selects the parallel engine.
+	EngineKind = imm.EngineKind
+	// Breakdown is the per-phase cost report inside Result.
+	Breakdown = imm.Breakdown
+	// CoverageStats summarizes RRR-set sizes (Table I methodology).
+	CoverageStats = diffusion.CoverageStats
+	// Profile describes a calibrated clone of one of the paper's SNAP
+	// datasets.
+	Profile = gen.Profile
+)
+
+// Diffusion models.
+const (
+	IC = graph.IC
+	LT = graph.LT
+)
+
+// Engines.
+const (
+	// EngineRipples is the baseline (Minutoli et al.).
+	EngineRipples = imm.Ripples
+	// EngineEfficient is the paper's EfficientIMM.
+	EngineEfficient = imm.Efficient
+)
+
+// Defaults returns the paper's evaluation options (k=50, ε=0.5, all
+// optimizations enabled). Set Workers explicitly.
+func Defaults() Options { return imm.Defaults() }
+
+// Run executes IMM on g and returns the seed set with statistics.
+func Run(g *Graph, opt Options) (*Result, error) { return imm.Run(g, opt) }
+
+// ParseModel converts "IC"/"LT" to a Model.
+func ParseModel(s string) (Model, error) { return graph.ParseModel(s) }
+
+// ParseEngine converts "ripples"/"efficientimm" to an EngineKind.
+func ParseEngine(s string) (EngineKind, error) { return imm.ParseEngine(s) }
+
+// NewBuilder returns a Builder for a graph with n vertices.
+func NewBuilder(n int32) *Builder { return graph.NewBuilder(n) }
+
+// FromEdges builds a graph from an explicit edge list with model
+// parameters drawn from seed.
+func FromEdges(n int32, edges []Edge, model Model, seed uint64) (*Graph, error) {
+	return graph.FromEdges(n, edges, model, seed)
+}
+
+// LoadEdgeList reads a SNAP-style edge list ("src dst" per line, '#'
+// comments) and assigns model parameters from seed.
+func LoadEdgeList(r io.Reader, undirected bool, model Model, seed uint64) (*Graph, error) {
+	return graph.LoadEdgeList(r, undirected, model, seed)
+}
+
+// LoadEdgeListFile opens path and delegates to LoadEdgeList.
+func LoadEdgeListFile(path string, undirected bool, model Model, seed uint64) (*Graph, error) {
+	return graph.LoadEdgeListFile(path, undirected, model, seed)
+}
+
+// WriteEdgeList writes the graph's forward edges as SNAP-style text.
+func WriteEdgeList(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }
+
+// WriteEdgeListFile saves the graph's forward edges as a SNAP-style
+// text file.
+func WriteEdgeListFile(path string, g *Graph) error { return graph.WriteEdgeListFile(path, g) }
+
+// Profiles returns the eight calibrated SNAP-dataset clones from the
+// paper's Table I.
+func Profiles() []Profile { return gen.Profiles() }
+
+// GenerateProfile materializes one named dataset clone ("com-Amazon",
+// "web-Google", "twitter7", ...).
+func GenerateProfile(name string, model Model, seed uint64) (*Graph, error) {
+	p, err := gen.ProfileByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return p.Generate(model, seed)
+}
+
+// GenerateRMAT produces a directed R-MAT graph with Graph500 skew:
+// 2^scale vertices and ~edgeFactor·2^scale edges.
+func GenerateRMAT(scale int, edgeFactor float64, model Model, seed uint64) (*Graph, error) {
+	return gen.RMAT(gen.DefaultRMAT(scale, edgeFactor), model, seed)
+}
+
+// GenerateBarabasiAlbert produces a preferential-attachment graph with k
+// undirected links per new vertex.
+func GenerateBarabasiAlbert(n int32, k int, model Model, seed uint64) (*Graph, error) {
+	return gen.BarabasiAlbert(n, k, model, seed)
+}
+
+// GenerateErdosRenyi produces a uniform random directed graph with m
+// edges.
+func GenerateErdosRenyi(n int32, m int64, model Model, seed uint64) (*Graph, error) {
+	return gen.ErdosRenyi(n, m, model, seed)
+}
+
+// GenerateWattsStrogatz produces a small-world graph (ring lattice with
+// k neighbors per side, rewiring probability beta).
+func GenerateWattsStrogatz(n int32, k int, beta float64, model Model, seed uint64) (*Graph, error) {
+	return gen.WattsStrogatz(n, k, beta, model, seed)
+}
+
+// DistOptions configures RunDistributed.
+type DistOptions = dist.Options
+
+// DistResult is the outcome of a distributed run, including the
+// measured communication volume.
+type DistResult = dist.Result
+
+// DefaultDistOptions returns the paper's parameters on 4 simulated
+// ranks.
+func DefaultDistOptions() DistOptions { return dist.DefaultOptions() }
+
+// RunDistributed executes IMM across simulated message-passing ranks —
+// the MPI extension the paper lists as future work. It produces exactly
+// the same seeds as Run on the same seed, and reports the communication
+// volume the distribution costs.
+func RunDistributed(g *Graph, opt DistOptions) (*DistResult, error) { return dist.Run(g, opt) }
+
+// UseWeightedCascade replaces the graph's IC probabilities with the
+// classic weighted-cascade assignment p(u,v) = 1/indegree(v), the
+// standard benchmark setting when uniform probabilities would saturate
+// the cascade.
+func UseWeightedCascade(g *Graph) { graph.AssignWC(g) }
+
+// Transpose returns the reverse graph (IC only): run IMM on it to find
+// the vertices most influenced rather than most influential — the
+// outbreak-detection dual.
+func Transpose(g *Graph) (*Graph, error) { return g.Transpose() }
+
+// EstimateSpread estimates σ(seeds) with runs forward Monte-Carlo
+// cascades split over workers — use it to validate or report the reach
+// of a seed set.
+func EstimateSpread(g *Graph, seeds []int32, runs, workers int, seed uint64) float64 {
+	return diffusion.EstimateSpread(g, seeds, runs, workers, seed)
+}
+
+// MeasureCoverage samples RRR sets and reports their size distribution,
+// the Table I characterization.
+func MeasureCoverage(g *Graph, samples, workers int, seed uint64) CoverageStats {
+	return diffusion.MeasureCoverage(g, samples, workers, seed)
+}

@@ -1,0 +1,173 @@
+package efficientimm
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	g, err := GenerateRMAT(9, 6, IC, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Defaults()
+	opt.K = 8
+	opt.Workers = 2
+	opt.MaxTheta = 5000
+	res, err := Run(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seeds) != 8 {
+		t.Fatalf("%d seeds", len(res.Seeds))
+	}
+	spread := EstimateSpread(g, res.Seeds, 500, 2, 1)
+	if spread < float64(len(res.Seeds)) {
+		t.Fatalf("spread %.1f below seed count", spread)
+	}
+}
+
+func TestPublicAPIProfiles(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 8 {
+		t.Fatalf("%d profiles", len(ps))
+	}
+	p := ps[0]
+	p.Scale = 8
+	g, err := p.Generate(IC, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := MeasureCoverage(g, 100, 2, 1)
+	if st.Samples != 100 {
+		t.Fatalf("samples = %d", st.Samples)
+	}
+}
+
+func TestPublicAPIGenerateProfileByName(t *testing.T) {
+	if _, err := GenerateProfile("no-such-dataset", IC, 1); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}
+
+func TestPublicAPIBuilderAndIO(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddUndirected(1, 2)
+	g, err := b.Build(IC, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.txt")
+	if err := WriteEdgeListFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadEdgeListFile(path, false, IC, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.M != g.M {
+		t.Fatalf("round trip edges %d vs %d", g2.M, g.M)
+	}
+}
+
+func TestPublicAPILoadEdgeListReader(t *testing.T) {
+	g, err := LoadEdgeList(strings.NewReader("0 1\n1 2\n"), true, LT, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 3 || g.M != 4 {
+		t.Fatalf("N=%d M=%d", g.N, g.M)
+	}
+}
+
+func TestPublicAPIParsers(t *testing.T) {
+	if m, err := ParseModel("LT"); err != nil || m != LT {
+		t.Fatal("ParseModel")
+	}
+	if e, err := ParseEngine("ripples"); err != nil || e != EngineRipples {
+		t.Fatal("ParseEngine")
+	}
+}
+
+func TestPublicAPIGenerators(t *testing.T) {
+	if g, err := GenerateBarabasiAlbert(200, 2, IC, 1); err != nil || g.N != 200 {
+		t.Fatal("BA generator")
+	}
+	if g, err := GenerateErdosRenyi(100, 300, IC, 1); err != nil || g.N != 100 {
+		t.Fatal("ER generator")
+	}
+	if g, err := GenerateWattsStrogatz(100, 2, 0.1, IC, 1); err != nil || g.N != 100 {
+		t.Fatal("WS generator")
+	}
+	if _, err := FromEdges(3, []Edge{{Src: 0, Dst: 1}}, IC, 1); err != nil {
+		t.Fatal("FromEdges")
+	}
+}
+
+func TestRunDistributedViaPublicAPI(t *testing.T) {
+	g, err := GenerateRMAT(8, 5, IC, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Defaults()
+	opt.K = 5
+	opt.Workers = 2
+	opt.Seed = 11
+	opt.MaxTheta = 2000
+	shared, err := Run(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dopt := DefaultDistOptions()
+	dopt.Ranks = 3
+	dopt.K = 5
+	dopt.Seed = 11
+	dopt.MaxTheta = 2000
+	distRes, err := RunDistributed(g, dopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range shared.Seeds {
+		if shared.Seeds[i] != distRes.Seeds[i] {
+			t.Fatalf("distributed run diverged: %v vs %v", distRes.Seeds, shared.Seeds)
+		}
+	}
+	if distRes.Comm.BytesSent == 0 {
+		t.Fatal("no communication recorded on 3 ranks")
+	}
+}
+
+func TestEnginesComparableViaPublicAPI(t *testing.T) {
+	g, err := GenerateProfile("com-DBLP", IC, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = g // full profile too large for a unit test; use a clamped clone
+	p := Profiles()[2]
+	p.Scale = 8
+	g, err = p.Generate(IC, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Defaults()
+	opt.K = 5
+	opt.Workers = 2
+	opt.MaxTheta = 2000
+	optR := opt
+	optR.Engine = EngineRipples
+	rEff, err := Run(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rRip, err := Run(g, optR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rEff.Seeds {
+		if rEff.Seeds[i] != rRip.Seeds[i] {
+			t.Fatalf("engines disagree via public API: %v vs %v", rEff.Seeds, rRip.Seeds)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+// Scaling study: reproduce the shape of the paper's Figures 6/7 on one
+// dataset clone from the public API — both engines swept across worker
+// counts, modeled runtime normalized to single-worker Ripples. The
+// Ripples curve flattens (its selection kernel makes every worker scan
+// every RRR set), while EfficientIMM keeps scaling.
+//
+//	go run ./examples/scalingstudy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	efficientimm "repro"
+)
+
+func main() {
+	p := efficientimm.Profiles()[6] // web-Google
+	p.Scale = 10
+	fmt.Printf("dataset: %s clone (2^%d vertices)\n\n", p.Name, p.Scale)
+
+	for _, modelName := range []string{"LT", "IC"} {
+		model, _ := efficientimm.ParseModel(modelName)
+		g, err := p.Generate(model, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== %s diffusion model ==\n", modelName)
+		fmt.Printf("%10s %22s %22s\n", "workers", "ripples speedup", "efficientimm speedup")
+
+		base := map[string]float64{}
+		for _, w := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
+			line := fmt.Sprintf("%10d", w)
+			for _, engineName := range []string{"ripples", "efficientimm"} {
+				engine, _ := efficientimm.ParseEngine(engineName)
+				opt := efficientimm.Defaults()
+				opt.Engine = engine
+				opt.K = 25
+				opt.Workers = w
+				opt.Seed = 1
+				if model == efficientimm.LT {
+					opt.MaxTheta = 50000
+				} else {
+					opt.MaxTheta = 10000
+				}
+				res, err := efficientimm.Run(g, opt)
+				if err != nil {
+					log.Fatal(err)
+				}
+				modeled := res.Breakdown.TotalModeled()
+				if w == 1 && engineName == "ripples" {
+					base["ref"] = modeled
+				}
+				line += fmt.Sprintf(" %21.2fx", base["ref"]/modeled)
+			}
+			fmt.Println(line)
+		}
+		fmt.Println()
+	}
+	fmt.Println("speedups are modeled critical-path work normalized to ripples @ 1")
+	fmt.Println("worker — the Figure 6/7 methodology (see DESIGN.md).")
+}

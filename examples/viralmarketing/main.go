@@ -1,0 +1,81 @@
+// Viral marketing: the paper's motivating scenario. A brand can give
+// free products to k customers of a social network and wants to maximize
+// word-of-mouth reach. This example compares three seeding strategies on
+// a preferential-attachment network — IMM, highest-degree, and random —
+// and shows the budget/reach curve that makes the greedy approximation
+// guarantee concrete.
+//
+//	go run ./examples/viralmarketing
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"sort"
+
+	efficientimm "repro"
+)
+
+func main() {
+	// An R-MAT network mirrors real follower graphs: a few hubs whose
+	// neighborhoods overlap heavily. Weighted-cascade transmission
+	// (p = 1/indegree) keeps cascades sub-viral so seeding actually
+	// matters; uniform probabilities would light up the whole giant
+	// component from any single seed.
+	g, err := efficientimm.GenerateRMAT(14, 8, efficientimm.IC, 2024)
+	if err != nil {
+		log.Fatal(err)
+	}
+	efficientimm.UseWeightedCascade(g)
+	workers := runtime.NumCPU()
+	fmt.Printf("social network: %d customers, %d follow edges\n\n", g.N, g.M)
+
+	var lastIMM, lastDeg, lastRnd float64
+	fmt.Printf("%8s %12s %12s %12s\n", "budget k", "IMM", "top-degree", "random")
+	for _, k := range []int{1, 5, 10, 25, 50} {
+		opt := efficientimm.Defaults()
+		opt.K = k
+		opt.Workers = workers
+		opt.MaxTheta = 20000
+		res, err := efficientimm.Run(g, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lastIMM = efficientimm.EstimateSpread(g, res.Seeds, 1000, workers, 5)
+		lastDeg = efficientimm.EstimateSpread(g, topDegree(g, k), 1000, workers, 5)
+		lastRnd = efficientimm.EstimateSpread(g, firstK(g.N, k), 1000, workers, 5)
+		fmt.Printf("%8d %11.0f %12.0f %12.0f\n", k, lastIMM, lastDeg, lastRnd)
+	}
+	fmt.Printf("\nat the full budget IMM reaches %.2fx the top-degree heuristic\n", lastIMM/lastDeg)
+	fmt.Printf("and %.2fx untargeted seeding: degree picks redundant hubs whose\n", lastIMM/lastRnd)
+	fmt.Println("audiences overlap, while IMM optimizes marginal coverage directly.")
+}
+
+// topDegree returns the k vertices with the highest out-degree.
+func topDegree(g *efficientimm.Graph, k int) []int32 {
+	type dv struct {
+		v int32
+		d int64
+	}
+	all := make([]dv, g.N)
+	for v := int32(0); v < g.N; v++ {
+		all[v] = dv{v, g.OutDegree(v)}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].d > all[j].d })
+	seeds := make([]int32, k)
+	for i := 0; i < k; i++ {
+		seeds[i] = all[i].v
+	}
+	return seeds
+}
+
+// firstK returns an arbitrary deterministic seed set (ids spread across
+// the vertex space) standing in for an untargeted campaign.
+func firstK(n int32, k int) []int32 {
+	seeds := make([]int32, k)
+	for i := range seeds {
+		seeds[i] = int32(i) * n / int32(k+1)
+	}
+	return seeds
+}

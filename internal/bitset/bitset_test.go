@@ -1,0 +1,263 @@
+package bitset
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetTestClear(t *testing.T) {
+	b := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if b.Test(i) {
+			t.Fatalf("fresh bitset has bit %d set", i)
+		}
+		b.Set(i)
+		if !b.Test(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+		b.Clear(i)
+		if b.Test(i) {
+			t.Fatalf("bit %d still set after Clear", i)
+		}
+	}
+}
+
+func TestCountMatchesNaive(t *testing.T) {
+	b := New(500)
+	set := map[int]bool{}
+	idx := []int{3, 64, 65, 66, 129, 200, 499, 3, 64}
+	for _, i := range idx {
+		b.Set(i)
+		set[i] = true
+	}
+	if got, want := b.Count(), len(set); got != want {
+		t.Fatalf("Count = %d, want %d", got, want)
+	}
+}
+
+func TestCountProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		b := New(1 << 16)
+		seen := map[int]bool{}
+		for _, r := range raw {
+			b.Set(int(r))
+			seen[int(r)] = true
+		}
+		return b.Count() == len(seen)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTestAndSet(t *testing.T) {
+	b := New(10)
+	if b.TestAndSet(5) {
+		t.Fatal("TestAndSet on clear bit returned true")
+	}
+	if !b.TestAndSet(5) {
+		t.Fatal("TestAndSet on set bit returned false")
+	}
+}
+
+func TestResetAndAny(t *testing.T) {
+	b := New(100)
+	if b.Any() {
+		t.Fatal("fresh set is not empty")
+	}
+	b.Set(42)
+	if !b.Any() {
+		t.Fatal("Any false after Set")
+	}
+	b.Reset()
+	if b.Any() || b.Count() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestClearList(t *testing.T) {
+	b := New(200)
+	idx := []int32{0, 63, 64, 150, 199}
+	for _, i := range idx {
+		b.Set(int(i))
+	}
+	b.ClearList(idx)
+	if b.Any() {
+		t.Fatal("ClearList left bits set")
+	}
+}
+
+func TestForEachOrder(t *testing.T) {
+	b := New(300)
+	want := []int{1, 63, 64, 128, 255, 299}
+	for _, i := range want {
+		b.Set(i)
+	}
+	var got []int
+	b.ForEach(func(i int) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %d bits, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach order: got %v want %v", got, want)
+		}
+	}
+}
+
+func TestAppendIndices(t *testing.T) {
+	b := New(70)
+	b.Set(2)
+	b.Set(69)
+	got := b.AppendIndices([]int32{7})
+	if len(got) != 3 || got[0] != 7 || got[1] != 2 || got[2] != 69 {
+		t.Fatalf("AppendIndices = %v", got)
+	}
+}
+
+func TestUnionIntersects(t *testing.T) {
+	a, b := New(100), New(100)
+	a.Set(1)
+	b.Set(2)
+	if a.Intersects(b) {
+		t.Fatal("disjoint sets reported intersecting")
+	}
+	a.Union(b)
+	if !a.Test(1) || !a.Test(2) {
+		t.Fatal("Union lost bits")
+	}
+	if !a.Intersects(b) {
+		t.Fatal("overlapping sets reported disjoint")
+	}
+}
+
+func TestUnionSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Union with mismatched sizes did not panic")
+		}
+	}()
+	New(10).Union(New(20))
+}
+
+func TestClone(t *testing.T) {
+	a := New(100)
+	a.Set(7)
+	c := a.Clone()
+	c.Set(8)
+	if a.Test(8) {
+		t.Fatal("Clone shares storage with original")
+	}
+	if !c.Test(7) {
+		t.Fatal("Clone lost bit")
+	}
+}
+
+func TestAtomicBasic(t *testing.T) {
+	a := NewAtomic(130)
+	a.Set(129)
+	if !a.Test(129) {
+		t.Fatal("atomic Set/Test failed")
+	}
+	if got := a.Count(); got != 1 {
+		t.Fatalf("Count = %d, want 1", got)
+	}
+	if a.TestAndSet(129) != true {
+		t.Fatal("TestAndSet on set bit returned false")
+	}
+	if a.TestAndSet(1) != false {
+		t.Fatal("TestAndSet on clear bit returned true")
+	}
+	a.Reset()
+	if a.Count() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestAtomicConcurrentSet(t *testing.T) {
+	const n = 4096
+	a := NewAtomic(n)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += 8 {
+				a.Set(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := a.Count(); got != n {
+		t.Fatalf("after concurrent sets Count = %d, want %d", got, n)
+	}
+}
+
+func TestAtomicConcurrentTestAndSetUnique(t *testing.T) {
+	// Exactly one goroutine must win each bit.
+	const n = 1 << 12
+	a := NewAtomic(n)
+	wins := make([]int64, 8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if !a.TestAndSet(i) {
+					wins[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total int64
+	for _, v := range wins {
+		total += v
+	}
+	if total != n {
+		t.Fatalf("total wins = %d, want %d (each bit won exactly once)", total, n)
+	}
+}
+
+func TestPlainMatchesAtomicSingleThread(t *testing.T) {
+	p := New(1000)
+	a := NewAtomic(1000)
+	idx := []int{5, 999, 64, 65, 500, 5}
+	for _, i := range idx {
+		p.Set(i)
+		a.Set(i)
+	}
+	for i := 0; i < 1000; i++ {
+		if p.Test(i) != a.Test(i) {
+			t.Fatalf("plain and atomic disagree at bit %d", i)
+		}
+	}
+}
+
+func BenchmarkSet(b *testing.B) {
+	s := New(1 << 20)
+	for i := 0; i < b.N; i++ {
+		s.Set(i & (1<<20 - 1))
+	}
+}
+
+func BenchmarkTest(b *testing.B) {
+	s := New(1 << 20)
+	for i := 0; i < 1<<20; i += 3 {
+		s.Set(i)
+	}
+	var sink bool
+	for i := 0; i < b.N; i++ {
+		sink = s.Test(i & (1<<20 - 1))
+	}
+	_ = sink
+}
+
+func BenchmarkAtomicSet(b *testing.B) {
+	s := NewAtomic(1 << 20)
+	for i := 0; i < b.N; i++ {
+		s.Set(i & (1<<20 - 1))
+	}
+}

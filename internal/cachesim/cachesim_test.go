@@ -1,0 +1,198 @@
+package cachesim
+
+import (
+	"testing"
+
+	"repro/internal/memmodel"
+)
+
+func tiny(t *testing.T) *Hierarchy {
+	t.Helper()
+	h, err := New(
+		Config{SizeBytes: 1 << 10, Ways: 2, LineBytes: 64}, // 8 sets
+		Config{SizeBytes: 4 << 10, Ways: 4, LineBytes: 64}, // 16 sets
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{SizeBytes: 32 << 10, Ways: 8, LineBytes: 64}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{SizeBytes: 0, Ways: 1, LineBytes: 64},
+		{SizeBytes: 100, Ways: 3, LineBytes: 64},        // not divisible
+		{SizeBytes: 3 * 64 * 2, Ways: 2, LineBytes: 64}, // 3 sets: not power of two
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	h := tiny(t)
+	h.Access(0)
+	st := h.Stats()
+	if st.L1Misses != 1 || st.L2Misses != 1 {
+		t.Fatalf("cold access: %+v", st)
+	}
+	h.Access(63) // same line
+	st = h.Stats()
+	if st.L1Hits != 1 {
+		t.Fatalf("same-line access missed: %+v", st)
+	}
+	h.Access(64) // next line
+	if st := h.Stats(); st.L1Misses != 2 {
+		t.Fatalf("new line should miss: %+v", st)
+	}
+}
+
+func TestLRUWithinSet(t *testing.T) {
+	h := tiny(t)
+	// L1 has 8 sets; addresses k*8*64 all map to set 0. 2 ways.
+	a := func(i uint64) uint64 { return i * 8 * 64 }
+	h.Access(a(0))
+	h.Access(a(1))
+	h.Access(a(0)) // refresh 0, so 1 is LRU
+	h.Access(a(2)) // evicts 1
+	h.Access(a(0)) // must still hit
+	st := h.Stats()
+	if st.L1Hits != 2 {
+		t.Fatalf("expected 2 L1 hits, got %+v", st)
+	}
+	h.Access(a(1)) // was evicted → L1 miss
+	if got := h.Stats().L1Misses; got != 4 {
+		t.Fatalf("expected 4 L1 misses, got %d", got)
+	}
+}
+
+func TestL2CatchesL1Evictions(t *testing.T) {
+	h := tiny(t)
+	a := func(i uint64) uint64 { return i * 8 * 64 } // L1 set 0
+	h.Access(a(0))
+	h.Access(a(1))
+	h.Access(a(2)) // evicts a(0) from L1, but L2 still holds it
+	h.Access(a(0))
+	st := h.Stats()
+	if st.L2Hits < 1 {
+		t.Fatalf("L2 did not catch the L1 eviction: %+v", st)
+	}
+}
+
+func TestWorkingSetFitsInL1(t *testing.T) {
+	h := tiny(t)
+	const lines = 8 // 512 bytes, fits the 1 KiB L1 easily
+	for pass := 0; pass < 10; pass++ {
+		for i := uint64(0); i < lines; i++ {
+			h.Access(i * 64)
+		}
+	}
+	st := h.Stats()
+	if st.L1Misses != lines {
+		t.Fatalf("resident working set missed %d times, want %d cold misses", st.L1Misses, lines)
+	}
+}
+
+func TestStreamingThrashes(t *testing.T) {
+	h := tiny(t)
+	// Working set 16 KiB >> both levels → every access to a new line misses.
+	const lines = 256
+	for pass := 0; pass < 3; pass++ {
+		for i := uint64(0); i < lines; i++ {
+			h.Access(i * 64)
+		}
+	}
+	st := h.Stats()
+	if st.L1Misses < 3*lines*9/10 {
+		t.Fatalf("streaming workload should thrash: %+v", st)
+	}
+}
+
+func TestAccessRange(t *testing.T) {
+	h := tiny(t)
+	h.AccessRange(0, 64*5) // exactly 5 lines
+	if st := h.Stats(); st.Accesses() != 5 {
+		t.Fatalf("AccessRange touched %d lines, want 5", st.Accesses())
+	}
+	h.Reset()
+	h.AccessRange(32, 64) // straddles 2 lines
+	if st := h.Stats(); st.Accesses() != 2 {
+		t.Fatalf("straddling range touched %d lines, want 2", st.Accesses())
+	}
+	h.AccessRange(0, 0) // no-op
+}
+
+func TestReset(t *testing.T) {
+	h := tiny(t)
+	h.Access(0)
+	h.Reset()
+	st := h.Stats()
+	if st.L1Misses != 0 || st.L1Hits != 0 || st.L2Misses != 0 {
+		t.Fatalf("Reset left counters: %+v", st)
+	}
+	h.Access(0)
+	if h.Stats().L1Misses != 1 {
+		t.Fatal("Reset did not clear contents")
+	}
+}
+
+func TestEPYCLikeGeometry(t *testing.T) {
+	h := EPYCLike()
+	if h.l1.sets != 64 {
+		t.Fatalf("L1 sets = %d, want 64 (32KiB/8way/64B)", h.l1.sets)
+	}
+	if h.l2.sets != 1024 {
+		t.Fatalf("L2 sets = %d, want 1024", h.l2.sets)
+	}
+}
+
+func TestCombinedMissesMetric(t *testing.T) {
+	s := Stats{L1Misses: 10, L2Misses: 4, L1Hits: 100}
+	if s.CombinedMisses() != 14 {
+		t.Fatal("CombinedMisses wrong")
+	}
+	if s.Accesses() != 110 {
+		t.Fatal("Accesses wrong")
+	}
+}
+
+func TestLineMismatchRejected(t *testing.T) {
+	_, err := New(
+		Config{SizeBytes: 1 << 10, Ways: 2, LineBytes: 64},
+		Config{SizeBytes: 4 << 10, Ways: 4, LineBytes: 128},
+	)
+	if err == nil {
+		t.Fatal("line size mismatch accepted")
+	}
+}
+
+// TestLocalityGapMirrorsTable4 is the package-level sanity check for the
+// Table IV methodology: a kernel that streams sequentially through a
+// region (set-partitioned counting) must produce far fewer misses than
+// one that makes scattered repeated passes (vertex-partitioned binary
+// search), on the same total access count.
+func TestLocalityGapMirrorsTable4(t *testing.T) {
+	sp := memmodel.NewSpace()
+	region := sp.Alloc("rrrsets", 1<<20, 4) // 4 MiB of int32
+	const total = 1 << 18
+
+	seq := EPYCLike()
+	for i := int64(0); i < total; i++ {
+		seq.Access(region.Addr(i % (1 << 20)))
+	}
+
+	scattered := EPYCLike()
+	stride := int64(104729) // prime >> cache, forces new sets
+	for i := int64(0); i < total; i++ {
+		scattered.Access(region.Addr((i * stride) % (1 << 20)))
+	}
+
+	if seqM, scatM := seq.Stats().CombinedMisses(), scattered.Stats().CombinedMisses(); scatM < 10*seqM {
+		t.Fatalf("scattered misses %d not >> sequential %d", scatM, seqM)
+	}
+}

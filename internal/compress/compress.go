@@ -1,0 +1,161 @@
+// Package compress implements an HBMax-style compressed representation
+// of RRR sets (Chen et al., PACT'22, discussed in the paper's related
+// work): sorted vertex lists are delta-encoded, varint-packed and
+// Huffman-coded. The representation cuts the memory footprint well below
+// both plain lists and bitmaps, at the cost of decode work on every
+// access — exactly the codec-overhead trade-off the paper cites as its
+// reason to prefer the adaptive list/bitmap scheme. The module exists so
+// that trade-off can be measured rather than asserted; see the
+// compression benches.
+package compress
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Encode compresses a sorted, unique vertex list. The layout is:
+//
+//	varint(count) | varint(rawLen) | huffman header | huffman payload
+//
+// where the payload is the byte stream of varint-encoded deltas
+// (first vertex absolute, successors delta-1 since entries are strictly
+// increasing).
+func Encode(sorted []int32) ([]byte, error) {
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] <= sorted[i-1] {
+			return nil, fmt.Errorf("compress: input not strictly sorted at %d", i)
+		}
+	}
+	raw := make([]byte, 0, len(sorted)*2)
+	prev := int64(-1)
+	for _, v := range sorted {
+		delta := int64(v) - prev - 1
+		raw = appendUvarint(raw, uint64(delta))
+		prev = int64(v)
+	}
+	payload, err := huffmanEncode(raw)
+	if err != nil {
+		return nil, err
+	}
+	out := appendUvarint(nil, uint64(len(sorted)))
+	out = appendUvarint(out, uint64(len(raw)))
+	return append(out, payload...), nil
+}
+
+// Decode reverses Encode, appending the vertices to dst.
+func Decode(data []byte, dst []int32) ([]int32, error) {
+	count, n := readUvarint(data)
+	if n <= 0 {
+		return nil, fmt.Errorf("compress: truncated count")
+	}
+	data = data[n:]
+	rawLen, n := readUvarint(data)
+	if n <= 0 {
+		return nil, fmt.Errorf("compress: truncated raw length")
+	}
+	data = data[n:]
+	raw, err := huffmanDecode(data, int(rawLen))
+	if err != nil {
+		return nil, err
+	}
+	prev := int64(-1)
+	for i := uint64(0); i < count; i++ {
+		delta, n := readUvarint(raw)
+		if n <= 0 {
+			return nil, fmt.Errorf("compress: truncated delta %d", i)
+		}
+		raw = raw[n:]
+		v := prev + 1 + int64(delta)
+		dst = append(dst, int32(v))
+		prev = v
+	}
+	return dst, nil
+}
+
+// Set is an rrr-compatible compressed RRR set. Membership tests decode
+// the whole payload — the deliberate HBMax trade-off.
+type Set struct {
+	data  []byte
+	count int
+}
+
+// NewSet compresses the given vertex list (copied, sorted, deduped).
+func NewSet(vertices []int32) (*Set, error) {
+	vs := append([]int32(nil), vertices...)
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	out := vs[:0]
+	for i, v := range vs {
+		if i == 0 || v != vs[i-1] {
+			out = append(out, v)
+		}
+	}
+	data, err := Encode(out)
+	if err != nil {
+		return nil, err
+	}
+	return &Set{data: data, count: len(out)}, nil
+}
+
+// Contains reports membership by decoding the set.
+func (s *Set) Contains(v int32) bool {
+	verts, err := Decode(s.data, nil)
+	if err != nil {
+		return false
+	}
+	i := sort.Search(len(verts), func(i int) bool { return verts[i] >= v })
+	return i < len(verts) && verts[i] == v
+}
+
+// Size returns the member count without decoding.
+func (s *Set) Size() int { return s.count }
+
+// ForEach decodes and visits members in ascending order.
+func (s *Set) ForEach(fn func(v int32)) {
+	verts, err := Decode(s.data, nil)
+	if err != nil {
+		return
+	}
+	for _, v := range verts {
+		fn(v)
+	}
+}
+
+// Vertices appends the decoded members to dst.
+func (s *Set) Vertices(dst []int32) []int32 {
+	out, err := Decode(s.data, dst)
+	if err != nil {
+		return dst
+	}
+	return out
+}
+
+// Bytes returns the compressed footprint.
+func (s *Set) Bytes() int64 { return int64(len(s.data)) }
+
+// Kind names the representation.
+func (s *Set) Kind() string { return "huffman" }
+
+func appendUvarint(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+func readUvarint(data []byte) (uint64, int) {
+	var v uint64
+	var shift uint
+	for i, b := range data {
+		if b < 0x80 {
+			if i > 9 || (i == 9 && b > 1) {
+				return 0, -1 // overflow
+			}
+			return v | uint64(b)<<shift, i + 1
+		}
+		v |= uint64(b&0x7f) << shift
+		shift += 7
+	}
+	return 0, 0
+}

@@ -1,0 +1,291 @@
+package compress
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/rrr"
+)
+
+func roundTrip(t *testing.T, verts []int32) {
+	t.Helper()
+	data, err := Encode(verts)
+	if err != nil {
+		t.Fatalf("Encode(%v): %v", verts, err)
+	}
+	got, err := Decode(data, nil)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if len(got) != len(verts) {
+		t.Fatalf("round trip length %d != %d", len(got), len(verts))
+	}
+	for i := range verts {
+		if got[i] != verts[i] {
+			t.Fatalf("round trip mismatch at %d: %d != %d", i, got[i], verts[i])
+		}
+	}
+}
+
+func TestRoundTripBasic(t *testing.T) {
+	cases := [][]int32{
+		{},
+		{0},
+		{5},
+		{0, 1, 2, 3},
+		{0, 100, 10000, 1 << 30},
+		{7, 8, 9, 1000000, 1000001},
+	}
+	for _, c := range cases {
+		roundTrip(t, c)
+	}
+}
+
+func TestRoundTripDenseRange(t *testing.T) {
+	verts := make([]int32, 5000)
+	for i := range verts {
+		verts[i] = int32(i * 3)
+	}
+	roundTrip(t, verts)
+}
+
+func TestRoundTripRandomProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		seen := map[int32]bool{}
+		var verts []int32
+		for _, r := range raw {
+			v := int32(r)
+			if !seen[v] {
+				seen[v] = true
+				verts = append(verts, v)
+			}
+		}
+		sort.Slice(verts, func(i, j int) bool { return verts[i] < verts[j] })
+		data, err := Encode(verts)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(data, nil)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(verts) {
+			return false
+		}
+		for i := range verts {
+			if got[i] != verts[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeRejectsUnsorted(t *testing.T) {
+	if _, err := Encode([]int32{3, 1}); err == nil {
+		t.Fatal("unsorted input accepted")
+	}
+	if _, err := Encode([]int32{3, 3}); err == nil {
+		t.Fatal("duplicate input accepted")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	for _, data := range [][]byte{{}, {0xff}, {5, 10, 1, 2, 3}} {
+		if _, err := Decode(data, nil); err == nil {
+			t.Fatalf("garbage %v accepted", data)
+		}
+	}
+}
+
+func TestCompressionBeatsRawOnClusteredSets(t *testing.T) {
+	// Dense clustered runs (the SCC-driven RRR shape) must compress well
+	// below 4 bytes/vertex.
+	verts := make([]int32, 0, 20000)
+	v := int32(0)
+	r := rng.New(3)
+	for len(verts) < 20000 {
+		v += int32(r.Intn(3) + 1) // deltas 1..3
+		verts = append(verts, v)
+	}
+	ratio, err := CompressionRatio(verts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio < 2 {
+		t.Fatalf("compression ratio %.2f, want >= 2 on clustered deltas", ratio)
+	}
+}
+
+func TestSetImplementsRRRInterface(t *testing.T) {
+	var _ rrr.Set = (*Set)(nil)
+	s, err := NewSet([]int32{9, 2, 7, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Size() != 3 {
+		t.Fatalf("Size = %d", s.Size())
+	}
+	if !s.Contains(7) || s.Contains(5) {
+		t.Fatal("membership wrong")
+	}
+	var got []int32
+	s.ForEach(func(v int32) { got = append(got, v) })
+	if len(got) != 3 || got[0] != 2 || got[1] != 7 || got[2] != 9 {
+		t.Fatalf("ForEach = %v", got)
+	}
+	if s.Kind() != "huffman" {
+		t.Fatal("Kind wrong")
+	}
+	if s.Bytes() <= 0 {
+		t.Fatal("Bytes not positive")
+	}
+	vs := s.Vertices([]int32{1})
+	if len(vs) != 4 || vs[0] != 1 {
+		t.Fatalf("Vertices = %v", vs)
+	}
+}
+
+func TestSetFootprintBelowListAndBitmap(t *testing.T) {
+	// The HBMax trade: a dense set compressed below both alternatives.
+	const n = 1 << 16
+	verts := make([]int32, 0, n/2)
+	for v := int32(0); v < n; v += 2 {
+		verts = append(verts, v)
+	}
+	cs, err := NewSet(verts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := rrr.NewListSet(verts)
+	bm := rrr.NewBitmapSet(n, verts)
+	if cs.Bytes() >= list.Bytes() {
+		t.Fatalf("compressed %d not below list %d", cs.Bytes(), list.Bytes())
+	}
+	if cs.Bytes() >= bm.Bytes() {
+		t.Fatalf("compressed %d not below bitmap %d", cs.Bytes(), bm.Bytes())
+	}
+}
+
+func TestHuffmanSingleSymbol(t *testing.T) {
+	raw := make([]byte, 1000) // all zeros: single-symbol alphabet
+	data, err := huffmanEncode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := huffmanDecode(data, len(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range got {
+		if b != 0 {
+			t.Fatalf("byte %d = %d", i, b)
+		}
+	}
+	// 1000 identical bytes must pack to ~1 bit each plus header.
+	if len(data) > maxSymbols+150 {
+		t.Fatalf("single-symbol payload not compressed: %d bytes", len(data))
+	}
+}
+
+func TestHuffmanAllSymbols(t *testing.T) {
+	raw := make([]byte, 0, 256*4)
+	for round := 0; round < 4; round++ {
+		for s := 0; s < 256; s++ {
+			raw = append(raw, byte(s))
+		}
+	}
+	data, err := huffmanEncode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := huffmanDecode(data, len(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range raw {
+		if got[i] != raw[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+func TestHuffmanDeterministic(t *testing.T) {
+	raw := []byte("the quick brown fox jumps over the lazy dog")
+	a, err := huffmanEncode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := huffmanEncode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("encode not deterministic")
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	verts := make([]int32, 10000)
+	r := rng.New(1)
+	v := int32(0)
+	for i := range verts {
+		v += int32(r.Intn(5) + 1)
+		verts[i] = v
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(verts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	verts := make([]int32, 10000)
+	r := rng.New(1)
+	v := int32(0)
+	for i := range verts {
+		v += int32(r.Intn(5) + 1)
+		verts[i] = v
+	}
+	data, err := Encode(verts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var buf []int32
+	for i := 0; i < b.N; i++ {
+		buf, _ = Decode(data, buf[:0])
+	}
+}
+
+// BenchmarkMembershipTradeoff quantifies the codec-overhead argument the
+// paper makes against compressed sketches: Contains on a compressed set
+// versus a sorted list.
+func BenchmarkMembershipTradeoff(b *testing.B) {
+	verts := make([]int32, 5000)
+	for i := range verts {
+		verts[i] = int32(i * 7)
+	}
+	cs, err := NewSet(verts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	list := rrr.NewListSet(verts)
+	b.Run("huffman", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cs.Contains(int32(i % 35000))
+		}
+	})
+	b.Run("list", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			list.Contains(int32(i % 35000))
+		}
+	})
+}

@@ -1,0 +1,257 @@
+package compress
+
+import (
+	"container/heap"
+	"fmt"
+	"math/bits"
+)
+
+// Canonical Huffman coding over byte symbols. The header stores one code
+// length per symbol (256 nibble-packed... kept simple: one byte each),
+// which is enough to rebuild the canonical code on decode. Code lengths
+// are capped at 32 bits, far above what 256 symbols can require (a
+// Huffman code over n symbols never exceeds n-1 bits, and practical
+// varint-delta streams stay under 16).
+
+const maxSymbols = 256
+
+type hNode struct {
+	freq        int64
+	symbol      int // -1 for internal
+	left, right int // indexes into the node arena
+}
+
+type hHeap struct {
+	arena []hNode
+	order []int
+}
+
+func (h *hHeap) Len() int { return len(h.order) }
+func (h *hHeap) Less(i, j int) bool {
+	a, b := h.arena[h.order[i]], h.arena[h.order[j]]
+	if a.freq != b.freq {
+		return a.freq < b.freq
+	}
+	// Deterministic tie-break on symbol/index keeps encodes reproducible.
+	return h.order[i] < h.order[j]
+}
+func (h *hHeap) Swap(i, j int)      { h.order[i], h.order[j] = h.order[j], h.order[i] }
+func (h *hHeap) Push(x interface{}) { h.order = append(h.order, x.(int)) }
+func (h *hHeap) Pop() interface{} {
+	n := len(h.order)
+	v := h.order[n-1]
+	h.order = h.order[:n-1]
+	return v
+}
+
+// codeLengths computes Huffman code lengths for the byte frequencies.
+func codeLengths(freq [maxSymbols]int64) [maxSymbols]uint8 {
+	var lengths [maxSymbols]uint8
+	arena := make([]hNode, 0, 2*maxSymbols)
+	h := &hHeap{arena: arena}
+	for s, f := range freq {
+		if f > 0 {
+			h.arena = append(h.arena, hNode{freq: f, symbol: s, left: -1, right: -1})
+			h.order = append(h.order, len(h.arena)-1)
+		}
+	}
+	switch len(h.order) {
+	case 0:
+		return lengths
+	case 1:
+		lengths[h.arena[h.order[0]].symbol] = 1
+		return lengths
+	}
+	heap.Init(h)
+	for h.Len() > 1 {
+		a := heap.Pop(h).(int)
+		b := heap.Pop(h).(int)
+		h.arena = append(h.arena, hNode{freq: h.arena[a].freq + h.arena[b].freq, symbol: -1, left: a, right: b})
+		heap.Push(h, len(h.arena)-1)
+	}
+	root := h.order[0]
+	// Iterative depth assignment.
+	type frame struct {
+		node  int
+		depth uint8
+	}
+	stack := []frame{{root, 0}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := h.arena[f.node]
+		if n.symbol >= 0 {
+			lengths[n.symbol] = f.depth
+			continue
+		}
+		stack = append(stack, frame{n.left, f.depth + 1}, frame{n.right, f.depth + 1})
+	}
+	return lengths
+}
+
+// canonicalCodes assigns canonical codes from lengths: symbols sorted by
+// (length, symbol) receive consecutive code values.
+func canonicalCodes(lengths [maxSymbols]uint8) (codes [maxSymbols]uint32, err error) {
+	var countPerLen [33]int
+	maxLen := uint8(0)
+	for _, l := range lengths {
+		if l > 32 {
+			return codes, fmt.Errorf("compress: code length %d exceeds 32", l)
+		}
+		countPerLen[l]++
+		if l > maxLen {
+			maxLen = l
+		}
+	}
+	// The standard canonical construction:
+	// next[l] = (next[l-1] + count[l-1]) << 1, with count[0] = 0
+	// (length 0 marks unused symbols, which get no code).
+	countPerLen[0] = 0
+	var nextCode [33]uint32
+	code := uint32(0)
+	for l := uint8(1); l <= maxLen; l++ {
+		code = (code + uint32(countPerLen[l-1])) << 1
+		nextCode[l] = code
+	}
+	for s := 0; s < maxSymbols; s++ {
+		if l := lengths[s]; l > 0 {
+			codes[s] = nextCode[l]
+			nextCode[l]++
+		}
+	}
+	return codes, nil
+}
+
+// huffmanEncode compresses raw bytes: 256-byte length header followed by
+// the packed bitstream.
+func huffmanEncode(raw []byte) ([]byte, error) {
+	var freq [maxSymbols]int64
+	for _, b := range raw {
+		freq[b]++
+	}
+	lengths := codeLengths(freq)
+	codes, err := canonicalCodes(lengths)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, maxSymbols, maxSymbols+len(raw)/2+8)
+	for s := 0; s < maxSymbols; s++ {
+		out[s] = lengths[s]
+	}
+	var acc uint64
+	var nbits uint
+	for _, b := range raw {
+		l := uint(lengths[b])
+		acc = acc<<l | uint64(codes[b])
+		nbits += l
+		for nbits >= 8 {
+			nbits -= 8
+			out = append(out, byte(acc>>nbits))
+		}
+	}
+	if nbits > 0 {
+		out = append(out, byte(acc<<(8-nbits)))
+	}
+	return out, nil
+}
+
+// huffmanDecode expands a huffmanEncode stream back to rawLen bytes.
+func huffmanDecode(data []byte, rawLen int) ([]byte, error) {
+	if len(data) < maxSymbols {
+		return nil, fmt.Errorf("compress: truncated huffman header")
+	}
+	var lengths [maxSymbols]uint8
+	maxLen := uint8(0)
+	for s := 0; s < maxSymbols; s++ {
+		lengths[s] = data[s]
+		if lengths[s] > maxLen {
+			maxLen = lengths[s]
+		}
+	}
+	if rawLen == 0 {
+		return nil, nil
+	}
+	if maxLen == 0 {
+		return nil, fmt.Errorf("compress: empty code for non-empty payload")
+	}
+	codes, err := canonicalCodes(lengths)
+	if err != nil {
+		return nil, err
+	}
+	// Decode table keyed by (length, code): firstCode/firstIndex per
+	// length plus symbols sorted canonically.
+	var countPerLen [33]int
+	for _, l := range lengths {
+		countPerLen[l]++
+	}
+	var symbols []byte
+	for l := uint8(1); l <= maxLen; l++ {
+		for s := 0; s < maxSymbols; s++ {
+			if lengths[s] == l {
+				symbols = append(symbols, byte(s))
+			}
+		}
+	}
+	var firstCode [33]uint32
+	var firstIndex [33]int
+	idx := 0
+	for l := uint8(1); l <= maxLen; l++ {
+		count := countPerLen[l]
+		if count > 0 {
+			firstCode[l] = codes[symbols[idx]]
+			firstIndex[l] = idx
+			idx += count
+		}
+	}
+
+	payload := data[maxSymbols:]
+	out := make([]byte, 0, rawLen)
+	var acc uint32
+	var accLen uint8
+	pos := 0
+	for len(out) < rawLen {
+		// Refill.
+		for accLen <= 24 && pos < len(payload) {
+			acc |= uint32(payload[pos]) << (24 - accLen)
+			accLen += 8
+			pos++
+		}
+		if accLen == 0 {
+			return nil, fmt.Errorf("compress: bitstream exhausted at byte %d/%d", len(out), rawLen)
+		}
+		matched := false
+		for l := uint8(1); l <= maxLen && l <= accLen; l++ {
+			if countPerLen[l] == 0 {
+				continue
+			}
+			code := acc >> (32 - l)
+			offset := int(code) - int(firstCode[l])
+			if offset >= 0 && offset < countPerLen[l] {
+				out = append(out, symbols[firstIndex[l]+offset])
+				acc <<= l
+				accLen -= l
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("compress: invalid code in bitstream")
+		}
+	}
+	return out, nil
+}
+
+// CompressionRatio returns uncompressed/compressed size for a sorted
+// vertex list, for reporting.
+func CompressionRatio(sorted []int32) (float64, error) {
+	data, err := Encode(sorted)
+	if err != nil {
+		return 0, err
+	}
+	if len(data) == 0 {
+		return 0, nil
+	}
+	return float64(len(sorted)*4) / float64(len(data)), nil
+}
+
+var _ = bits.Len32 // reserved for future table-driven decode

@@ -1,0 +1,162 @@
+// Package counter implements the global vertex-occurrence counter at the
+// heart of EFFICIENTIMM's Find_Most_Influential_Set: a flat array of
+// 64-bit counters updated with fine-grained atomic adds (the paper's
+// `lock incq` discipline — one quadword locked per update, no wider
+// locking), and the two-step parallel argmax reduction (per-worker
+// regional maxima, then a reduction over the regions).
+package counter
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a global occurrence counter over n vertices. All methods
+// except Reset and the reductions are safe for concurrent use.
+type Counter struct {
+	counts []int64
+}
+
+// New returns a counter for n vertices, all zero.
+func New(n int32) *Counter {
+	return &Counter{counts: make([]int64, n)}
+}
+
+// Len returns the number of vertices covered.
+func (c *Counter) Len() int32 { return int32(len(c.counts)) }
+
+// Inc atomically increments the count of vertex v.
+func (c *Counter) Inc(v int32) { atomic.AddInt64(&c.counts[v], 1) }
+
+// Dec atomically decrements the count of vertex v.
+func (c *Counter) Dec(v int32) { atomic.AddInt64(&c.counts[v], -1) }
+
+// Get atomically reads the count of vertex v.
+func (c *Counter) Get(v int32) int64 { return atomic.LoadInt64(&c.counts[v]) }
+
+// Reset zeroes all counters. Callers must quiesce writers first.
+func (c *Counter) Reset() {
+	for i := range c.counts {
+		c.counts[i] = 0
+	}
+}
+
+// Raw exposes the backing slice for instrumented kernels (address
+// generation for the cache simulator). Do not mutate concurrently with
+// atomic updates through the Counter API.
+func (c *Counter) Raw() []int64 { return c.counts }
+
+// Snapshot copies the current counts into dst (allocating if nil) and
+// returns it.
+func (c *Counter) Snapshot(dst []int64) []int64 {
+	if cap(dst) < len(c.counts) {
+		dst = make([]int64, len(c.counts))
+	}
+	dst = dst[:len(c.counts)]
+	for i := range c.counts {
+		dst[i] = atomic.LoadInt64(&c.counts[i])
+	}
+	return dst
+}
+
+// Regional is the per-worker partial result of the first reduction step.
+type Regional struct {
+	Vertex int32
+	Count  int64
+}
+
+// ArgMax runs the paper's two-step parallel reduction with p workers:
+// each worker scans a contiguous vertex range for its regional maximum,
+// then the p regional maxima are reduced sequentially (p is small). Ties
+// break toward the lower vertex id so results are deterministic.
+func (c *Counter) ArgMax(p int) Regional {
+	n := len(c.counts)
+	if n == 0 {
+		return Regional{Vertex: -1}
+	}
+	if p < 1 {
+		p = 1
+	}
+	if p > n {
+		p = n
+	}
+	regions := make([]Regional, p)
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		lo, hi := w*n/p, (w+1)*n/p
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			best := Regional{Vertex: int32(lo), Count: atomic.LoadInt64(&c.counts[lo])}
+			for v := lo + 1; v < hi; v++ {
+				if cnt := atomic.LoadInt64(&c.counts[v]); cnt > best.Count {
+					best = Regional{Vertex: int32(v), Count: cnt}
+				}
+			}
+			regions[w] = best
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	best := regions[0]
+	for _, r := range regions[1:] {
+		if r.Count > best.Count || (r.Count == best.Count && r.Vertex < best.Vertex) {
+			best = r
+		}
+	}
+	return best
+}
+
+// SequentialArgMax is the reference single-pass scan used by tests and by
+// the 1-worker configurations.
+func (c *Counter) SequentialArgMax() Regional {
+	if len(c.counts) == 0 {
+		return Regional{Vertex: -1}
+	}
+	best := Regional{Vertex: 0, Count: c.counts[0]}
+	for v := 1; v < len(c.counts); v++ {
+		if c.counts[v] > best.Count {
+			best = Regional{Vertex: int32(v), Count: c.counts[v]}
+		}
+	}
+	return best
+}
+
+// UpdateStrategy selects how counts are corrected after a seed is chosen
+// and its covered RRR sets are retired.
+type UpdateStrategy int
+
+const (
+	// Decrement walks every covered set and decrements each member — the
+	// straightforward scheme, quadratic-ish on skewed data where the top
+	// seed covers most sets.
+	Decrement UpdateStrategy = iota
+	// Rebuild zeroes the counter and re-adds only surviving sets.
+	Rebuild
+	// AdaptiveUpdate picks Decrement or Rebuild per selection round by
+	// comparing the work of each: decrement touches the covered sets,
+	// rebuild touches the surviving ones. This is the paper's "Adaptive
+	// Vertex Occurrence Counter Update".
+	AdaptiveUpdate
+)
+
+func (u UpdateStrategy) String() string {
+	switch u {
+	case Decrement:
+		return "decrement"
+	case Rebuild:
+		return "rebuild"
+	case AdaptiveUpdate:
+		return "adaptive"
+	default:
+		return "unknown"
+	}
+}
+
+// ChooseRebuild reports whether the adaptive strategy should rebuild,
+// given the total member count of covered sets versus surviving sets.
+// The decision is pure work comparison: rebuilding re-adds survivors
+// plus a zeroing pass, decrementing touches covered members.
+func ChooseRebuild(coveredMembers, survivingMembers, vertices int64) bool {
+	rebuildWork := survivingMembers + vertices/8 // zeroing is a cheap streaming pass
+	return rebuildWork < coveredMembers
+}

@@ -1,0 +1,225 @@
+// Package diffusion implements the two sides of influence propagation:
+//
+//   - Reverse influence sampling (RIS): the probabilistic reverse
+//     traversals that produce random reverse-reachable (RRR) sets, the
+//     core of IMM's sampling phase. Under IC this is a probabilistic BFS
+//     over incoming edges; under LT it is a random walk that picks at
+//     most one live incoming edge per step (which is why LT RRR sets are
+//     small and θ is large, as the paper observes).
+//
+//   - Forward Monte-Carlo simulation: estimates the expected spread
+//     σ(S) of a seed set, used to validate seed quality and by the
+//     examples to report campaign reach.
+package diffusion
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/bitset"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Probe observes the memory operations of a sampler so engines can feed
+// cost models (NUMA latency accounting, cache simulation). Index
+// arguments are element indices into the respective logical arrays; the
+// consumer maps them to addresses. A nil Probe disables instrumentation.
+type Probe interface {
+	// TouchVisited is called for every visited-bitmap word probe.
+	TouchVisited(wordIdx int64)
+	// TouchEdge is called for every CSR in-edge inspected.
+	TouchEdge(edgeIdx int64)
+	// TouchOutput is called for every vertex appended to the RRR set.
+	TouchOutput(i int64)
+}
+
+// Sampler holds the per-worker scratch state for RRR generation: a
+// visited bitmap and a BFS queue, reused across millions of samples.
+// Each worker owns one Sampler; none of its methods are safe for
+// concurrent use.
+type Sampler struct {
+	G     *graph.Graph
+	Probe Probe
+
+	visited *bitset.Bitset
+	queue   []int32
+
+	// EdgesVisited counts in-edges examined, the sampling-phase work
+	// metric used by the modeled runtime.
+	EdgesVisited int64
+}
+
+// NewSampler returns a sampler with scratch sized for g.
+func NewSampler(g *graph.Graph) *Sampler {
+	return &Sampler{G: g, visited: bitset.New(int(g.N)), queue: make([]int32, 0, 1024)}
+}
+
+// Sample generates one RRR set rooted at root, appending the members to
+// out (BFS/walk discovery order, root first) and returning the extended
+// slice. The graph's model selects the traversal.
+func (s *Sampler) Sample(r *rng.Xoshiro256, root int32, out []int32) []int32 {
+	if s.G.Model() == graph.LT {
+		return s.sampleLT(r, root, out)
+	}
+	return s.sampleIC(r, root, out)
+}
+
+// SampleUniformRoot draws a uniform root and delegates to Sample.
+func (s *Sampler) SampleUniformRoot(r *rng.Xoshiro256, out []int32) []int32 {
+	return s.Sample(r, int32(r.Uint32n(uint32(s.G.N))), out)
+}
+
+// sampleIC runs a probabilistic BFS over incoming edges: an in-neighbor
+// u of an activated vertex w joins with probability p(u,w), matching
+// Algorithm 3 of the paper (lines 1-13).
+func (s *Sampler) sampleIC(r *rng.Xoshiro256, root int32, out []int32) []int32 {
+	g := s.G
+	base := len(out)
+	out = append(out, root)
+	s.visited.Set(int(root))
+	if s.Probe != nil {
+		s.Probe.TouchVisited(int64(root) / 64)
+		s.Probe.TouchOutput(int64(len(out) - 1))
+	}
+	s.queue = append(s.queue[:0], root)
+	for qi := 0; qi < len(s.queue); qi++ {
+		w := s.queue[qi]
+		lo, hi := g.InIndex[w], g.InIndex[w+1]
+		s.EdgesVisited += hi - lo
+		for k := lo; k < hi; k++ {
+			u := g.InEdges[k]
+			if s.Probe != nil {
+				s.Probe.TouchEdge(k)
+				s.Probe.TouchVisited(int64(u) / 64)
+			}
+			if s.visited.Test(int(u)) {
+				continue
+			}
+			if r.Float32() < g.InProb[k] {
+				s.visited.Set(int(u))
+				out = append(out, u)
+				s.queue = append(s.queue, u)
+				if s.Probe != nil {
+					s.Probe.TouchOutput(int64(len(out) - 1))
+				}
+			}
+		}
+	}
+	s.visited.ClearList(out[base:])
+	return out
+}
+
+// sampleLT runs the reverse live-edge walk: each vertex picks at most
+// one incoming edge (probability proportional to its LT weight, none
+// with the residual probability), and the walk follows picks until it
+// stalls or revisits.
+func (s *Sampler) sampleLT(r *rng.Xoshiro256, root int32, out []int32) []int32 {
+	g := s.G
+	base := len(out)
+	out = append(out, root)
+	s.visited.Set(int(root))
+	if s.Probe != nil {
+		s.Probe.TouchVisited(int64(root) / 64)
+		s.Probe.TouchOutput(int64(len(out) - 1))
+	}
+	w := root
+	for {
+		lo, hi := g.InIndex[w], g.InIndex[w+1]
+		if hi == lo {
+			break
+		}
+		// One uniform draw against the inclusive prefix sums selects the
+		// live in-edge; a draw beyond the total weight selects none.
+		x := float32(r.Float64())
+		total := g.InAccum[hi-1]
+		if x >= total {
+			s.EdgesVisited++ // the draw still reads the segment header
+			break
+		}
+		seg := g.InAccum[lo:hi]
+		j := sort.Search(len(seg), func(i int) bool { return seg[i] > x })
+		k := lo + int64(j)
+		s.EdgesVisited += int64(j) + 1
+		u := g.InEdges[k]
+		if s.Probe != nil {
+			s.Probe.TouchEdge(k)
+			s.Probe.TouchVisited(int64(u) / 64)
+		}
+		if s.visited.Test(int(u)) {
+			break
+		}
+		s.visited.Set(int(u))
+		out = append(out, u)
+		if s.Probe != nil {
+			s.Probe.TouchOutput(int64(len(out) - 1))
+		}
+		w = u
+	}
+	s.visited.ClearList(out[base:])
+	return out
+}
+
+// CoverageStats reports RRR-set size statistics for Table I.
+type CoverageStats struct {
+	Samples     int
+	AvgSize     float64
+	MaxSize     int
+	AvgCoverage float64 // AvgSize / N
+	MaxCoverage float64 // MaxSize / N
+	TotalEdges  int64   // traversal work
+}
+
+// MeasureCoverage draws samples RRR sets with workers parallel samplers
+// and summarizes their sizes. It reproduces the Average/Max RRRset
+// Coverage columns of Table I.
+func MeasureCoverage(g *graph.Graph, samples, workers int, seed uint64) CoverageStats {
+	if workers < 1 {
+		workers = 1
+	}
+	type partial struct {
+		count int
+		sum   int64
+		max   int
+		edges int64
+	}
+	parts := make([]partial, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := NewSampler(g)
+			r := rng.NewStream(seed, w)
+			var buf []int32
+			for i := w; i < samples; i += workers {
+				buf = s.SampleUniformRoot(r, buf[:0])
+				parts[w].count++
+				parts[w].sum += int64(len(buf))
+				if len(buf) > parts[w].max {
+					parts[w].max = len(buf)
+				}
+			}
+			parts[w].edges = s.EdgesVisited
+		}(w)
+	}
+	wg.Wait()
+	var st CoverageStats
+	var sum int64
+	for _, p := range parts {
+		st.Samples += p.count
+		sum += p.sum
+		if p.max > st.MaxSize {
+			st.MaxSize = p.max
+		}
+		st.TotalEdges += p.edges
+	}
+	if st.Samples > 0 {
+		st.AvgSize = float64(sum) / float64(st.Samples)
+	}
+	if g.N > 0 {
+		st.AvgCoverage = st.AvgSize / float64(g.N)
+		st.MaxCoverage = float64(st.MaxSize) / float64(g.N)
+	}
+	return st
+}

@@ -1,0 +1,231 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestRMATBasic(t *testing.T) {
+	g, err := RMAT(DefaultRMAT(10, 8), graph.IC, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 1024 {
+		t.Fatalf("N = %d", g.N)
+	}
+	if g.M < int64(float64(g.N)*4) {
+		t.Fatalf("M = %d unexpectedly small", g.M)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRMATDeterministic(t *testing.T) {
+	a, err := RMAT(DefaultRMAT(8, 4), graph.IC, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RMAT(DefaultRMAT(8, 4), graph.IC, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.M != b.M {
+		t.Fatalf("same seed produced different edge counts %d vs %d", a.M, b.M)
+	}
+	for i := range a.OutEdges {
+		if a.OutEdges[i] != b.OutEdges[i] {
+			t.Fatal("same seed produced different edges")
+		}
+	}
+}
+
+func TestRMATSkewed(t *testing.T) {
+	g, err := RMAT(DefaultRMAT(12, 8), graph.IC, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := g.Degrees()
+	if st.GiniOut < 0.4 {
+		t.Fatalf("R-MAT Gini = %v, expected heavy skew (> 0.4)", st.GiniOut)
+	}
+	if float64(st.MaxOut) < 8*st.MeanOut {
+		t.Fatalf("R-MAT max degree %d not heavy-tailed vs mean %v", st.MaxOut, st.MeanOut)
+	}
+}
+
+func TestRMATRejectsBadParams(t *testing.T) {
+	if _, err := RMAT(RMATParams{Scale: 0}, graph.IC, 1); err == nil {
+		t.Fatal("scale 0 accepted")
+	}
+	p := DefaultRMAT(5, 2)
+	p.A = 0.9 // now sums > 1
+	if _, err := RMAT(p, graph.IC, 1); err == nil {
+		t.Fatal("non-normalized quadrants accepted")
+	}
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	g, err := BarabasiAlbert(2000, 3, graph.IC, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 2000 {
+		t.Fatalf("N = %d", g.N)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// BA graphs are connected when treated as undirected.
+	_, wcc := g.WCC()
+	if wcc != 1 {
+		t.Fatalf("BA graph has %d weak components, want 1", wcc)
+	}
+	st := g.Degrees()
+	if st.GiniOut < 0.3 {
+		t.Fatalf("BA Gini = %v, expected skew", st.GiniOut)
+	}
+}
+
+func TestBarabasiAlbertRejectsBadParams(t *testing.T) {
+	if _, err := BarabasiAlbert(3, 5, graph.IC, 1); err == nil {
+		t.Fatal("n <= k accepted")
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	g, err := ErdosRenyi(500, 3000, graph.IC, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M < 2500 || g.M > 3000 {
+		t.Fatalf("M = %d, want near 3000 (minus collisions)", g.M)
+	}
+	st := g.Degrees()
+	if st.GiniOut > 0.5 {
+		t.Fatalf("ER Gini = %v, expected near-uniform degrees", st.GiniOut)
+	}
+}
+
+func TestErdosRenyiRejectsTooManyEdges(t *testing.T) {
+	if _, err := ErdosRenyi(3, 100, graph.IC, 1); err == nil {
+		t.Fatal("impossible edge count accepted")
+	}
+}
+
+func TestWattsStrogatz(t *testing.T) {
+	g, err := WattsStrogatz(1000, 3, 0.05, graph.IC, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := g.Degrees()
+	// Lattice-like: degrees concentrated near 2k.
+	if st.GiniOut > 0.3 {
+		t.Fatalf("WS Gini = %v, expected low skew", st.GiniOut)
+	}
+	_, wcc := g.WCC()
+	if wcc != 1 {
+		t.Fatalf("WS graph has %d weak components", wcc)
+	}
+}
+
+func TestWattsStrogatzRejectsBadParams(t *testing.T) {
+	if _, err := WattsStrogatz(10, 5, 0.1, graph.IC, 1); err == nil {
+		t.Fatal("2k >= n accepted")
+	}
+	if _, err := WattsStrogatz(100, 2, 1.5, graph.IC, 1); err == nil {
+		t.Fatal("beta > 1 accepted")
+	}
+}
+
+func TestCommunityPlanted(t *testing.T) {
+	g, err := CommunityPlanted(1024, 16, 3, 64, graph.IC, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.M == 0 {
+		t.Fatal("no edges generated")
+	}
+}
+
+func TestProfilesComplete(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 8 {
+		t.Fatalf("%d profiles, want 8 (Table I datasets)", len(ps))
+	}
+	names := map[string]bool{}
+	for _, p := range ps {
+		if names[p.Name] {
+			t.Fatalf("duplicate profile %q", p.Name)
+		}
+		names[p.Name] = true
+		if p.PaperNodes <= 0 || p.PaperEdges <= 0 {
+			t.Fatalf("profile %q missing paper scale", p.Name)
+		}
+		if p.ScaleFactor() < 1 {
+			t.Fatalf("profile %q clone larger than original", p.Name)
+		}
+	}
+	for _, want := range []string{"com-Amazon", "com-YouTube", "com-DBLP", "com-LJ", "soc-Pokec", "as-Skitter", "web-Google", "twitter7"} {
+		if !names[want] {
+			t.Fatalf("missing profile %q", want)
+		}
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	p, err := ProfileByName("web-Google")
+	if err != nil || p.Name != "web-Google" {
+		t.Fatalf("ProfileByName failed: %v", err)
+	}
+	if _, err := ProfileByName("nope"); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}
+
+// TestProfilesGenerate generates the small profiles end to end and
+// verifies CSR validity plus rough density calibration.
+func TestProfilesGenerate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profile generation is slow in -short mode")
+	}
+	for _, p := range Profiles() {
+		if p.Scale > 13 {
+			continue // keep unit tests fast; larger clones exercised in benches
+		}
+		g, err := p.Generate(graph.IC, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		wantDensity := float64(p.PaperEdges) / float64(p.PaperNodes)
+		gotDensity := float64(g.M) / float64(g.N)
+		if gotDensity < wantDensity*0.4 || gotDensity > wantDensity*2.5 {
+			t.Errorf("%s: clone density %.2f vs paper %.2f out of tolerance", p.Name, gotDensity, wantDensity)
+		}
+	}
+}
+
+func TestProfileGenerateDeterministicPerName(t *testing.T) {
+	p, _ := ProfileByName("com-Amazon")
+	a, err := p.Generate(graph.IC, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Generate(graph.IC, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.M != b.M {
+		t.Fatal("profile generation not deterministic")
+	}
+}

@@ -1,0 +1,146 @@
+package graph
+
+// Structural analyses used for the paper's graph characterization
+// (Section III.A): the giant SCC is the property that makes RRR sets
+// cover most of the graph under IC.
+
+// SCC computes strongly connected components with an iterative Tarjan
+// algorithm (explicit stack — the SNAP-scale graphs would overflow the
+// goroutine stack with recursion). It returns the component id of every
+// vertex and the number of components; ids are assigned in reverse
+// topological order of the condensation.
+func (g *Graph) SCC() (comp []int32, count int32) {
+	const unvisited = -1
+	n := g.N
+	comp = make([]int32, n)
+	index := make([]int32, n)
+	lowlink := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = unvisited
+	}
+	var stack []int32
+	var next int32
+
+	// Explicit DFS frames: vertex plus position within its out-segment.
+	type frame struct {
+		v   int32
+		ei  int64
+		end int64
+	}
+	var frames []frame
+
+	for root := int32(0); root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		frames = frames[:0]
+		index[root] = next
+		lowlink[root] = next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		frames = append(frames, frame{root, g.OutIndex[root], g.OutIndex[root+1]})
+
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.ei < f.end {
+				w := g.OutEdges[f.ei]
+				f.ei++
+				if index[w] == unvisited {
+					index[w] = next
+					lowlink[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{w, g.OutIndex[w], g.OutIndex[w+1]})
+				} else if onStack[w] && index[w] < lowlink[f.v] {
+					lowlink[f.v] = index[w]
+				}
+				continue
+			}
+			// Frame finished: pop and propagate lowlink to parent.
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				if p := &frames[len(frames)-1]; lowlink[v] < lowlink[p.v] {
+					lowlink[p.v] = lowlink[v]
+				}
+			}
+			if lowlink[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = count
+					if w == v {
+						break
+					}
+				}
+				count++
+			}
+		}
+	}
+	return comp, count
+}
+
+// LargestSCCFraction returns the fraction of vertices in the largest
+// strongly connected component — the "giant SCC" statistic from the
+// paper's motivation section.
+func (g *Graph) LargestSCCFraction() float64 {
+	if g.N == 0 {
+		return 0
+	}
+	comp, count := g.SCC()
+	sizes := make([]int64, count)
+	for _, c := range comp {
+		sizes[c]++
+	}
+	var max int64
+	for _, s := range sizes {
+		if s > max {
+			max = s
+		}
+	}
+	return float64(max) / float64(g.N)
+}
+
+// WCC computes weakly connected components (treating edges as
+// undirected) with an iterative union-find and returns component ids and
+// count.
+func (g *Graph) WCC() (comp []int32, count int32) {
+	parent := make([]int32, g.N)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	for u := int32(0); u < g.N; u++ {
+		for _, v := range g.OutNeighbors(u) {
+			ru, rv := find(u), find(v)
+			if ru != rv {
+				parent[ru] = rv
+			}
+		}
+	}
+	comp = make([]int32, g.N)
+	remap := make(map[int32]int32)
+	for v := int32(0); v < g.N; v++ {
+		r := find(v)
+		id, ok := remap[r]
+		if !ok {
+			id = count
+			remap[r] = id
+			count++
+		}
+		comp[v] = id
+	}
+	return comp, count
+}

@@ -1,0 +1,239 @@
+// Package harness reproduces the paper's evaluation: one entry point per
+// table and figure, each returning typed rows and optionally writing CSV
+// files mirroring the artifact's extract_results.py output.
+//
+// Sizing: the SNAP clones are generated at a scale chosen by
+// Config.MaxScale so the whole suite runs on a small machine. Wall-clock
+// numbers therefore differ from the paper's, but the comparisons inside
+// every experiment (who wins, how scaling bends, where the crossover sits)
+// are produced by the same algorithms under the same workloads.
+package harness
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/imm"
+)
+
+// Config controls experiment sizing.
+type Config struct {
+	// MaxScale clamps each profile's log2 vertex count. 0 keeps profile
+	// defaults (laptop-sized); tests use 8-9.
+	MaxScale int
+	// Workers is the strong-scaling sweep. Defaults to the paper's
+	// 1..128 doubling.
+	Workers []int
+	// K and Epsilon follow the paper's k=50, ε=0.5 unless overridden.
+	K       int
+	Epsilon float64
+	Seed    uint64
+	// MaxThetaIC / MaxThetaLT cap sampling effort per model (0 = none).
+	MaxThetaIC int64
+	MaxThetaLT int64
+	// CoverageSamples is the Table I sample count.
+	CoverageSamples int
+	// TraceSets / TraceWorkers size the Table IV cache traces.
+	TraceSets    int
+	TraceWorkers int
+	// NUMASamples sizes the Table II instrumented generation runs.
+	NUMASamples int
+	// OutDir receives CSV/JSON artifacts; empty disables writing.
+	OutDir string
+	// Datasets restricts the profile list by name; nil means all eight.
+	Datasets []string
+}
+
+// DefaultConfig returns the full evaluation configuration at a scale a
+// 2-core container completes in minutes. The worker sweep keeps the
+// paper's 1..128 range with a coarser grid; θ caps bound the LT runs
+// whose baseline-engine wall-clock grows with the simulated worker count
+// (every simulated Ripples worker really executes its redundant scan).
+func DefaultConfig() Config {
+	return Config{
+		MaxScale:        10,
+		Workers:         []int{1, 2, 8, 32, 128},
+		K:               50,
+		Epsilon:         0.5,
+		Seed:            1,
+		MaxThetaIC:      10000,
+		MaxThetaLT:      20000,
+		CoverageSamples: 1000,
+		TraceSets:       1000,
+		TraceWorkers:    128,
+		NUMASamples:     300,
+	}
+}
+
+// QuickConfig returns a configuration small enough for unit tests.
+func QuickConfig() Config {
+	return Config{
+		MaxScale:        8,
+		Workers:         []int{1, 4},
+		K:               10,
+		Epsilon:         0.5,
+		Seed:            1,
+		MaxThetaIC:      2000,
+		MaxThetaLT:      5000,
+		CoverageSamples: 200,
+		TraceSets:       150,
+		TraceWorkers:    16,
+		NUMASamples:     60,
+	}
+}
+
+// profiles returns the dataset clones selected by the config, scale-
+// clamped.
+func (c Config) profiles() []gen.Profile {
+	var out []gen.Profile
+	for _, p := range gen.Profiles() {
+		if c.Datasets != nil && !contains(c.Datasets, p.Name) {
+			continue
+		}
+		if c.MaxScale > 0 && p.Scale > c.MaxScale {
+			p.Scale = c.MaxScale
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func contains(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func (c Config) maxTheta(model graph.Model) int64 {
+	if model == graph.LT {
+		return c.MaxThetaLT
+	}
+	return c.MaxThetaIC
+}
+
+// options builds imm options for one run.
+func (c Config) options(engine imm.EngineKind, model graph.Model, workers int) imm.Options {
+	o := imm.Defaults()
+	o.Engine = engine
+	o.Workers = workers
+	o.K = c.K
+	o.Epsilon = c.Epsilon
+	o.Seed = c.Seed
+	o.MaxTheta = c.maxTheta(model)
+	return o
+}
+
+// RunRecord is one (dataset, engine, model, workers) measurement, also
+// serialized as the JSON log format the artifact's scripts consume.
+type RunRecord struct {
+	Dataset string  `json:"dataset"`
+	Engine  string  `json:"engine"`
+	Model   string  `json:"model"`
+	Workers int     `json:"workers"`
+	WallMS  float64 `json:"wall_ms"`
+	Modeled float64 `json:"modeled"`
+	// Phase splits of the modeled cost.
+	SamplingModeled  float64 `json:"sampling_modeled"`
+	SelectionModeled float64 `json:"selection_modeled"`
+	SamplingWallMS   float64 `json:"sampling_wall_ms"`
+	SelectionWallMS  float64 `json:"selection_wall_ms"`
+	Theta            int64   `json:"theta"`
+	Coverage         float64 `json:"coverage"`
+	Seeds            []int32 `json:"seeds"`
+}
+
+// runOne executes a single IMM run and converts the result.
+func runOne(g *graph.Graph, name string, opt imm.Options) (RunRecord, error) {
+	res, err := imm.Run(g, opt)
+	if err != nil {
+		return RunRecord{}, fmt.Errorf("harness: %s/%v/%v: %w", name, opt.Engine, g.Model(), err)
+	}
+	return RunRecord{
+		Dataset:          name,
+		Engine:           opt.Engine.String(),
+		Model:            g.Model().String(),
+		Workers:          opt.Workers,
+		WallMS:           float64(res.Breakdown.TotalWall) / float64(time.Millisecond),
+		Modeled:          res.Breakdown.TotalModeled(),
+		SamplingModeled:  res.Breakdown.SamplingModeled,
+		SelectionModeled: res.Breakdown.SelectionModeled,
+		SamplingWallMS:   float64(res.Breakdown.SamplingWall) / float64(time.Millisecond),
+		SelectionWallMS:  float64(res.Breakdown.SelectionWall) / float64(time.Millisecond),
+		Theta:            res.Theta,
+		Coverage:         res.Coverage,
+		Seeds:            res.Seeds,
+	}, nil
+}
+
+// writeCSV writes rows (first row = header) to OutDir/name when OutDir is
+// set.
+func (c Config) writeCSV(name string, rows [][]string) error {
+	if c.OutDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(c.OutDir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(c.OutDir, name))
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	if err := w.WriteAll(rows); err != nil {
+		f.Close()
+		return err
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeJSONLog appends a run record under OutDir in the artifact's
+// strong-scaling-logs-<model>-<engine> directory layout.
+func (c Config) writeJSONLog(rec RunRecord) error {
+	if c.OutDir == "" {
+		return nil
+	}
+	short := "eimm"
+	if rec.Engine == "ripples" {
+		short = "ripples"
+	}
+	dir := filepath.Join(c.OutDir, fmt.Sprintf("strong-scaling-logs-%s-%s", lower(rec.Model), short))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("%s_%dt.json", rec.Dataset, rec.Workers))
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func lower(s string) string {
+	b := []byte(s)
+	for i := range b {
+		if b[i] >= 'A' && b[i] <= 'Z' {
+			b[i] += 'a' - 'A'
+		}
+	}
+	return string(b)
+}
+
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }
+func i64(v int64) string   { return fmt.Sprintf("%d", v) }
+func itoa(v int) string    { return fmt.Sprintf("%d", v) }
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }

@@ -1,0 +1,249 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// quick returns a test config restricted to two small datasets.
+func quick(t *testing.T, withOut bool) Config {
+	t.Helper()
+	cfg := QuickConfig()
+	cfg.Datasets = []string{"com-Amazon", "web-Google"}
+	if withOut {
+		cfg.OutDir = t.TempDir()
+	}
+	return cfg
+}
+
+func TestTable1(t *testing.T) {
+	cfg := quick(t, true)
+	rows, err := Table1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.Nodes == 0 || r.Edges == 0 {
+			t.Fatalf("%s: empty graph", r.Dataset)
+		}
+		if r.AvgCoverage < 0 || r.AvgCoverage > 1 || r.MaxCoverage < r.AvgCoverage {
+			t.Fatalf("%s: bad coverage %v/%v", r.Dataset, r.AvgCoverage, r.MaxCoverage)
+		}
+		if r.PaperAvgCoverage == 0 {
+			t.Fatalf("%s: paper reference missing", r.Dataset)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(cfg.OutDir, "table1_coverage.csv")); err != nil {
+		t.Fatalf("csv not written: %v", err)
+	}
+}
+
+func TestScalingSweepAndExtract(t *testing.T) {
+	cfg := quick(t, true)
+	cfg.Datasets = []string{"web-Google"}
+	points, err := ScalingSweep(cfg, graph.IC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 dataset × 2 engines × 2 worker counts.
+	if len(points) != 4 {
+		t.Fatalf("%d points, want 4", len(points))
+	}
+	for _, pt := range points {
+		if pt.Modeled <= 0 {
+			t.Fatalf("point %+v has no modeled cost", pt)
+		}
+		if pt.Workers == cfg.Workers[0] && pt.Engine == "ripples" && pt.SpeedupVs1 != 1 {
+			t.Fatalf("ripples baseline point not normalized to 1: %+v", pt)
+		}
+	}
+	// JSON logs must round-trip through the extract step.
+	rows, err := ExtractResults(cfg.OutDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic := rows["ic"]
+	if len(ic) != 1 {
+		t.Fatalf("extract found %d ic rows, want 1", len(ic))
+	}
+	if ic[0].Speedup <= 0 {
+		t.Fatalf("speedup = %v", ic[0].Speedup)
+	}
+	if _, err := os.Stat(filepath.Join(cfg.OutDir, "results", "speedup_ic.csv")); err != nil {
+		t.Fatalf("speedup csv not written: %v", err)
+	}
+}
+
+func TestEfficientWinsOnSweep(t *testing.T) {
+	cfg := quick(t, false)
+	cfg.Datasets = []string{"web-Google"}
+	cfg.Workers = []int{1, 16}
+	points, err := ScalingSweep(cfg, graph.LT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ripBest, effBest float64
+	for _, pt := range points {
+		switch pt.Engine {
+		case "ripples":
+			if ripBest == 0 || pt.Modeled < ripBest {
+				ripBest = pt.Modeled
+			}
+		default:
+			if effBest == 0 || pt.Modeled < effBest {
+				effBest = pt.Modeled
+			}
+		}
+	}
+	if effBest >= ripBest {
+		t.Fatalf("efficient best %.0f not below ripples best %.0f", effBest, ripBest)
+	}
+}
+
+func TestFig2Breakdown(t *testing.T) {
+	cfg := quick(t, true)
+	points, err := Fig2Breakdown(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2*len(cfg.Workers) {
+		t.Fatalf("%d points", len(points))
+	}
+	for _, pt := range points {
+		sum := pt.SamplingPct + pt.SelectionPct
+		if sum < 99.9 || sum > 100.1 {
+			t.Fatalf("shares don't sum to 100: %+v", pt)
+		}
+	}
+}
+
+func TestTable2(t *testing.T) {
+	cfg := quick(t, true)
+	rows, err := Table2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no Table II rows")
+	}
+	for _, r := range rows {
+		if r.AwarePct >= r.OriginalPct {
+			t.Fatalf("%s: aware %.1f%% not below original %.1f%%", r.Dataset, r.AwarePct, r.OriginalPct)
+		}
+		if r.ImprovementPct <= 0 {
+			t.Fatalf("%s: no improvement", r.Dataset)
+		}
+	}
+}
+
+func TestFig5(t *testing.T) {
+	cfg := quick(t, true)
+	rows, err := Fig5AdaptiveUpdate(cfg, []string{"com-Amazon"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[0].RelativeSpeedup < 1 {
+		t.Fatalf("adaptive update slower than decrement: %+v", rows[0])
+	}
+}
+
+func TestTable3(t *testing.T) {
+	cfg := quick(t, true)
+	cfg.Datasets = []string{"web-Google"}
+	rows, err := Table3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 { // IC and LT
+		t.Fatalf("%d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.Speedup <= 1 {
+			t.Fatalf("%s/%s: EfficientIMM speedup %.2f not above 1", r.Dataset, r.Model, r.Speedup)
+		}
+		if r.RipplesFootprint <= r.EfficientFootprint {
+			t.Fatalf("%s: footprint model inverted", r.Dataset)
+		}
+	}
+}
+
+func TestTable3TwitterOOM(t *testing.T) {
+	cfg := quick(t, false)
+	cfg.Datasets = []string{"twitter7"}
+	cfg.MaxScale = 8
+	rows, err := Table3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundOOM := false
+	for _, r := range rows {
+		if r.Model == "IC" && r.RipplesOOM {
+			foundOOM = true
+		}
+	}
+	if !foundOOM {
+		t.Fatal("Twitter7 IC row does not flag Ripples OOM at paper scale")
+	}
+}
+
+func TestTable4(t *testing.T) {
+	cfg := quick(t, true)
+	// The miss-ratio gap needs the pool to exceed the L2 capacity; at
+	// MaxScale 8 everything is cache-resident and both kernels miss only
+	// on cold lines. Use a slightly larger clone and trace pool.
+	cfg.MaxScale = 10
+	cfg.TraceSets = 400
+	cfg.Datasets = []string{"web-Google"}
+	rows, err := Table4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no Table IV rows")
+	}
+	for _, r := range rows {
+		if r.Reduction <= 1 {
+			t.Fatalf("%s: miss reduction %.2f not above 1", r.Dataset, r.Reduction)
+		}
+	}
+}
+
+func TestAblations(t *testing.T) {
+	cfg := quick(t, true)
+	rows, err := Ablations(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("%d ablation rows, want 7", len(rows))
+	}
+	if rows[0].Variant != "full" || rows[0].Penalty != 1 {
+		t.Fatalf("first row must be the full configuration: %+v", rows[0])
+	}
+	for _, r := range rows[1:] {
+		if r.Variant == "ripples-baseline" && r.Penalty <= 1 {
+			t.Fatalf("baseline not slower than full: %+v", r)
+		}
+	}
+}
+
+func TestConfigProfileFiltering(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.Datasets = []string{"com-DBLP"}
+	ps := cfg.profiles()
+	if len(ps) != 1 || ps[0].Name != "com-DBLP" {
+		t.Fatalf("filtering failed: %v", ps)
+	}
+	if ps[0].Scale > cfg.MaxScale {
+		t.Fatal("scale clamp not applied")
+	}
+}

@@ -1,0 +1,317 @@
+package imm
+
+import (
+	"time"
+
+	"repro/internal/counter"
+	"repro/internal/graph"
+	"repro/internal/rrr"
+	"repro/internal/sched"
+)
+
+// efficientEngine implements EFFICIENTIMM (§IV of the paper):
+//
+//   - RRRsets partitioning: selection work is split over the sets, not
+//     the vertices, so per-worker selection cost is Σ|R|/p and shrinks
+//     with the worker count (Algorithm 2).
+//   - Concurrent global counter: occurrence counts live in one shared
+//     array updated with 64-bit atomic adds; the argmax is the two-step
+//     regional/global parallel reduction.
+//   - Kernel fusion: each set increments the global counter immediately
+//     after generation while it is still hot (Algorithm 3 lines 14-16).
+//   - Adaptive representation: dense sets become bitmaps, sparse sets
+//     stay sorted lists.
+//   - Adaptive counter update: seed retirement either decrements covered
+//     sets or rebuilds from survivors, whichever touches less data.
+//   - Dynamic job balancing: generation jobs are spread over
+//     work-stealing deques.
+type efficientEngine struct {
+	g   *graph.Graph
+	opt Options
+	p   *setPool
+	bd  Breakdown
+
+	policy rrr.Policy
+	// base holds occurrence counts over the whole pool, maintained
+	// incrementally by kernel fusion (or rebuilt per selection when
+	// fusion is disabled).
+	base *counter.Counter
+	// baseMembers tracks how many members base has absorbed, to detect
+	// staleness when fusion is off.
+	baseFresh bool
+}
+
+func newEfficientEngine(g *graph.Graph, opt Options) *efficientEngine {
+	policy := rrr.ListOnlyPolicy()
+	if opt.AdaptiveRep {
+		policy = rrr.DefaultPolicy()
+		if opt.RepThreshold > 0 {
+			policy.DensityThreshold = opt.RepThreshold
+		}
+	}
+	return &efficientEngine{
+		g:      g,
+		opt:    opt,
+		p:      newSetPool(g.N),
+		policy: policy,
+		base:   counter.New(g.N),
+	}
+}
+
+func (e *efficientEngine) setCount() int64      { return int64(len(e.p.sets)) }
+func (e *efficientEngine) stats() rrr.Stats     { return e.p.stats() }
+func (e *efficientEngine) breakdown() Breakdown { return e.bd }
+
+func (e *efficientEngine) generate(target int64) {
+	from, to := e.p.grow(target)
+	if from == to {
+		return
+	}
+	start := time.Now()
+
+	fusionCounts := make([]int64, e.opt.Workers) // fused counter-update ops per worker
+	var onSet func(w int, set rrr.Set)
+	if e.opt.Fusion {
+		onSet = func(w int, set rrr.Set) {
+			set.ForEach(func(v int32) { e.base.Inc(v) })
+			fusionCounts[w] += int64(set.Size())
+		}
+		e.baseFresh = true
+	} else {
+		e.baseFresh = false
+	}
+
+	var edges, members []int64
+	var maxJob int64
+	dynamic := e.opt.DynamicBalance
+	if dynamic {
+		// Keep at least ~8 jobs per worker so stealing can balance; cap
+		// at the configured batch for locality on large pools.
+		batch := e.opt.BatchSize
+		if fair := int((to - from) / int64(8*e.opt.Workers)); fair < batch {
+			batch = fair
+		}
+		if batch < 1 {
+			batch = 1
+		}
+		edges, members, maxJob = generateDynamic(e.g, e.p, e.policy, e.opt.Seed, e.opt.Workers, batch, from, to, onSet)
+	} else {
+		edges, members = generateStatic(e.g, e.p, e.policy, e.opt.Seed, e.opt.Workers, from, to)
+		if e.opt.Fusion {
+			// Static schedule with fusion: fold counts in a second
+			// static pass (still set-partitioned, still atomic).
+			count := int(to - from)
+			sched.Static(e.opt.Workers, count, func(w, s0, e0 int) {
+				for i := s0; i < e0; i++ {
+					set := e.p.sets[from+int64(i)]
+					set.ForEach(func(v int32) { e.base.Inc(v) })
+					fusionCounts[w] += int64(set.Size())
+				}
+			})
+		}
+	}
+	e.bd.SamplingWall += time.Since(start)
+
+	// Modeled cost: edge traversals plus sorting of list sets (bitmap
+	// sets skip the sort — the adaptive-representation win) plus the
+	// fused atomic updates (charged double for the lock prefix).
+	totalSets := to - from
+	sortCost := func(memberCount, setCount int64) int64 {
+		if setCount < 1 {
+			setCount = 1
+		}
+		sortable := memberCount
+		if e.policy.Adaptive {
+			// Only sets below the threshold are sorted; approximate the
+			// sorted share by the threshold density.
+			cut := int64(float64(e.p.n) * e.policy.DensityThreshold * float64(setCount))
+			if sortable > cut {
+				sortable = cut
+			}
+		}
+		avg := float64(memberCount) / float64(setCount)
+		return int64(float64(sortable) * log2f(avg+2))
+	}
+	if dynamic {
+		// Dynamic balancing spreads batch jobs across the simulated
+		// workers; the critical path follows the greedy-scheduling bound
+		// total/p + costliest job, independent of how many physical
+		// cores executed the goroutines.
+		total := sumOf(edges) + sortCost(sumOf(members), totalSets) + 2*sumOf(fusionCounts)
+		e.bd.SamplingModeled += float64(total)/float64(e.opt.Workers) + float64(maxJob)
+	} else {
+		// Static schedule: the slowest worker's chunk gates the phase.
+		setsPer := maxI64(1, totalSets/int64(len(edges)))
+		perWorker := make([]int64, len(edges))
+		for w := range perWorker {
+			perWorker[w] = edges[w] + sortCost(members[w], setsPer) + 2*fusionCounts[w]
+		}
+		e.bd.SamplingModeled += float64(maxOf(perWorker))
+	}
+}
+
+// selectSeeds implements Algorithm 2 with the adaptive counter update.
+// It is non-destructive: it works on a copy of the base counter so the
+// pool can keep growing across θ-estimation rounds.
+func (e *efficientEngine) selectSeeds(k int) ([]int32, float64) {
+	start := time.Now()
+	defer func() { e.bd.SelectionWall += time.Since(start) }()
+
+	nsets := len(e.p.sets)
+	n := int(e.g.N)
+	p := e.opt.Workers
+	if nsets == 0 || k == 0 {
+		return nil, 0
+	}
+
+	work := counter.New(e.g.N)
+	ops := make([]int64, p)
+	if e.baseFresh {
+		// Copy the fused base counts; a streaming O(n/p) pass.
+		src := e.base.Raw()
+		dst := work.Raw()
+		sched.Static(p, n, func(w, lo, hi int) {
+			copy(dst[lo:hi], src[lo:hi])
+			ops[w] += int64(hi-lo) / 8
+		})
+	} else {
+		// No fusion: build the counter now by partitioning the sets
+		// across workers and broadcasting members into the global
+		// counter atomically (Figure 3's pattern).
+		sched.Static(p, nsets, func(w, s0, e0 int) {
+			var o int64
+			for si := s0; si < e0; si++ {
+				set := e.p.sets[si]
+				set.ForEach(func(v int32) { work.Inc(v) })
+				o += 2 * int64(set.Size())
+			}
+			ops[w] += o
+		})
+	}
+
+	covered := make([]bool, nsets)
+	coveredCount := 0
+	surviving := e.p.totalMembers
+	seeds := make([]int32, 0, k)
+	raw := work.Raw()
+
+	newly := make([][]int32, p)
+	newlyMembers := make([]int64, p)
+
+	for len(seeds) < k && len(seeds) < n {
+		best := work.ArgMax(p)
+		if best.Vertex < 0 || raw[best.Vertex] < 0 {
+			break
+		}
+		v := best.Vertex
+		seeds = append(seeds, v)
+		raw[v] = -1 // sentinel: never re-selected
+		for w := range ops {
+			ops[w] += int64(n/p + 1) // argmax regional scan
+		}
+
+		// Phase A: each worker probes containment only in its own set
+		// partition (set-partitioned, no redundancy) and collects the
+		// newly covered sets.
+		for w := range newly {
+			newly[w] = newly[w][:0]
+			newlyMembers[w] = 0
+		}
+		sched.Static(p, nsets, func(w, s0, e0 int) {
+			var o int64
+			for si := s0; si < e0; si++ {
+				if covered[si] {
+					continue
+				}
+				set := e.p.sets[si]
+				o++ // membership probe: O(1) bitmap or O(log) list
+				if _, isList := set.(*rrr.ListSet); isList {
+					o += int64(log2i(set.Size()))
+				}
+				if set.Contains(v) {
+					newly[w] = append(newly[w], int32(si))
+					newlyMembers[w] += int64(set.Size())
+				}
+			}
+			ops[w] += o
+		})
+		var coveredMembers int64
+		newCovered := 0
+		for w := range newly {
+			coveredMembers += newlyMembers[w]
+			newCovered += len(newly[w])
+		}
+
+		// Phase B: fix the counter. Adaptive update compares the work of
+		// decrementing the covered sets against rebuilding from the
+		// survivors (§IV.C).
+		strategy := e.opt.Update
+		if strategy == counter.AdaptiveUpdate {
+			if counter.ChooseRebuild(coveredMembers, surviving-coveredMembers, int64(n)) {
+				strategy = counter.Rebuild
+			} else {
+				strategy = counter.Decrement
+			}
+		}
+		switch strategy {
+		case counter.Decrement:
+			sched.Static(p, p, func(w, s0, e0 int) {
+				var o int64
+				for slot := s0; slot < e0; slot++ {
+					for _, si := range newly[slot] {
+						covered[si] = true
+						e.p.sets[si].ForEach(func(u int32) {
+							// Atomic read: retired sentinels (-1) are
+							// stable during the phase, live counts may
+							// be decremented concurrently but never
+							// below zero (each occurrence decrements
+							// once).
+							if work.Get(u) >= 0 {
+								work.Dec(u)
+							}
+						})
+						o += 2 * int64(e.p.sets[si].Size())
+					}
+				}
+				ops[w] += o
+			})
+		case counter.Rebuild:
+			for w := range newly {
+				for _, si := range newly[w] {
+					covered[si] = true
+				}
+			}
+			work.Reset()
+			sched.Static(p, nsets, func(w, s0, e0 int) {
+				var o int64
+				for si := s0; si < e0; si++ {
+					if covered[si] {
+						continue
+					}
+					e.p.sets[si].ForEach(func(u int32) { work.Inc(u) })
+					o += 2 * int64(e.p.sets[si].Size())
+				}
+				ops[w] += o + int64(n/p)/8
+			})
+			// Restore retirement sentinels lost in the reset.
+			for _, s := range seeds {
+				raw[s] = -1
+			}
+		}
+		surviving -= coveredMembers
+		coveredCount += newCovered
+		if coveredCount == nsets {
+			for len(seeds) < k && len(seeds) < n {
+				next := work.ArgMax(p)
+				if next.Vertex < 0 || raw[next.Vertex] < 0 {
+					break
+				}
+				seeds = append(seeds, next.Vertex)
+				raw[next.Vertex] = -1
+			}
+			break
+		}
+	}
+	e.bd.SelectionModeled += float64(maxOf(ops))
+	return seeds, float64(coveredCount) / float64(nsets)
+}

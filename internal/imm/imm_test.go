@@ -1,0 +1,393 @@
+package imm
+
+import (
+	"testing"
+
+	"repro/internal/counter"
+	"repro/internal/diffusion"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// testGraph builds a small RMAT social-like graph.
+func testGraph(t testing.TB, scale int, model graph.Model) *graph.Graph {
+	t.Helper()
+	g, err := gen.RMAT(gen.DefaultRMAT(scale, 6), model, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func testOpts(engine EngineKind, workers int) Options {
+	o := Defaults()
+	o.Engine = engine
+	o.Workers = workers
+	o.K = 10
+	o.Seed = 7
+	o.MaxTheta = 20000
+	return o
+}
+
+func TestRunBasicBothEngines(t *testing.T) {
+	g := testGraph(t, 9, graph.IC)
+	for _, kind := range []EngineKind{Ripples, Efficient} {
+		res, err := Run(g, testOpts(kind, 2))
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if len(res.Seeds) != 10 {
+			t.Fatalf("%v: %d seeds, want 10", kind, len(res.Seeds))
+		}
+		seen := map[int32]bool{}
+		for _, s := range res.Seeds {
+			if s < 0 || s >= g.N {
+				t.Fatalf("%v: seed %d out of range", kind, s)
+			}
+			if seen[s] {
+				t.Fatalf("%v: duplicate seed %d", kind, s)
+			}
+			seen[s] = true
+		}
+		if res.Theta <= 0 {
+			t.Fatalf("%v: theta = %d", kind, res.Theta)
+		}
+		if res.Coverage <= 0 || res.Coverage > 1 {
+			t.Fatalf("%v: coverage = %v", kind, res.Coverage)
+		}
+	}
+}
+
+// TestEnginesAgreeSeedForSeed exploits per-set RNG streams: both engines
+// sample identical RRR sets, so the greedy selections (with identical
+// deterministic tie-breaks) must return identical seed sequences.
+func TestEnginesAgreeSeedForSeed(t *testing.T) {
+	for _, model := range []graph.Model{graph.IC, graph.LT} {
+		g := testGraph(t, 9, model)
+		optR := testOpts(Ripples, 2)
+		optE := testOpts(Efficient, 3)
+		// Force identical representations: adaptive bitmaps change no
+		// content, only storage, so seeds must match even with adaptive
+		// rep enabled.
+		r1, err := Run(g, optR)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := Run(g, optE)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.Theta != r2.Theta {
+			t.Fatalf("%v: theta diverged: %d vs %d", model, r1.Theta, r2.Theta)
+		}
+		if len(r1.Seeds) != len(r2.Seeds) {
+			t.Fatalf("%v: seed counts diverged", model)
+		}
+		for i := range r1.Seeds {
+			if r1.Seeds[i] != r2.Seeds[i] {
+				t.Fatalf("%v: seed %d diverged: ripples=%d efficient=%d\nripples: %v\nefficient: %v",
+					model, i, r1.Seeds[i], r2.Seeds[i], r1.Seeds, r2.Seeds)
+			}
+		}
+	}
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	g := testGraph(t, 8, graph.IC)
+	var ref []int32
+	for _, w := range []int{1, 2, 4, 8} {
+		res, err := Run(g, testOpts(Efficient, w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = res.Seeds
+			continue
+		}
+		for i := range ref {
+			if res.Seeds[i] != ref[i] {
+				t.Fatalf("workers=%d changed seed %d: %v vs %v", w, i, res.Seeds, ref)
+			}
+		}
+	}
+}
+
+// TestSeedQualityVsGreedy verifies the (1-1/e-ε) guarantee empirically:
+// the IMM seed spread must be close to the exhaustive greedy spread on a
+// small graph.
+func TestSeedQualityVsGreedy(t *testing.T) {
+	g, err := gen.BarabasiAlbert(120, 2, graph.IC, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Defaults()
+	opt.K = 5
+	opt.Workers = 2
+	opt.Seed = 11
+	res, err := Run(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	immSpread := diffusion.EstimateSpread(g, res.Seeds, 3000, 2, 5)
+	greedy := diffusion.GreedySpread(g, 5, 300, 2, 5)
+	greedySpread := diffusion.EstimateSpread(g, greedy, 3000, 2, 5)
+	// IMM guarantees (1-1/e-ε)·OPT ≈ 0.13·OPT at ε=0.5; in practice it
+	// lands within a few percent of greedy. Require 80% to keep the test
+	// robust to Monte-Carlo noise.
+	if immSpread < 0.8*greedySpread {
+		t.Fatalf("IMM spread %.1f below 80%% of greedy %.1f", immSpread, greedySpread)
+	}
+}
+
+func TestSeedsBeatRandomAndMatchDegreeHeuristic(t *testing.T) {
+	g := testGraph(t, 9, graph.IC)
+	opt := testOpts(Efficient, 2)
+	res, err := Run(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	immSpread := diffusion.EstimateSpread(g, res.Seeds, 2000, 2, 5)
+	random := []int32{1, 3, 5, 7, 9, 11, 13, 15, 17, 19}
+	randSpread := diffusion.EstimateSpread(g, random, 2000, 2, 5)
+	if immSpread <= randSpread {
+		t.Fatalf("IMM spread %.1f not better than arbitrary vertices %.1f", immSpread, randSpread)
+	}
+}
+
+func TestLTThetaLargerSetsSmaller(t *testing.T) {
+	// §III.A: under LT, θ is larger and sets are smaller than IC.
+	gIC := testGraph(t, 9, graph.IC)
+	gLT := testGraph(t, 9, graph.LT)
+	optIC := testOpts(Efficient, 2)
+	optIC.MaxTheta = 0
+	optLT := optIC
+	rIC, err := Run(gIC, optIC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rLT, err := Run(gLT, optLT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rLT.Theta <= rIC.Theta {
+		t.Fatalf("LT theta %d not above IC theta %d", rLT.Theta, rIC.Theta)
+	}
+	avgIC := float64(rIC.SetStats.TotalSize) / float64(rIC.SetStats.Count)
+	avgLT := float64(rLT.SetStats.TotalSize) / float64(rLT.SetStats.Count)
+	if avgLT >= avgIC {
+		t.Fatalf("LT avg set size %.1f not below IC %.1f", avgLT, avgIC)
+	}
+}
+
+func TestAblationFlagsPreserveSeeds(t *testing.T) {
+	// Every optimization is semantics-preserving: toggling them must not
+	// change the selected seeds.
+	g := testGraph(t, 8, graph.IC)
+	base := testOpts(Efficient, 3)
+	ref, err := Run(g, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := []func(*Options){
+		func(o *Options) { o.Fusion = false },
+		func(o *Options) { o.AdaptiveRep = false },
+		func(o *Options) { o.DynamicBalance = false },
+		func(o *Options) { o.Update = counter.Decrement },
+		func(o *Options) { o.Update = counter.Rebuild },
+		func(o *Options) { o.BatchSize = 1 },
+	}
+	for i, mutate := range variants {
+		opt := base
+		mutate(&opt)
+		res, err := Run(g, opt)
+		if err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		if len(res.Seeds) != len(ref.Seeds) {
+			t.Fatalf("variant %d changed seed count", i)
+		}
+		for j := range ref.Seeds {
+			if res.Seeds[j] != ref.Seeds[j] {
+				t.Fatalf("variant %d changed seed %d: %v vs %v", i, j, res.Seeds, ref.Seeds)
+			}
+		}
+	}
+}
+
+func TestBreakdownAccounting(t *testing.T) {
+	g := testGraph(t, 8, graph.IC)
+	res, err := Run(g, testOpts(Efficient, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd := res.Breakdown
+	if bd.SamplingWall <= 0 || bd.SelectionWall <= 0 {
+		t.Fatalf("phase walls not recorded: %+v", bd)
+	}
+	if bd.TotalWall < bd.SamplingWall+bd.SelectionWall {
+		t.Fatalf("total wall below phase sum: %+v", bd)
+	}
+	if bd.SamplingModeled <= 0 || bd.SelectionModeled <= 0 {
+		t.Fatalf("modeled costs missing: %+v", bd)
+	}
+	if bd.TotalModeled() != bd.SamplingModeled+bd.SelectionModeled {
+		t.Fatal("TotalModeled mismatch")
+	}
+	_ = bd.OtherWall() // must not panic or go negative
+}
+
+// TestEfficientSelectionModeledScales is the heart of Figures 1/6/7: as
+// workers grow, the efficient engine's modeled selection cost must keep
+// dropping, while the Ripples baseline saturates because every worker
+// still scans all θ sets. The paper observes LT saturating first (≈4
+// threads, vs ≈32 for IC) because tiny LT sets make the redundant
+// all-sets scan dominate immediately — so LT at 16 workers is where the
+// contrast is sharpest.
+func TestEfficientSelectionModeledScales(t *testing.T) {
+	g := testGraph(t, 10, graph.LT)
+	sel := func(kind EngineKind, w int) float64 {
+		opt := testOpts(kind, w)
+		res, err := Run(g, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Breakdown.SelectionModeled
+	}
+	eff1, eff16 := sel(Efficient, 1), sel(Efficient, 16)
+	rip1, rip16 := sel(Ripples, 1), sel(Ripples, 16)
+	effSpeedup := eff1 / eff16
+	ripSpeedup := rip1 / rip16
+	if effSpeedup < 4 {
+		t.Fatalf("efficient selection speedup at 16 workers = %.2f, want >= 4", effSpeedup)
+	}
+	if ripSpeedup > effSpeedup/2 {
+		t.Fatalf("ripples selection speedup %.2f not clearly below efficient %.2f", ripSpeedup, effSpeedup)
+	}
+}
+
+func TestAdaptiveRepUsesBitmapsOnDenseGraphs(t *testing.T) {
+	g := testGraph(t, 9, graph.IC) // IC on RMAT: giant SCC, dense sets
+	res, err := Run(g, testOpts(Efficient, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SetStats.Bitmaps == 0 {
+		t.Fatal("adaptive representation never chose a bitmap on a dense-IC workload")
+	}
+	// And it must save memory vs list-only.
+	optList := testOpts(Efficient, 2)
+	optList.AdaptiveRep = false
+	resList, err := Run(g, optList)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SetStats.TotalBytes >= resList.SetStats.TotalBytes {
+		t.Fatalf("adaptive bytes %d not below list-only %d", res.SetStats.TotalBytes, resList.SetStats.TotalBytes)
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	g := testGraph(t, 6, graph.IC)
+	bad := []Options{
+		{K: 0, Epsilon: 0.5, Workers: 1},
+		{K: 5, Epsilon: 0, Workers: 1},
+		{K: 5, Epsilon: 1.5, Workers: 1},
+	}
+	for i, o := range bad {
+		if _, err := Run(g, o); err == nil {
+			t.Errorf("bad options %d accepted", i)
+		}
+	}
+	if _, err := Run(nil, Defaults()); err == nil {
+		t.Error("nil graph accepted")
+	}
+}
+
+func TestKLargerThanN(t *testing.T) {
+	g, err := graph.FromEdges(4, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}}, graph.IC, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Defaults()
+	opt.K = 100
+	opt.Workers = 2
+	res, err := Run(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seeds) > 4 {
+		t.Fatalf("returned %d seeds for a 4-vertex graph", len(res.Seeds))
+	}
+}
+
+func TestMaxThetaCap(t *testing.T) {
+	g := testGraph(t, 8, graph.LT)
+	opt := testOpts(Efficient, 2)
+	opt.MaxTheta = 500
+	res, err := Run(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Theta > 500 {
+		t.Fatalf("theta %d exceeds cap 500", res.Theta)
+	}
+}
+
+func TestParseEngine(t *testing.T) {
+	if k, err := ParseEngine("ripples"); err != nil || k != Ripples {
+		t.Fatal("ParseEngine(ripples)")
+	}
+	if k, err := ParseEngine("efficientimm"); err != nil || k != Efficient {
+		t.Fatal("ParseEngine(efficientimm)")
+	}
+	if _, err := ParseEngine("x"); err == nil {
+		t.Fatal("bad engine accepted")
+	}
+	if Ripples.String() != "ripples" || Efficient.String() != "efficientimm" {
+		t.Fatal("String() wrong")
+	}
+}
+
+func TestOPIMEarlyTermination(t *testing.T) {
+	g := testGraph(t, 9, graph.IC)
+	full, err := Run(g, testOpts(Efficient, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	early := testOpts(Efficient, 2)
+	early.TargetCoverage = 0.3 // IC coverage with k=10 clears this in round 1
+	res, err := Run(g, early)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coverage < 0.3 {
+		t.Fatalf("early exit below target: %v", res.Coverage)
+	}
+	if res.Theta >= full.Theta {
+		t.Fatalf("early termination did not reduce theta: %d vs %d", res.Theta, full.Theta)
+	}
+	if len(res.Seeds) != len(full.Seeds) {
+		t.Fatalf("early exit changed seed count")
+	}
+	// Quality stays in the same league: coverage (an unbiased spread
+	// proxy) within 25% of the full run's.
+	if res.Coverage < 0.75*full.Coverage {
+		t.Fatalf("early coverage %.3f too far below full %.3f", res.Coverage, full.Coverage)
+	}
+}
+
+func TestSingleVertexGraph(t *testing.T) {
+	g, err := graph.FromEdges(2, []graph.Edge{{Src: 0, Dst: 1}}, graph.IC, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Defaults()
+	opt.K = 1
+	res, err := Run(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seeds) != 1 {
+		t.Fatalf("seeds = %v", res.Seeds)
+	}
+}

@@ -1,0 +1,178 @@
+package imm
+
+import (
+	"sort"
+
+	"repro/internal/diffusion"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/rrr"
+	"repro/internal/sched"
+)
+
+// setPool holds the RRR sets generated so far. Generation appends;
+// selection never mutates it, so the pool can keep growing across the
+// θ-estimation iterations exactly as Algorithm 1 requires.
+type setPool struct {
+	n            int32
+	sets         []rrr.Set
+	totalMembers int64
+}
+
+func newSetPool(n int32) *setPool { return &setPool{n: n} }
+
+// grow extends the pool with empty slots up to target and returns the
+// previous length.
+func (p *setPool) grow(target int64) (from, to int64) {
+	from = int64(len(p.sets))
+	if target <= from {
+		return from, from
+	}
+	p.sets = append(p.sets, make([]rrr.Set, target-from)...)
+	return from, target
+}
+
+func (p *setPool) stats() rrr.Stats { return rrr.Summarize(p.n, p.sets) }
+
+// buildSet finalizes one sampled vertex list into a Set under the policy.
+// The buffer is copied, sorted if a list representation is chosen (the
+// paper's baseline sorts every set; EFFICIENTIMM sorts only the small
+// ones — bitmap construction needs no order).
+func buildSet(n int32, policy rrr.Policy, buf []int32) rrr.Set {
+	if policy.Adaptive && float64(len(buf)) >= policy.DensityThreshold*float64(n) {
+		return rrr.NewBitmapSet(n, buf)
+	}
+	verts := make([]int32, len(buf))
+	copy(verts, buf)
+	sort.Slice(verts, func(i, j int) bool { return verts[i] < verts[j] })
+	return policy.Build(n, verts)
+}
+
+// generateJob fills pool slots [start, end). RNG streams are derived from
+// the slot index, so pool contents are identical for any worker count,
+// schedule, and engine — which is what lets the tests compare engines
+// seed-for-seed.
+func generateJob(g *graph.Graph, pool *setPool, policy rrr.Policy, seed uint64, s *diffusion.Sampler, start, end int64) (members int64) {
+	var buf []int32
+	for i := start; i < end; i++ {
+		r := rng.NewStream(seed, int(i))
+		buf = s.SampleUniformRoot(r, buf[:0])
+		pool.sets[i] = buildSet(pool.n, policy, buf)
+		members += int64(len(buf))
+	}
+	return members
+}
+
+// generateStatic is the baseline generation schedule: the new range is
+// split into p contiguous chunks, one per worker (OpenMP static). Set
+// sizes vary wildly, so the slowest chunk gates the phase — the
+// imbalance the paper's dynamic balancing removes.
+// Returns per-worker edge-visit counts (the sampling work metric) and
+// the per-worker produced member counts.
+func generateStatic(g *graph.Graph, pool *setPool, policy rrr.Policy, seed uint64, workers int, from, to int64) (edges, members []int64) {
+	count := int(to - from)
+	edges = make([]int64, workers)
+	members = make([]int64, workers)
+	if count <= 0 {
+		return edges, members
+	}
+	sched.Static(workers, count, func(w, s0, e0 int) {
+		smp := diffusion.NewSampler(g)
+		m := generateJob(g, pool, policy, seed, smp, from+int64(s0), from+int64(e0))
+		edges[w] += smp.EdgesVisited
+		members[w] += m
+	})
+	pool.addMembers(members)
+	return edges, members
+}
+
+// generateDynamic is EFFICIENTIMM's producer/consumer schedule: the new
+// range is cut into batch-sized jobs spread over per-worker deques with
+// stealing. onSet, when non-nil, runs in the producing worker right
+// after each set is built — the kernel-fusion hook that folds the
+// global-counter update into generation.
+//
+// The returned edges/members are per executing worker (wall-clock
+// accounting on the physical machine). maxJob is the costliest single
+// job (edge visits plus build work), which together with the total cost
+// gives the greedy-scheduling critical-path bound total/p + maxJob that
+// the modeled runtime uses — per-executor sums would reflect the number
+// of physical cores the goroutines happened to run on, not the worker
+// count being simulated.
+func generateDynamic(g *graph.Graph, pool *setPool, policy rrr.Policy, seed uint64, workers, batch int, from, to int64, onSet func(worker int, set rrr.Set)) (edges, members []int64, maxJob int64) {
+	count := to - from
+	edges = make([]int64, workers)
+	members = make([]int64, workers)
+	if count <= 0 {
+		return edges, members, 0
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	jobs := (count + int64(batch) - 1) / int64(batch)
+	// samplers[w] and jobMax[w] are only ever touched by worker w, so
+	// lazy initialization needs no lock.
+	samplers := make([]*diffusion.Sampler, workers)
+	jobMax := make([]int64, workers)
+	sched.WorkStealing(workers, jobs, func(w int, job int64) {
+		if samplers[w] == nil {
+			samplers[w] = diffusion.NewSampler(g)
+		}
+		smp := samplers[w]
+		s0 := from + job*int64(batch)
+		e0 := s0 + int64(batch)
+		if e0 > to {
+			e0 = to
+		}
+		edgesBefore := smp.EdgesVisited
+		var jobMembers int64
+		var buf []int32
+		for i := s0; i < e0; i++ {
+			r := rng.NewStream(seed, int(i))
+			buf = smp.SampleUniformRoot(r, buf[:0])
+			set := buildSet(pool.n, policy, buf)
+			pool.sets[i] = set
+			members[w] += int64(len(buf))
+			jobMembers += int64(len(buf))
+			if onSet != nil {
+				onSet(w, set)
+			}
+		}
+		if cost := (smp.EdgesVisited - edgesBefore) + 3*jobMembers; cost > jobMax[w] {
+			jobMax[w] = cost
+		}
+	})
+	for w, smp := range samplers {
+		if smp != nil {
+			edges[w] = smp.EdgesVisited
+		}
+	}
+	pool.addMembers(members)
+	return edges, members, maxOf(jobMax)
+}
+
+func (p *setPool) addMembers(perWorker []int64) {
+	for _, m := range perWorker {
+		p.totalMembers += m
+	}
+}
+
+// maxOf returns the maximum element, the critical-path reduction used by
+// the modeled runtime.
+func maxOf(xs []int64) int64 {
+	var m int64
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func sumOf(xs []int64) int64 {
+	var s int64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

@@ -1,0 +1,115 @@
+package imm
+
+// Tests of the martingale θ-estimation behaviour (Tang et al.'s bounds
+// as implemented in Run), checked through observable Run outputs.
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func thetaFor(t *testing.T, g *graph.Graph, mutate func(*Options)) int64 {
+	t.Helper()
+	opt := Defaults()
+	opt.K = 10
+	opt.Workers = 2
+	opt.Seed = 3
+	mutate(&opt)
+	res, err := Run(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Theta
+}
+
+func TestThetaShrinksWithEpsilon(t *testing.T) {
+	// λ* ∝ 1/ε², so a looser ε must need fewer samples.
+	g := testGraph(t, 9, graph.IC)
+	tight := thetaFor(t, g, func(o *Options) { o.Epsilon = 0.3 })
+	loose := thetaFor(t, g, func(o *Options) { o.Epsilon = 0.7 })
+	if loose >= tight {
+		t.Fatalf("theta(ε=0.7)=%d not below theta(ε=0.3)=%d", loose, tight)
+	}
+}
+
+func TestThetaGrowsWithK(t *testing.T) {
+	// log C(n,k) grows with k (k << n), so θ must too — unless the
+	// larger seed set raises the OPT lower bound enough to cancel it;
+	// on a skewed graph with small k the logCNK term dominates.
+	g := testGraph(t, 9, graph.IC)
+	small := thetaFor(t, g, func(o *Options) { o.K = 2 })
+	large := thetaFor(t, g, func(o *Options) { o.K = 40 })
+	if large <= small/2 {
+		t.Fatalf("theta(k=40)=%d collapsed versus theta(k=2)=%d", large, small)
+	}
+}
+
+func TestThetaDeterministicAcrossEngines(t *testing.T) {
+	g := testGraph(t, 9, graph.IC)
+	rip := thetaFor(t, g, func(o *Options) { o.Engine = Ripples })
+	eff := thetaFor(t, g, func(o *Options) { o.Engine = Efficient })
+	if rip != eff {
+		t.Fatalf("engines disagree on theta: %d vs %d", rip, eff)
+	}
+}
+
+func TestLBWithinValidRange(t *testing.T) {
+	g := testGraph(t, 9, graph.IC)
+	opt := Defaults()
+	opt.K = 10
+	opt.Workers = 2
+	res, err := Run(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The OPT lower bound can never exceed n, nor be below 1.
+	if res.LB < 1 || res.LB > float64(g.N) {
+		t.Fatalf("LB = %v outside [1, %d]", res.LB, g.N)
+	}
+	if res.Rounds < 1 {
+		t.Fatalf("estimation executed %d rounds", res.Rounds)
+	}
+}
+
+func TestCoverageMonotoneInK(t *testing.T) {
+	// More seeds can only cover more RRR sets.
+	g := testGraph(t, 9, graph.IC)
+	cov := func(k int) float64 {
+		opt := Defaults()
+		opt.K = k
+		opt.Workers = 2
+		opt.Seed = 5
+		opt.MaxTheta = 3000
+		res, err := Run(g, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Coverage
+	}
+	c1, c5, c20 := cov(1), cov(5), cov(20)
+	if !(c1 <= c5 && c5 <= c20) {
+		t.Fatalf("coverage not monotone in k: %v %v %v", c1, c5, c20)
+	}
+}
+
+func TestDenserGraphLowersTheta(t *testing.T) {
+	// Denser IC graphs have higher OPT, hence a larger LB and smaller θ.
+	sparse := testGraph(t, 9, graph.IC) // edge factor 6 via testGraph
+	g2, err := genDense(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tSparse := thetaFor(t, sparse, func(o *Options) {})
+	tDense := thetaFor(t, g2, func(o *Options) {})
+	// Not a strict theorem at fixed n (different graphs), but with the
+	// same generator family and doubled density the effect is robust.
+	if tDense > tSparse*2 {
+		t.Fatalf("dense graph theta %d unexpectedly above sparse %d", tDense, tSparse)
+	}
+}
+
+func genDense(scale int) (*graph.Graph, error) {
+	return gen.RMAT(gen.DefaultRMAT(scale, 12), graph.IC, 42)
+}

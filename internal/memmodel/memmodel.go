@@ -1,0 +1,103 @@
+// Package memmodel provides a logical address space for instrumentation.
+//
+// The NUMA cost model and the cache simulator both need addresses for the
+// arrays the algorithms touch, but taking real pointers with unsafe would
+// tie the instrumentation to the Go allocator and garbage collector. A
+// logical address space is deterministic across runs and platforms: each
+// tracked array is registered as a Region with a base address and element
+// size, and Region.Addr(i) maps index i to a stable 64-bit byte address.
+// Regions are aligned and padded so distinct arrays never share a cache
+// line or a page, mirroring a careful aligned-allocation discipline.
+package memmodel
+
+import "fmt"
+
+// Common granularities used by consumers of the address space.
+const (
+	CacheLineBytes = 64
+	PageBytes      = 4096
+)
+
+// Region is a contiguous span of the logical address space representing
+// one array.
+type Region struct {
+	Name     string
+	Base     uint64
+	ElemSize uint64
+	Length   uint64 // number of elements
+}
+
+// Addr returns the byte address of element i.
+func (r Region) Addr(i int64) uint64 {
+	return r.Base + uint64(i)*r.ElemSize
+}
+
+// Bytes returns the total footprint of the region in bytes.
+func (r Region) Bytes() uint64 { return r.ElemSize * r.Length }
+
+// End returns the first byte address past the region.
+func (r Region) End() uint64 { return r.Base + r.Bytes() }
+
+// Contains reports whether addr falls inside the region.
+func (r Region) Contains(addr uint64) bool {
+	return addr >= r.Base && addr < r.End()
+}
+
+// Space allocates Regions sequentially. The zero value starts allocating
+// at a non-zero base so that address 0 never appears (it is reserved as
+// "untracked").
+type Space struct {
+	next    uint64
+	regions []Region
+}
+
+// NewSpace returns an empty address space.
+func NewSpace() *Space { return &Space{next: PageBytes} }
+
+// Alloc reserves a page-aligned region of length elements of elemSize
+// bytes each.
+func (s *Space) Alloc(name string, length int64, elemSize int) Region {
+	if length < 0 || elemSize <= 0 {
+		panic(fmt.Sprintf("memmodel: invalid Alloc(%q, %d, %d)", name, length, elemSize))
+	}
+	if s.next == 0 {
+		s.next = PageBytes
+	}
+	r := Region{Name: name, Base: s.next, ElemSize: uint64(elemSize), Length: uint64(length)}
+	s.regions = append(s.regions, r)
+	s.next = alignUp(r.End()+PageBytes, PageBytes) // guard page between regions
+	return r
+}
+
+// Regions returns all allocated regions in allocation order.
+func (s *Space) Regions() []Region { return s.regions }
+
+// Find returns the region containing addr, if any.
+func (s *Space) Find(addr uint64) (Region, bool) {
+	for _, r := range s.regions {
+		if r.Contains(addr) {
+			return r, true
+		}
+	}
+	return Region{}, false
+}
+
+// TotalBytes returns the sum of all region footprints (excluding guard
+// padding).
+func (s *Space) TotalBytes() uint64 {
+	var total uint64
+	for _, r := range s.regions {
+		total += r.Bytes()
+	}
+	return total
+}
+
+func alignUp(v, align uint64) uint64 {
+	return (v + align - 1) &^ (align - 1)
+}
+
+// LineOf returns the cache-line index of addr.
+func LineOf(addr uint64) uint64 { return addr / CacheLineBytes }
+
+// PageOf returns the page index of addr.
+func PageOf(addr uint64) uint64 { return addr / PageBytes }

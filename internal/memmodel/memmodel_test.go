@@ -1,0 +1,114 @@
+package memmodel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocDisjointAndAligned(t *testing.T) {
+	s := NewSpace()
+	a := s.Alloc("a", 1000, 8)
+	b := s.Alloc("b", 17, 1)
+	c := s.Alloc("c", 1, 64)
+	regions := []Region{a, b, c}
+	for i, r := range regions {
+		if r.Base%PageBytes != 0 {
+			t.Fatalf("region %d base %#x not page aligned", i, r.Base)
+		}
+		if r.Base == 0 {
+			t.Fatalf("region %d allocated at address 0", i)
+		}
+		for j, o := range regions {
+			if i == j {
+				continue
+			}
+			if r.Base < o.End() && o.Base < r.End() {
+				t.Fatalf("regions %d and %d overlap", i, j)
+			}
+		}
+	}
+}
+
+func TestGuardPageBetweenRegions(t *testing.T) {
+	s := NewSpace()
+	a := s.Alloc("a", 1, 1)
+	b := s.Alloc("b", 1, 1)
+	if PageOf(b.Base)-PageOf(a.End()) < 1 {
+		t.Fatalf("no guard page between consecutive regions: a end %#x b base %#x", a.End(), b.Base)
+	}
+}
+
+func TestAddrArithmetic(t *testing.T) {
+	s := NewSpace()
+	r := s.Alloc("counters", 100, 8)
+	if r.Addr(0) != r.Base {
+		t.Fatal("Addr(0) != Base")
+	}
+	if r.Addr(5)-r.Addr(4) != 8 {
+		t.Fatal("element stride wrong")
+	}
+	if r.Bytes() != 800 {
+		t.Fatalf("Bytes = %d", r.Bytes())
+	}
+}
+
+func TestContainsAndFind(t *testing.T) {
+	s := NewSpace()
+	a := s.Alloc("a", 10, 4)
+	b := s.Alloc("b", 10, 4)
+	if !a.Contains(a.Addr(9)) || a.Contains(a.End()) {
+		t.Fatal("Contains boundary wrong")
+	}
+	if got, ok := s.Find(b.Addr(3)); !ok || got.Name != "b" {
+		t.Fatalf("Find returned %v %v", got, ok)
+	}
+	if _, ok := s.Find(0); ok {
+		t.Fatal("Find(0) should miss — address 0 is reserved")
+	}
+}
+
+func TestZeroValueSpaceUsable(t *testing.T) {
+	var s Space
+	r := s.Alloc("x", 4, 8)
+	if r.Base == 0 {
+		t.Fatal("zero-value Space allocated at 0")
+	}
+}
+
+func TestTotalBytes(t *testing.T) {
+	s := NewSpace()
+	s.Alloc("a", 10, 8)
+	s.Alloc("b", 3, 4)
+	if got := s.TotalBytes(); got != 92 {
+		t.Fatalf("TotalBytes = %d, want 92", got)
+	}
+}
+
+func TestLinePageHelpers(t *testing.T) {
+	if LineOf(0) != 0 || LineOf(63) != 0 || LineOf(64) != 1 {
+		t.Fatal("LineOf wrong")
+	}
+	if PageOf(4095) != 0 || PageOf(4096) != 1 {
+		t.Fatal("PageOf wrong")
+	}
+}
+
+func TestAllocPanicsOnBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Alloc with elemSize 0 did not panic")
+		}
+	}()
+	NewSpace().Alloc("bad", 1, 0)
+}
+
+func TestAddrWithinRegionProperty(t *testing.T) {
+	s := NewSpace()
+	r := s.Alloc("p", 1<<16, 8)
+	f := func(i uint16) bool {
+		return r.Contains(r.Addr(int64(i)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

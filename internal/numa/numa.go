@@ -1,0 +1,299 @@
+// Package numa simulates a multi-socket NUMA memory system.
+//
+// The paper's EfficientIMM relies on numactl/mbind to interleave the
+// graph across 8 NUMA nodes and to keep per-worker structures (visited
+// bitmaps, RRR set buffers) on the worker's local node. Go offers no
+// portable page placement, and this environment has two cores, so the
+// NUMA behaviour is reproduced as a cost model instead: pages of a
+// logical address space (internal/memmodel) are owned by nodes according
+// to a placement policy, and each instrumented access is charged a
+// local or remote latency plus a contention premium on the owning node's
+// memory controller. The totals drive the Table II reproduction and the
+// modeled-runtime scaling curves.
+//
+// The default latencies follow published EPYC (Zen3) figures: ~90ns local
+// DRAM, ~2.1x for a remote same-socket NUMA domain, ~3x across sockets.
+// Only the ratios matter for the reproduction.
+package numa
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/memmodel"
+)
+
+// Topology describes the simulated machine.
+type Topology struct {
+	Nodes        int // NUMA nodes
+	CoresPerNode int
+	Sockets      int // nodes are split evenly across sockets
+
+	// Access latencies in abstract time units (calibrated as ~ns).
+	LocalLatency      float64 // same node
+	IntraSocketRemote float64 // different node, same socket
+	InterSocketRemote float64 // different socket
+
+	// ContentionWeight scales the queueing premium added per access when
+	// many workers hammer the same node's memory controller.
+	ContentionWeight float64
+}
+
+// PerlmutterLike returns the topology of the paper's evaluation machine:
+// dual-socket 64-core EPYC with 4 NUMA domains per socket (8 total,
+// 16 cores each).
+func PerlmutterLike() Topology {
+	return Topology{
+		Nodes: 8, CoresPerNode: 16, Sockets: 2,
+		LocalLatency: 90, IntraSocketRemote: 190, InterSocketRemote: 280,
+		ContentionWeight: 0.35,
+	}
+}
+
+// Validate reports whether the topology is internally consistent.
+func (t Topology) Validate() error {
+	if t.Nodes < 1 || t.CoresPerNode < 1 || t.Sockets < 1 {
+		return fmt.Errorf("numa: nodes/cores/sockets must be positive")
+	}
+	if t.Nodes%t.Sockets != 0 {
+		return fmt.Errorf("numa: %d nodes not divisible by %d sockets", t.Nodes, t.Sockets)
+	}
+	if t.LocalLatency <= 0 || t.IntraSocketRemote < t.LocalLatency || t.InterSocketRemote < t.IntraSocketRemote {
+		return fmt.Errorf("numa: latencies must satisfy local <= intra-socket <= inter-socket")
+	}
+	return nil
+}
+
+// TotalCores returns the number of cores in the machine.
+func (t Topology) TotalCores() int { return t.Nodes * t.CoresPerNode }
+
+// NodeOfCore maps a core id to its NUMA node (cores are numbered
+// node-major, as numactl does on the paper's machine).
+func (t Topology) NodeOfCore(core int) int {
+	return (core / t.CoresPerNode) % t.Nodes
+}
+
+// SocketOfNode maps a node to its socket.
+func (t Topology) SocketOfNode(node int) int {
+	return node / (t.Nodes / t.Sockets)
+}
+
+// Policy chooses the owning node of each page of a region.
+type Policy int
+
+const (
+	// NodeZero places every page on node 0 — the first-touch outcome of
+	// the unoptimized baseline, where the loading thread faults all
+	// pages in before the parallel region starts.
+	NodeZero Policy = iota
+	// Interleave round-robins pages across all nodes (numactl
+	// --interleave=all), the paper's placement for the shared graph.
+	Interleave
+	// Local places the whole region on a specific node — the mbind
+	// treatment of per-worker bitmaps and RRR buffers.
+	Local
+)
+
+func (p Policy) String() string {
+	switch p {
+	case NodeZero:
+		return "node0"
+	case Interleave:
+		return "interleave"
+	case Local:
+		return "local"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Placement records who owns each page of one region.
+type Placement struct {
+	region memmodel.Region
+	policy Policy
+	node   int // for Local
+	nodes  int
+}
+
+// System couples a topology with region placements and per-node
+// contention accounting. Accesses are recorded through Accessor values,
+// one per worker, which keep hot counters local and fold into the system
+// on Flush.
+type System struct {
+	Topo       Topology
+	placements []Placement
+	// nodeLoad counts accesses routed to each node; read by the
+	// contention model. Updated in batches by Accessor.Flush.
+	nodeLoad []atomic.Int64
+}
+
+// NewSystem returns a System for the topology.
+func NewSystem(topo Topology) (*System, error) {
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	return &System{Topo: topo, nodeLoad: make([]atomic.Int64, topo.Nodes)}, nil
+}
+
+// Place registers a region with a placement policy. For Local, node is
+// the owning node; other policies ignore it.
+func (s *System) Place(r memmodel.Region, policy Policy, node int) {
+	if node < 0 || node >= s.Topo.Nodes {
+		node = 0
+	}
+	s.placements = append(s.placements, Placement{region: r, policy: policy, node: node, nodes: s.Topo.Nodes})
+}
+
+// OwnerOf returns the node owning the page containing addr. Unregistered
+// addresses default to node 0 (first touch by the main goroutine).
+func (s *System) OwnerOf(addr uint64) int {
+	for _, p := range s.placements {
+		if p.region.Contains(addr) {
+			switch p.policy {
+			case NodeZero:
+				return 0
+			case Interleave:
+				return int(memmodel.PageOf(addr-p.region.Base) % uint64(p.nodes))
+			case Local:
+				return p.node
+			}
+		}
+	}
+	return 0
+}
+
+// latency returns the raw (uncontended) cost of core accessing node.
+func (s *System) latency(core, node int) float64 {
+	myNode := s.Topo.NodeOfCore(core)
+	if myNode == node {
+		return s.Topo.LocalLatency
+	}
+	if s.Topo.SocketOfNode(myNode) == s.Topo.SocketOfNode(node) {
+		return s.Topo.IntraSocketRemote
+	}
+	return s.Topo.InterSocketRemote
+}
+
+// NodeLoads returns a snapshot of per-node access counts.
+func (s *System) NodeLoads() []int64 {
+	out := make([]int64, len(s.nodeLoad))
+	for i := range s.nodeLoad {
+		out[i] = s.nodeLoad[i].Load()
+	}
+	return out
+}
+
+// LoadImbalance returns max/mean of the per-node access counts, the
+// headline symptom of node-0-only placement. Returns 0 with no accesses.
+func (s *System) LoadImbalance() float64 {
+	loads := s.NodeLoads()
+	var sum, max int64
+	for _, l := range loads {
+		sum += l
+		if l > max {
+			max = l
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(loads))
+	return float64(max) / mean
+}
+
+// Accessor is the per-worker access recorder. Not safe for concurrent
+// use; create one per worker.
+type Accessor struct {
+	sys  *System
+	core int
+
+	// Totals accumulated locally.
+	Accesses int64
+	Cost     float64 // latency units including contention premium
+	local    int64
+	remote   int64
+	perNode  []int64
+	flushed  []int64
+}
+
+// NewAccessor returns an accessor for the given core (worker) id.
+func (s *System) NewAccessor(core int) *Accessor {
+	return &Accessor{
+		sys:     s,
+		core:    core % s.Topo.TotalCores(),
+		perNode: make([]int64, s.Topo.Nodes),
+		flushed: make([]int64, s.Topo.Nodes),
+	}
+}
+
+// Touch records one memory access to addr and returns its modeled cost.
+// The contention premium grows with the share of total traffic hitting
+// the owning node beyond its fair share: perfectly interleaved traffic
+// pays nothing, node-0-only traffic pays ~ContentionWeight*(Nodes-1)
+// extra per access.
+func (a *Accessor) Touch(addr uint64) float64 {
+	node := a.sys.OwnerOf(addr)
+	cost := a.sys.latency(a.core, node)
+	a.Accesses++
+	a.perNode[node]++
+	// Contention: compare this worker's traffic share to the fair share.
+	share := float64(a.perNode[node]) / float64(a.Accesses)
+	fair := 1.0 / float64(a.sys.Topo.Nodes)
+	if share > fair {
+		cost += a.sys.Topo.LocalLatency * a.sys.Topo.ContentionWeight * (share - fair) / fair
+	}
+	a.Cost += cost
+	if node == a.sys.Topo.NodeOfCore(a.core) {
+		a.local++
+	} else {
+		a.remote++
+	}
+	return cost
+}
+
+// TouchN records n accesses with identical placement (e.g. a streaming
+// scan of one region) in O(1).
+func (a *Accessor) TouchN(addr uint64, n int64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	node := a.sys.OwnerOf(addr)
+	cost := a.sys.latency(a.core, node)
+	a.Accesses += n
+	a.perNode[node] += n
+	share := float64(a.perNode[node]) / float64(a.Accesses)
+	fair := 1.0 / float64(a.sys.Topo.Nodes)
+	if share > fair {
+		cost += a.sys.Topo.LocalLatency * a.sys.Topo.ContentionWeight * (share - fair) / fair
+	}
+	total := cost * float64(n)
+	a.Cost += total
+	if node == a.sys.Topo.NodeOfCore(a.core) {
+		a.local += n
+	} else {
+		a.remote += n
+	}
+	return total
+}
+
+// LocalFraction returns the fraction of this worker's accesses that were
+// node-local.
+func (a *Accessor) LocalFraction() float64 {
+	if a.Accesses == 0 {
+		return 0
+	}
+	return float64(a.local) / float64(a.Accesses)
+}
+
+// Flush folds the accessor's per-node counts (since the previous Flush)
+// into the shared system counters. Call at phase boundaries. The local
+// counters are preserved so the contention shares stay meaningful across
+// the worker's whole lifetime.
+func (a *Accessor) Flush() {
+	for node, c := range a.perNode {
+		if delta := c - a.flushed[node]; delta > 0 {
+			a.sys.nodeLoad[node].Add(delta)
+			a.flushed[node] = c
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package numa
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/memmodel"
+)
+
+func mustSystem(t *testing.T) *System {
+	t.Helper()
+	s, err := NewSystem(PerlmutterLike())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestTopologyValidate(t *testing.T) {
+	if err := PerlmutterLike().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := PerlmutterLike()
+	bad.Sockets = 3 // 8 nodes not divisible by 3
+	if err := bad.Validate(); err == nil {
+		t.Fatal("invalid topology accepted")
+	}
+	bad2 := PerlmutterLike()
+	bad2.InterSocketRemote = 1
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("inverted latencies accepted")
+	}
+}
+
+func TestCoreAndSocketMapping(t *testing.T) {
+	topo := PerlmutterLike()
+	if topo.TotalCores() != 128 {
+		t.Fatalf("TotalCores = %d, want 128", topo.TotalCores())
+	}
+	if topo.NodeOfCore(0) != 0 || topo.NodeOfCore(15) != 0 || topo.NodeOfCore(16) != 1 || topo.NodeOfCore(127) != 7 {
+		t.Fatal("NodeOfCore mapping wrong")
+	}
+	if topo.SocketOfNode(0) != 0 || topo.SocketOfNode(3) != 0 || topo.SocketOfNode(4) != 1 || topo.SocketOfNode(7) != 1 {
+		t.Fatal("SocketOfNode mapping wrong")
+	}
+}
+
+func TestPlacementPolicies(t *testing.T) {
+	s := mustSystem(t)
+	sp := memmodel.NewSpace()
+	rz := sp.Alloc("zero", 100*memmodel.PageBytes, 1)
+	ri := sp.Alloc("inter", 100*memmodel.PageBytes, 1)
+	rl := sp.Alloc("local", 100*memmodel.PageBytes, 1)
+	s.Place(rz, NodeZero, 0)
+	s.Place(ri, Interleave, 0)
+	s.Place(rl, Local, 5)
+
+	for p := int64(0); p < 100; p++ {
+		if got := s.OwnerOf(rz.Addr(p * memmodel.PageBytes)); got != 0 {
+			t.Fatalf("NodeZero page %d owned by %d", p, got)
+		}
+		if got := s.OwnerOf(rl.Addr(p * memmodel.PageBytes)); got != 5 {
+			t.Fatalf("Local page %d owned by %d, want 5", p, got)
+		}
+	}
+	// Interleave must hit all 8 nodes roughly evenly.
+	counts := make([]int, 8)
+	for p := int64(0); p < 800; p++ {
+		counts[s.OwnerOf(ri.Addr(p*memmodel.PageBytes%int64(ri.Bytes())))]++
+	}
+	for n, c := range counts {
+		if c == 0 {
+			t.Fatalf("interleave never placed a page on node %d", n)
+		}
+	}
+}
+
+func TestOwnerOfUnregisteredAddr(t *testing.T) {
+	s := mustSystem(t)
+	if got := s.OwnerOf(123456); got != 0 {
+		t.Fatalf("unregistered address owned by %d, want 0", got)
+	}
+}
+
+func TestLatencyOrdering(t *testing.T) {
+	s := mustSystem(t)
+	local := s.latency(0, 0) // core 0 on node 0
+	intra := s.latency(0, 1) // node 1, same socket
+	inter := s.latency(0, 7) // node 7, other socket
+	if !(local < intra && intra < inter) {
+		t.Fatalf("latency ordering violated: %v %v %v", local, intra, inter)
+	}
+}
+
+func TestAccessorLocalVsRemoteCost(t *testing.T) {
+	s := mustSystem(t)
+	sp := memmodel.NewSpace()
+	r := sp.Alloc("buf", 10*memmodel.PageBytes, 1)
+	s.Place(r, Local, 0)
+
+	localAcc := s.NewAccessor(0)            // core 0 lives on node 0
+	remoteAcc := s.NewAccessor(press(7, s)) // a core on node 7
+	for i := 0; i < 100; i++ {
+		localAcc.Touch(r.Addr(0))
+		remoteAcc.Touch(r.Addr(0))
+	}
+	if localAcc.Cost >= remoteAcc.Cost {
+		t.Fatalf("local cost %v not cheaper than remote %v", localAcc.Cost, remoteAcc.Cost)
+	}
+	if localAcc.LocalFraction() != 1 {
+		t.Fatalf("local fraction = %v, want 1", localAcc.LocalFraction())
+	}
+	if remoteAcc.LocalFraction() != 0 {
+		t.Fatalf("remote local fraction = %v, want 0", remoteAcc.LocalFraction())
+	}
+}
+
+// press returns a core id on the requested node.
+func press(node int, s *System) int { return node * s.Topo.CoresPerNode }
+
+func TestContentionPremium(t *testing.T) {
+	s := mustSystem(t)
+	sp := memmodel.NewSpace()
+	hot := sp.Alloc("hot", 64*memmodel.PageBytes, 1)
+	spread := sp.Alloc("spread", 64*memmodel.PageBytes, 1)
+	s.Place(hot, NodeZero, 0)
+	s.Place(spread, Interleave, 0)
+
+	// Both accessors run on node 0; one hammers node 0 only, the other
+	// spreads across all nodes. Despite remote latency, the node0-only
+	// pattern must end up costlier per access once contention kicks in
+	// than a perfectly interleaved pattern is penalized.
+	a := s.NewAccessor(0)
+	for i := int64(0); i < 64*memmodel.PageBytes; i += 64 {
+		a.Touch(hot.Addr(i))
+	}
+	premium := a.Cost/float64(a.Accesses) - s.Topo.LocalLatency
+	if premium <= 0 {
+		t.Fatalf("no contention premium for node-0-only traffic (cost/access=%v)", a.Cost/float64(a.Accesses))
+	}
+}
+
+func TestTouchNMatchesRepeatedTouch(t *testing.T) {
+	s := mustSystem(t)
+	sp := memmodel.NewSpace()
+	r := sp.Alloc("x", 4096, 1)
+	s.Place(r, Local, 0)
+	a := s.NewAccessor(0)
+	b := s.NewAccessor(0)
+	for i := 0; i < 50; i++ {
+		a.Touch(r.Addr(0))
+	}
+	b.TouchN(r.Addr(0), 50)
+	if a.Accesses != b.Accesses {
+		t.Fatalf("access counts differ: %d vs %d", a.Accesses, b.Accesses)
+	}
+	// Costs use slightly different contention sampling; they must agree
+	// within a few percent.
+	diff := a.Cost - b.Cost
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 0.1*a.Cost {
+		t.Fatalf("TouchN cost %v too far from repeated Touch %v", b.Cost, a.Cost)
+	}
+}
+
+func TestFlushAndImbalance(t *testing.T) {
+	s := mustSystem(t)
+	sp := memmodel.NewSpace()
+	r := sp.Alloc("r", 4096, 1)
+	s.Place(r, NodeZero, 0)
+	a := s.NewAccessor(0)
+	for i := 0; i < 100; i++ {
+		a.Touch(r.Addr(0))
+	}
+	a.Flush()
+	loads := s.NodeLoads()
+	if loads[0] != 100 {
+		t.Fatalf("node 0 load = %d, want 100", loads[0])
+	}
+	// Flushing again without new accesses must not double count.
+	a.Flush()
+	if got := s.NodeLoads()[0]; got != 100 {
+		t.Fatalf("double flush changed load to %d", got)
+	}
+	if imb := s.LoadImbalance(); imb != 8 {
+		t.Fatalf("imbalance = %v, want 8 (all traffic on one of 8 nodes)", imb)
+	}
+}
+
+func TestConcurrentFlush(t *testing.T) {
+	s := mustSystem(t)
+	sp := memmodel.NewSpace()
+	r := sp.Alloc("r", 4096, 1)
+	s.Place(r, NodeZero, 0)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			a := s.NewAccessor(w * 16)
+			for i := 0; i < 1000; i++ {
+				a.Touch(r.Addr(0))
+			}
+			a.Flush()
+		}(w)
+	}
+	wg.Wait()
+	if got := s.NodeLoads()[0]; got != 8000 {
+		t.Fatalf("concurrent flush total = %d, want 8000", got)
+	}
+}
+
+func TestInterleaveReducesImbalanceVsNodeZero(t *testing.T) {
+	// The motivating property for Table II: with node-0 placement all
+	// traffic lands on one node; interleaving spreads it.
+	run := func(policy Policy) float64 {
+		s := mustSystem(t)
+		sp := memmodel.NewSpace()
+		r := sp.Alloc("graph", 1024*memmodel.PageBytes, 1)
+		s.Place(r, policy, 0)
+		var wg sync.WaitGroup
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				a := s.NewAccessor(w * 16)
+				for i := int64(0); i < 4096; i++ {
+					a.Touch(r.Addr((i * 997 * memmodel.PageBytes) % int64(r.Bytes())))
+				}
+				a.Flush()
+			}(w)
+		}
+		wg.Wait()
+		return s.LoadImbalance()
+	}
+	if zero, inter := run(NodeZero), run(Interleave); inter >= zero {
+		t.Fatalf("interleave imbalance %v not better than node-zero %v", inter, zero)
+	}
+}

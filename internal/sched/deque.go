@@ -1,0 +1,112 @@
+package sched
+
+import (
+	"sync"
+)
+
+// Deque is a double-ended work queue for one owner with thief access:
+// the owner pushes and pops at the bottom (LIFO, cache-friendly), idle
+// workers steal from the top (FIFO, takes the oldest — largest-granule —
+// job). A mutex guards both ends; at the paper's job granularity
+// (hundreds of RRR sets per job batch) lock cost is negligible next to
+// job cost, and a mutex keeps the invariant trivially correct.
+type Deque struct {
+	mu   sync.Mutex
+	jobs []int64
+}
+
+// Push adds a job at the bottom.
+func (d *Deque) Push(job int64) {
+	d.mu.Lock()
+	d.jobs = append(d.jobs, job)
+	d.mu.Unlock()
+}
+
+// Pop removes the most recently pushed job. ok is false when empty.
+func (d *Deque) Pop() (job int64, ok bool) {
+	d.mu.Lock()
+	if n := len(d.jobs); n > 0 {
+		job = d.jobs[n-1]
+		d.jobs = d.jobs[:n-1]
+		ok = true
+	}
+	d.mu.Unlock()
+	return job, ok
+}
+
+// Steal removes the oldest job. ok is false when empty.
+func (d *Deque) Steal() (job int64, ok bool) {
+	d.mu.Lock()
+	if len(d.jobs) > 0 {
+		job = d.jobs[0]
+		d.jobs = d.jobs[1:]
+		ok = true
+	}
+	d.mu.Unlock()
+	return job, ok
+}
+
+// Len returns the current queue length.
+func (d *Deque) Len() int {
+	d.mu.Lock()
+	n := len(d.jobs)
+	d.mu.Unlock()
+	return n
+}
+
+// WorkStealing runs jobs 0..n-1 on p workers using per-worker deques
+// seeded round-robin, the producer/consumer scheme from the paper's
+// "Dynamic Job Balancing": a worker drains its own queue first and then
+// steals from the queue of the busiest peer. Stats reports per-worker
+// executed-job counts so experiments can quantify balance.
+func WorkStealing(p int, n int64, fn func(worker int, job int64)) (executed []int64) {
+	if p < 1 {
+		p = 1
+	}
+	executed = make([]int64, p)
+	if n <= 0 {
+		return executed
+	}
+	deques := make([]*Deque, p)
+	for i := range deques {
+		deques[i] = &Deque{}
+	}
+	for j := int64(0); j < n; j++ {
+		deques[j%int64(p)].Push(j)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				if job, ok := deques[w].Pop(); ok {
+					fn(w, job)
+					executed[w]++
+					continue
+				}
+				// Steal from the currently longest queue. The scan is
+				// racy but only advisory; emptiness is re-checked by
+				// Steal itself.
+				victim, best := -1, 0
+				for v := 0; v < p; v++ {
+					if v == w {
+						continue
+					}
+					if l := deques[v].Len(); l > best {
+						victim, best = v, l
+					}
+				}
+				if victim < 0 {
+					return
+				}
+				if job, ok := deques[victim].Steal(); ok {
+					fn(w, job)
+					executed[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return executed
+}

@@ -1,0 +1,156 @@
+// Package stats provides the combinatorial and statistical helpers used
+// by the IMM martingale bounds and by the benchmark harness.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// LogCNK returns ln(C(n, k)), the natural log of the binomial
+// coefficient, computed with log-gamma so it is stable for the graph
+// sizes IMM sees (n up to tens of millions). It returns 0 for k <= 0 or
+// k >= n, matching the convention used by the Ripples code base.
+func LogCNK(n, k int64) float64 {
+	if k <= 0 || k >= n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	lg, _ := math.Lgamma(float64(n + 1))
+	lk, _ := math.Lgamma(float64(k + 1))
+	lnk, _ := math.Lgamma(float64(n - k + 1))
+	return lg - lk - lnk
+}
+
+// Summary accumulates count/mean/variance online using Welford's
+// algorithm and tracks min and max. The zero value is ready to use.
+type Summary struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add folds x into the summary.
+func (s *Summary) Add(x float64) {
+	if s.n == 0 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	s.n++
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// N returns the number of samples.
+func (s *Summary) N() int64 { return s.n }
+
+// Mean returns the sample mean, or 0 with no samples.
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Min returns the smallest sample, or 0 with no samples.
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest sample, or 0 with no samples.
+func (s *Summary) Max() float64 { return s.max }
+
+// Var returns the unbiased sample variance, or 0 for fewer than two
+// samples.
+func (s *Summary) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (s *Summary) Stddev() float64 { return math.Sqrt(s.Var()) }
+
+// Merge folds another summary into s, as if all its samples had been
+// added directly (Chan et al. parallel variance combination).
+func (s *Summary) Merge(o *Summary) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = *o
+		return
+	}
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	n := s.n + o.n
+	d := o.mean - s.mean
+	s.m2 += o.m2 + d*d*float64(s.n)*float64(o.n)/float64(n)
+	s.mean += d * float64(o.n) / float64(n)
+	s.n = n
+}
+
+// Percentile returns the p'th percentile (0 <= p <= 100) of xs using
+// linear interpolation between closest ranks. xs is sorted in place.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sort.Float64s(xs)
+	if p <= 0 {
+		return xs[0]
+	}
+	if p >= 100 {
+		return xs[len(xs)-1]
+	}
+	rank := p / 100 * float64(len(xs)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return xs[lo]
+	}
+	frac := rank - float64(lo)
+	return xs[lo]*(1-frac) + xs[hi]*frac
+}
+
+// GeometricMean returns the geometric mean of positive values; zero or
+// negative entries are skipped. The harness uses it to aggregate speedups
+// the way the paper reports "average 5.9x over 8 datasets".
+func GeometricMean(xs []float64) float64 {
+	var logSum float64
+	var n int
+	for _, x := range xs {
+		if x > 0 {
+			logSum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+// HarmonicMean returns the harmonic mean of positive values; zero or
+// negative entries are skipped.
+func HarmonicMean(xs []float64) float64 {
+	var invSum float64
+	var n int
+	for _, x := range xs {
+		if x > 0 {
+			invSum += 1 / x
+			n++
+		}
+	}
+	if invSum == 0 {
+		return 0
+	}
+	return float64(n) / invSum
+}

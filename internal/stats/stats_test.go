@@ -1,0 +1,165 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestLogCNKSmallValues(t *testing.T) {
+	cases := []struct {
+		n, k int64
+		want float64
+	}{
+		{5, 2, math.Log(10)},
+		{10, 3, math.Log(120)},
+		{52, 5, math.Log(2598960)},
+		{100, 50, 66.78384165201749},
+	}
+	for _, c := range cases {
+		got := LogCNK(c.n, c.k)
+		if !almostEq(got, c.want, 1e-6*math.Max(1, math.Abs(c.want))) {
+			t.Errorf("LogCNK(%d,%d) = %v, want %v", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestLogCNKEdges(t *testing.T) {
+	for _, c := range [][2]int64{{10, 0}, {10, 10}, {10, -1}, {10, 11}, {0, 0}} {
+		if got := LogCNK(c[0], c[1]); got != 0 {
+			t.Errorf("LogCNK(%d,%d) = %v, want 0", c[0], c[1], got)
+		}
+	}
+}
+
+func TestLogCNKSymmetry(t *testing.T) {
+	f := func(nRaw, kRaw uint8) bool {
+		n := int64(nRaw%200) + 2
+		k := int64(kRaw) % n
+		return almostEq(LogCNK(n, k), LogCNK(n, n-k), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogCNKPascal(t *testing.T) {
+	// C(n,k) = C(n-1,k-1) + C(n-1,k) in log space.
+	for n := int64(3); n < 60; n++ {
+		for k := int64(1); k < n; k++ {
+			lhs := math.Exp(LogCNK(n, k))
+			rhs := math.Exp(LogCNK(n-1, k-1)) + math.Exp(LogCNK(n-1, k))
+			if !almostEq(lhs, rhs, 1e-6*rhs) {
+				t.Fatalf("Pascal identity fails at n=%d k=%d: %v vs %v", n, k, lhs, rhs)
+			}
+		}
+	}
+}
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if !almostEq(s.Mean(), 5, 1e-12) {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	// Population variance is 4; sample variance is 32/7.
+	if !almostEq(s.Var(), 32.0/7.0, 1e-12) {
+		t.Fatalf("Var = %v", s.Var())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestSummaryEmptyAndSingle(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Var() != 0 || s.N() != 0 {
+		t.Fatal("zero-value summary not neutral")
+	}
+	s.Add(3)
+	if s.Var() != 0 || s.Mean() != 3 || s.Min() != 3 || s.Max() != 3 {
+		t.Fatal("single-sample summary wrong")
+	}
+}
+
+func TestSummaryMergeEquivalence(t *testing.T) {
+	f := func(a, b []float64) bool {
+		var all, left, right Summary
+		for _, x := range a {
+			if math.IsNaN(x) || math.Abs(x) > 1e100 {
+				return true // avoid overflow in the m2 cross term
+			}
+			all.Add(x)
+			left.Add(x)
+		}
+		for _, x := range b {
+			if math.IsNaN(x) || math.Abs(x) > 1e100 {
+				return true
+			}
+			all.Add(x)
+			right.Add(x)
+		}
+		left.Merge(&right)
+		if left.N() != all.N() {
+			return false
+		}
+		if all.N() == 0 {
+			return true
+		}
+		scale := math.Max(1, math.Abs(all.Mean()))
+		return almostEq(left.Mean(), all.Mean(), 1e-6*scale) &&
+			almostEq(left.Var(), all.Var(), 1e-4*math.Max(1, all.Var())) &&
+			left.Min() == all.Min() && left.Max() == all.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	if got := Percentile(append([]float64(nil), xs...), 0); got != 15 {
+		t.Fatalf("P0 = %v", got)
+	}
+	if got := Percentile(append([]float64(nil), xs...), 100); got != 50 {
+		t.Fatalf("P100 = %v", got)
+	}
+	if got := Percentile(append([]float64(nil), xs...), 50); got != 35 {
+		t.Fatalf("P50 = %v", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Fatalf("empty percentile = %v", got)
+	}
+	// 25th percentile of 5 sorted values interpolates between ranks 1 and 2.
+	if got := Percentile(append([]float64(nil), xs...), 25); !almostEq(got, 20, 1e-12) {
+		t.Fatalf("P25 = %v", got)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	if got := GeometricMean([]float64{1, 4}); !almostEq(got, 2, 1e-12) {
+		t.Fatalf("gm = %v", got)
+	}
+	if got := GeometricMean([]float64{2, 0, 8, -3}); !almostEq(got, 4, 1e-12) {
+		t.Fatalf("gm with skips = %v", got)
+	}
+	if got := GeometricMean(nil); got != 0 {
+		t.Fatalf("gm empty = %v", got)
+	}
+}
+
+func TestHarmonicMean(t *testing.T) {
+	if got := HarmonicMean([]float64{1, 2, 4}); !almostEq(got, 3.0/1.75, 1e-12) {
+		t.Fatalf("hm = %v", got)
+	}
+	if got := HarmonicMean(nil); got != 0 {
+		t.Fatalf("hm empty = %v", got)
+	}
+}
