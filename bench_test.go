@@ -273,6 +273,32 @@ func BenchmarkAblation(b *testing.B) {
 	}
 }
 
+// BenchmarkDistributed tracks the simulated MPI extension from PR 1
+// onward: wall-clock of a full distributed run plus the metered
+// communication volume per rank count, the comm-volume/scaling
+// trajectory the future real-MPI backend will be judged against.
+func BenchmarkDistributed(b *testing.B) {
+	g := benchProfile(b, "web-Google", 9, graph.IC)
+	for _, ranks := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("ranks%d", ranks), func(b *testing.B) {
+			dopt := DefaultDistOptions()
+			dopt.Options = benchOpts(imm.Efficient, graph.IC, 2)
+			dopt.Ranks = ranks
+			var res *DistResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = RunDistributed(g, dopt)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Comm.BytesSent), "commBytes")
+			b.ReportMetric(float64(res.Comm.Messages), "commMsgs")
+			b.ReportMetric(float64(res.Comm.SetGather.BytesSent), "gatherBytes")
+		})
+	}
+}
+
 // BenchmarkEndToEnd measures real wall-clock of a complete Run on this
 // machine for both engines — the sanity check that the optimized engine
 // also wins in practice at the physical core count.

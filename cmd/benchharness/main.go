@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1|fig1|fig2|table2|fig5|table3|fig6|fig7|table4|ablations|all")
+		exp     = flag.String("exp", "all", "experiment: table1|fig1|fig2|table2|fig5|table3|fig6|fig7|table4|ablations|dist|all")
 		out     = flag.String("out", "results", "output directory for CSVs and JSON logs")
 		quick   = flag.Bool("quick", false, "small sizes for a fast smoke run")
 		scale   = flag.Int("scale", 0, "clamp profile scale (0 = config default)")
@@ -170,6 +170,19 @@ func main() {
 		}
 		for _, r := range rows {
 			fmt.Printf("%-18s modeled=%14.0f penalty=%.2fx\n", r.Variant, r.Modeled, r.Penalty)
+		}
+		return nil
+	})
+
+	run("dist", func() error {
+		points, err := harness.DistSweep(cfg, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12s %6s %12s %8s %12s %12s %6s\n", "dataset", "ranks", "bytesSent", "msgs", "gatherB", "counterB", "match")
+		for _, pt := range points {
+			fmt.Printf("%-12s %6d %12d %8d %12d %12d %6v\n",
+				pt.Dataset, pt.Ranks, pt.BytesSent, pt.Messages, pt.SetGatherB, pt.CounterRedB, pt.SeedsMatch)
 		}
 		return nil
 	})

@@ -6,6 +6,7 @@
 //
 //	efficientimm -dataset web-Google -model IC -k 50 -eps 0.5 -workers 8
 //	efficientimm -graph edges.txt -undirected -model LT -engine ripples
+//	efficientimm -dataset com-DBLP -ranks 4   # simulated distributed run
 package main
 
 import (
@@ -29,6 +30,7 @@ func main() {
 		k          = flag.Int("k", 50, "seed set size")
 		eps        = flag.Float64("eps", 0.5, "approximation parameter epsilon")
 		workers    = flag.Int("workers", runtime.NumCPU(), "parallel workers")
+		ranks      = flag.Int("ranks", 0, "simulated message-passing ranks (0 = shared-memory run)")
 		seed       = flag.Uint64("seed", 1, "RNG seed")
 		maxTheta   = flag.Int64("max-theta", 0, "cap on RRR sets (0 = per-theory)")
 		scale      = flag.Int("scale", 0, "clamp profile scale (log2 vertices, 0 = profile default)")
@@ -86,14 +88,25 @@ func main() {
 	opt.MaxTheta = *maxTheta
 
 	start := time.Now()
-	res, err := efficientimm.Run(g, opt)
-	fatalIf(err)
+	var res *efficientimm.Result
+	var comm *efficientimm.DistResult
+	if *ranks > 0 {
+		dopt := efficientimm.DefaultDistOptions()
+		dopt.Options = opt
+		dopt.Ranks = *ranks
+		dres, derr := efficientimm.RunDistributed(g, dopt)
+		fatalIf(derr)
+		res, comm = &dres.Result, dres
+	} else {
+		res, err = efficientimm.Run(g, opt)
+		fatalIf(err)
+	}
 	elapsed := time.Since(start)
 
 	out := map[string]any{
 		"dataset":           *dataset,
 		"graph_file":        *graphFile,
-		"engine":            engine.String(),
+		"engine":            res.Engine.String(),
 		"model":             model.String(),
 		"nodes":             g.N,
 		"edges":             g.M,
@@ -111,6 +124,14 @@ func main() {
 		"rrr_bytes":         res.SetStats.TotalBytes,
 		"rrr_bitmaps":       res.SetStats.Bitmaps,
 		"rrr_lists":         res.SetStats.Lists,
+	}
+	if comm != nil {
+		out["ranks"] = comm.Ranks
+		out["comm_bytes_sent"] = comm.Comm.BytesSent
+		out["comm_bytes_received"] = comm.Comm.BytesReceived
+		out["comm_messages"] = comm.Comm.Messages
+		out["comm_set_gather_bytes"] = comm.Comm.SetGather.BytesSent
+		out["comm_counter_reduce_bytes"] = comm.Comm.CounterReduce.BytesSent
 	}
 	if *spreadRuns > 0 {
 		out["estimated_spread"] = efficientimm.EstimateSpread(g, res.Seeds, *spreadRuns, *workers, *seed)

@@ -46,6 +46,19 @@ func (c *Counter) Reset() {
 // atomic updates through the Counter API.
 func (c *Counter) Raw() []int64 { return c.counts }
 
+// AddFrom accumulates other's counts into c — the reduction step an
+// allreduce of per-rank occurrence counters performs at the root rank.
+// The receiver must be quiesced; other is read atomically. Panics if the
+// two counters cover different vertex counts.
+func (c *Counter) AddFrom(other *Counter) {
+	if len(other.counts) != len(c.counts) {
+		panic("counter: AddFrom length mismatch")
+	}
+	for i := range c.counts {
+		c.counts[i] += atomic.LoadInt64(&other.counts[i])
+	}
+}
+
 // Snapshot copies the current counts into dst (allocating if nil) and
 // returns it.
 func (c *Counter) Snapshot(dst []int64) []int64 {

@@ -1,0 +1,76 @@
+// Package dist extends the shared-memory IMM engines across simulated
+// message-passing ranks — the MPI extension the paper (Wu et al., SC
+// 2024) lists as future work. Each logical rank owns a deterministic
+// slice of the θ sample budget, generates its RRR sets from the
+// slot-indexed RNG streams of internal/rng, and participates in
+// allreduce/gather-style exchanges whose volume is metered into a Comm
+// report. Because the slot-indexed streams make pool contents
+// independent of who generates which slot, and the selection kernel is
+// deterministic over a given pool, Run returns seeds byte-identical to
+// the shared-memory imm.Run at the same Seed and MaxTheta — the property
+// the tests pin — while reporting what the distribution would cost on a
+// real interconnect.
+package dist
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/imm"
+)
+
+// Options configures a distributed run. The embedded imm.Options carry
+// the algorithmic parameters (K, Epsilon, Seed, MaxTheta, the
+// representation and update switches); Workers is the thread count of
+// each simulated rank, used by the rank-0 selection kernel.
+type Options struct {
+	imm.Options
+
+	// Ranks is the number of simulated message-passing ranks. 1 degrades
+	// to a communication-free run equivalent to imm.Run.
+	//
+	// The embedded Engine field is ignored: the distributed runtime
+	// always runs the EfficientIMM kernels (rank-partitioned generation,
+	// counter allreduce, set-partitioned selection), and Run normalizes
+	// the field so results are labeled accordingly. Seeds are unaffected
+	// either way — both shared-memory engines select identical seeds on
+	// the same pool.
+	Ranks int
+}
+
+// DefaultOptions returns the paper's evaluation parameters (k=50, ε=0.5,
+// all optimizations on) across 4 simulated ranks.
+func DefaultOptions() Options {
+	return Options{Options: imm.Defaults(), Ranks: 4}
+}
+
+// Result is the outcome of a distributed run: the shared-memory result
+// fields plus the rank count and the metered communication volume.
+type Result struct {
+	imm.Result
+
+	Ranks int
+	Comm  Comm
+}
+
+// Run executes IMM on g across opt.Ranks simulated ranks. The θ
+// estimation follows exactly the shared-memory driver (imm.RunEngine),
+// so the sampling trajectory, final θ, and selected seeds match imm.Run
+// at the same Seed and MaxTheta.
+func Run(g *graph.Graph, opt Options) (*Result, error) {
+	if opt.Ranks < 1 {
+		return nil, fmt.Errorf("dist: Ranks must be at least 1, got %d", opt.Ranks)
+	}
+	if g == nil || g.N == 0 {
+		return nil, fmt.Errorf("dist: empty graph")
+	}
+	// The distributed runtime is the EfficientIMM kernel family; label
+	// the result as such even if the caller passed Ripples.
+	opt.Engine = imm.Efficient
+	eng := newEngine(g, opt)
+	res, err := imm.RunEngine(g, opt.Options, eng)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Result: *res, Ranks: opt.Ranks, Comm: eng.comm}, nil
+}

@@ -1,0 +1,199 @@
+package dist
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/imm"
+)
+
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := gen.RMAT(gen.DefaultRMAT(8, 5), graph.IC, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func testOptions(ranks int) Options {
+	opt := DefaultOptions()
+	opt.Ranks = ranks
+	opt.K = 6
+	opt.Seed = 7
+	opt.MaxTheta = 1500
+	return opt
+}
+
+func sharedRun(t *testing.T, g *graph.Graph, opt Options) *imm.Result {
+	t.Helper()
+	res, err := imm.Run(g, opt.Options)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestSingleRankMatchesSharedRun pins the Ranks=1 degradation: identical
+// seeds, θ trajectory, and zero communication.
+func TestSingleRankMatchesSharedRun(t *testing.T) {
+	g := testGraph(t)
+	opt := testOptions(1)
+	shared := sharedRun(t, g, opt)
+	res, err := Run(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameSeeds(t, shared.Seeds, res.Seeds)
+	if res.Theta != shared.Theta || res.Rounds != shared.Rounds {
+		t.Fatalf("trajectory diverged: theta %d vs %d, rounds %d vs %d",
+			res.Theta, shared.Theta, res.Rounds, shared.Rounds)
+	}
+	if res.Comm.BytesSent != 0 || res.Comm.Messages != 0 {
+		t.Fatalf("single rank communicated: %+v", res.Comm)
+	}
+}
+
+// TestRankPartitioningDeterminism pins the core guarantee: any rank
+// count returns seeds byte-identical to the shared-memory run, because
+// slot-indexed RNG streams make the pool independent of who generates
+// which slot.
+func TestRankPartitioningDeterminism(t *testing.T) {
+	g := testGraph(t)
+	shared := sharedRun(t, g, testOptions(1))
+	for _, ranks := range []int{2, 3, 5, 8} {
+		res, err := Run(g, testOptions(ranks))
+		if err != nil {
+			t.Fatalf("ranks=%d: %v", ranks, err)
+		}
+		assertSameSeeds(t, shared.Seeds, res.Seeds)
+		if res.Theta != shared.Theta {
+			t.Fatalf("ranks=%d: theta %d vs shared %d", ranks, res.Theta, shared.Theta)
+		}
+		if res.Comm.BytesSent == 0 {
+			t.Fatalf("ranks=%d: no communication recorded", ranks)
+		}
+	}
+}
+
+// TestCommMonotonicInRanks checks that the metered volume grows with the
+// rank count: more ranks mean more counter reductions and a larger share
+// of the pool crossing the wire.
+func TestCommMonotonicInRanks(t *testing.T) {
+	g := testGraph(t)
+	var prev int64 = -1
+	for _, ranks := range []int{1, 2, 4, 8} {
+		res, err := Run(g, testOptions(ranks))
+		if err != nil {
+			t.Fatalf("ranks=%d: %v", ranks, err)
+		}
+		if res.Comm.BytesSent <= prev {
+			t.Fatalf("ranks=%d: BytesSent %d not above previous %d", ranks, res.Comm.BytesSent, prev)
+		}
+		prev = res.Comm.BytesSent
+	}
+}
+
+// TestCommAccountingConsistency checks the phase breakdown sums to the
+// aggregate totals and that sent equals received (every byte sent is
+// received exactly once).
+func TestCommAccountingConsistency(t *testing.T) {
+	g := testGraph(t)
+	res, err := Run(g, testOptions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Comm
+	phases := []PhaseComm{c.ThetaExchange, c.CounterReduce, c.SetGather, c.SeedBroadcast}
+	var sent, recv, msgs int64
+	for _, p := range phases {
+		sent += p.BytesSent
+		recv += p.BytesReceived
+		msgs += p.Messages
+	}
+	if sent != c.BytesSent || recv != c.BytesReceived || msgs != c.Messages {
+		t.Fatalf("phase sums (%d,%d,%d) disagree with totals (%d,%d,%d)",
+			sent, recv, msgs, c.BytesSent, c.BytesReceived, c.Messages)
+	}
+	if c.BytesSent != c.BytesReceived {
+		t.Fatalf("sent %d != received %d", c.BytesSent, c.BytesReceived)
+	}
+	if c.SetGather.BytesSent == 0 || c.CounterReduce.BytesSent == 0 {
+		t.Fatalf("data phases empty: %+v", c)
+	}
+}
+
+// TestMaxThetaCappingAcrossRanks checks the cap binds the union of rank
+// budgets, not each rank's share: the final pool never exceeds MaxTheta
+// and matches the shared-memory θ exactly.
+func TestMaxThetaCappingAcrossRanks(t *testing.T) {
+	g := testGraph(t)
+	for _, cap := range []int64{97, 500, 1500} {
+		opt := testOptions(3)
+		opt.MaxTheta = cap
+		shared := sharedRun(t, g, opt)
+		res, err := Run(g, opt)
+		if err != nil {
+			t.Fatalf("cap=%d: %v", cap, err)
+		}
+		if res.Theta > cap {
+			t.Fatalf("cap=%d: theta %d exceeds cap", cap, res.Theta)
+		}
+		if res.Theta != shared.Theta {
+			t.Fatalf("cap=%d: theta %d vs shared %d", cap, res.Theta, shared.Theta)
+		}
+		assertSameSeeds(t, shared.Seeds, res.Seeds)
+	}
+}
+
+// TestMoreRanksThanTheta exercises ranks receiving empty slot slices.
+func TestMoreRanksThanTheta(t *testing.T) {
+	g := testGraph(t)
+	opt := testOptions(8)
+	opt.MaxTheta = 5
+	shared := sharedRun(t, g, opt)
+	res, err := Run(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameSeeds(t, shared.Seeds, res.Seeds)
+}
+
+func TestInvalidOptions(t *testing.T) {
+	g := testGraph(t)
+	if _, err := Run(g, testOptions(0)); err == nil {
+		t.Fatal("Ranks=0 accepted")
+	}
+	if _, err := Run(nil, testOptions(2)); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+}
+
+func assertSameSeeds(t *testing.T, want, got []int32) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("seed count %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("seeds diverged: got %v want %v", got, want)
+		}
+	}
+}
+
+// TestEngineLabelNormalized pins that a Ripples request is relabeled:
+// the distributed runtime always runs the EfficientIMM kernels.
+func TestEngineLabelNormalized(t *testing.T) {
+	g := testGraph(t)
+	opt := testOptions(2)
+	opt.Engine = imm.Ripples
+	res, err := Run(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Engine != imm.Efficient {
+		t.Fatalf("result labeled %v, want %v", res.Engine, imm.Efficient)
+	}
+	assertSameSeeds(t, sharedRun(t, g, opt).Seeds, res.Seeds)
+}

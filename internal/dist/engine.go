@@ -1,0 +1,140 @@
+package dist
+
+import (
+	"time"
+
+	"repro/internal/counter"
+	"repro/internal/graph"
+	"repro/internal/imm"
+	"repro/internal/rrr"
+)
+
+// engine is the rank-partitioned imm.Engine. Each Generate call splits
+// the new slice of the θ sample budget into one contiguous chunk per
+// rank; ranks run concurrently (one goroutine each, standing in for an
+// MPI process) and generate their chunk from the slot-indexed RNG
+// streams, so the union of rank outputs is byte-identical to the pool a
+// shared-memory Run builds. Each rank also folds its sets into a local
+// occurrence counter as it generates (the fused kernel), then ships both
+// — serialized sets and the dense counter — to rank 0, which merges them
+// into the global pool and the allreduced base counter. Selection runs
+// at rank 0 over the gathered pool through imm.SelectOnSets, and the
+// resulting seed set is broadcast back. The transfers are zero-copy
+// in-process, but every exchange is metered at the size a real wire
+// transfer would cost.
+type engine struct {
+	g      *graph.Graph
+	opt    Options
+	policy rrr.Policy
+
+	pool         []rrr.Set // rank 0's gathered global pool
+	totalMembers int64
+	base         *counter.Counter // allreduced occurrence counts over pool
+
+	comm Comm
+	bd   imm.Breakdown
+}
+
+func newEngine(g *graph.Graph, opt Options) *engine {
+	if opt.Workers < 1 {
+		opt.Workers = 1
+	}
+	return &engine{
+		g:      g,
+		opt:    opt,
+		policy: imm.PolicyFromOptions(opt.Options),
+		base:   counter.New(g.N),
+	}
+}
+
+func (e *engine) SetCount() int64          { return int64(len(e.pool)) }
+func (e *engine) Stats() rrr.Stats         { return rrr.Summarize(e.g.N, e.pool) }
+func (e *engine) Breakdown() imm.Breakdown { return e.bd }
+
+// rankRound is what one rank hands the root after a generation round.
+type rankRound struct {
+	rank    int
+	lo, hi  int64
+	counts  *counter.Counter
+	members int64
+	edges   int64
+}
+
+func (e *engine) Generate(target int64) {
+	from := int64(len(e.pool))
+	if target <= from {
+		return
+	}
+	start := time.Now()
+	count := target - from
+	e.pool = append(e.pool, make([]rrr.Set, count)...)
+
+	ranks := int64(e.opt.Ranks)
+	// Root announces the round's sample budget (one 8-byte θ value per
+	// non-root rank).
+	e.comm.record(&e.comm.ThetaExchange, ranks-1, (ranks-1)*8)
+
+	ch := make(chan rankRound, e.opt.Ranks)
+	for r := int64(0); r < ranks; r++ {
+		lo := from + r*count/ranks
+		hi := from + (r+1)*count/ranks
+		go func(r, lo, hi int64) {
+			out := e.pool[lo:hi] // disjoint per-rank slice
+			members, edges := imm.GenerateSlots(e.g, e.policy, e.opt.Seed, lo, out)
+			cnt := counter.New(e.g.N)
+			for _, s := range out {
+				s.ForEach(func(v int32) { cnt.Inc(v) })
+			}
+			ch <- rankRound{rank: int(r), lo: lo, hi: hi, counts: cnt, members: members, edges: edges}
+		}(r, lo, hi)
+	}
+
+	var critical int64
+	for i := int64(0); i < ranks; i++ {
+		res := <-ch
+		if res.rank != 0 {
+			var setBytes int64
+			for _, s := range e.pool[res.lo:res.hi] {
+				setBytes += wireBytes(s)
+			}
+			e.comm.record(&e.comm.SetGather, 1, setBytes)
+			e.comm.record(&e.comm.CounterReduce, 1, int64(e.g.N)*8)
+		}
+		e.base.AddFrom(res.counts)
+		e.totalMembers += res.members
+		// Critical path over ranks: edge traversals, list-sort work, and
+		// the fused counter updates (charged double for the lock prefix)
+		// — the same terms the shared-memory engine's SamplingModeled
+		// accounts, so the figures stay comparable.
+		cost := res.edges + imm.ModeledSortCost(e.policy, e.g.N, res.members, res.hi-res.lo) + 2*res.members
+		if cost > critical {
+			critical = cost
+		}
+	}
+	// Round allreduce: every rank learns the global pool size and member
+	// total (two 8-byte values both ways per non-root rank).
+	e.comm.record(&e.comm.ThetaExchange, 2*(ranks-1), 2*(ranks-1)*16)
+
+	e.bd.SamplingWall += time.Since(start)
+	e.bd.SamplingModeled += float64(critical)
+}
+
+// SelectSeeds runs Find_Most_Influential_Set at rank 0 over the gathered
+// pool, seeded with the allreduced counter, then broadcasts the result.
+func (e *engine) SelectSeeds(k int) ([]int32, float64) {
+	start := time.Now()
+	seeds, cov, ops := imm.SelectOnSets(e.g.N, e.pool, e.totalMembers, e.base, e.opt.Workers, e.opt.Update, k)
+	e.bd.SelectionWall += time.Since(start)
+	e.bd.SelectionModeled += ops
+	if ranks := int64(e.opt.Ranks); ranks > 1 {
+		payload := int64(len(seeds))*4 + 8 // seed ids + coverage
+		e.comm.record(&e.comm.SeedBroadcast, ranks-1, (ranks-1)*payload)
+	}
+	return seeds, cov
+}
+
+// wireBytes is the serialized size of one RRR set on the simulated wire:
+// a 16-byte header (slot id, representation kind, cardinality) plus the
+// representation's payload — 4 bytes per member for lists, one bit per
+// graph vertex for bitmaps.
+func wireBytes(s rrr.Set) int64 { return 16 + s.Bytes() }

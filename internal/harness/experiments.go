@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/counter"
 	"repro/internal/diffusion"
+	"repro/internal/dist"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/imm"
@@ -396,6 +397,89 @@ func min64(a, b int64) int64 {
 		return a
 	}
 	return b
+}
+
+// ---------------------------------------------------------------------
+// Distributed extension — communication volume versus rank count.
+// ---------------------------------------------------------------------
+
+// DistPoint is one point of the distributed rank sweep: how much
+// communication the simulated MPI extension costs at a given rank count,
+// with the determinism check (seeds identical to the shared-memory run)
+// folded into the measurement.
+type DistPoint struct {
+	Dataset       string
+	Ranks         int
+	BytesSent     int64
+	Messages      int64
+	SetGatherB    int64
+	CounterRedB   int64
+	ThetaExchB    int64
+	SeedBcastB    int64
+	Theta         int64
+	SamplingMod   float64
+	SeedsMatch    bool // distributed seeds == shared-memory seeds
+	BytesPerTheta float64
+}
+
+// DistSweep runs the simulated distributed engine across rank counts on
+// every selected dataset, verifying bit-identical seeds against the
+// shared-memory run and recording the metered communication volume —
+// the comm-volume/scaling trajectory of the paper's future-work MPI
+// extension.
+func DistSweep(cfg Config, rankCounts []int) ([]DistPoint, error) {
+	if rankCounts == nil {
+		rankCounts = []int{1, 2, 4, 8}
+	}
+	var points []DistPoint
+	for _, p := range cfg.profiles() {
+		g, err := p.Generate(graph.IC, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		opt := cfg.options(imm.Efficient, graph.IC, 2)
+		shared, err := imm.Run(g, opt)
+		if err != nil {
+			return nil, fmt.Errorf("harness: %s shared baseline: %w", p.Name, err)
+		}
+		for _, ranks := range rankCounts {
+			dopt := dist.Options{Options: opt, Ranks: ranks}
+			res, err := dist.Run(g, dopt)
+			if err != nil {
+				return nil, fmt.Errorf("harness: %s ranks=%d: %w", p.Name, ranks, err)
+			}
+			match := len(res.Seeds) == len(shared.Seeds)
+			for i := range shared.Seeds {
+				if !match || res.Seeds[i] != shared.Seeds[i] {
+					match = false
+					break
+				}
+			}
+			points = append(points, DistPoint{
+				Dataset:       p.Name,
+				Ranks:         ranks,
+				BytesSent:     res.Comm.BytesSent,
+				Messages:      res.Comm.Messages,
+				SetGatherB:    res.Comm.SetGather.BytesSent,
+				CounterRedB:   res.Comm.CounterReduce.BytesSent,
+				ThetaExchB:    res.Comm.ThetaExchange.BytesSent,
+				SeedBcastB:    res.Comm.SeedBroadcast.BytesSent,
+				Theta:         res.Theta,
+				SamplingMod:   res.Breakdown.SamplingModeled,
+				SeedsMatch:    match,
+				BytesPerTheta: safeDiv(float64(res.Comm.BytesSent), float64(res.Theta)),
+			})
+		}
+	}
+	csv := [][]string{{"dataset", "ranks", "bytes_sent", "messages", "set_gather_bytes", "counter_reduce_bytes", "theta_exchange_bytes", "seed_bcast_bytes", "theta", "sampling_modeled", "seeds_match", "bytes_per_theta"}}
+	for _, pt := range points {
+		csv = append(csv, []string{
+			pt.Dataset, itoa(pt.Ranks), i64(pt.BytesSent), i64(pt.Messages),
+			i64(pt.SetGatherB), i64(pt.CounterRedB), i64(pt.ThetaExchB), i64(pt.SeedBcastB),
+			i64(pt.Theta), f2(pt.SamplingMod), fmt.Sprintf("%v", pt.SeedsMatch), f2(pt.BytesPerTheta),
+		})
+	}
+	return points, cfg.writeCSV("dist_comm_sweep.csv", csv)
 }
 
 // ---------------------------------------------------------------------

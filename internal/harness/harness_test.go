@@ -247,3 +247,28 @@ func TestConfigProfileFiltering(t *testing.T) {
 		t.Fatal("scale clamp not applied")
 	}
 }
+
+func TestDistSweep(t *testing.T) {
+	cfg := quick(t, true)
+	cfg.Datasets = []string{"web-Google"}
+	points, err := DistSweep(cfg, []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("%d points, want 3", len(points))
+	}
+	var prev int64 = -1
+	for _, pt := range points {
+		if !pt.SeedsMatch {
+			t.Fatalf("ranks=%d: distributed seeds diverged from shared run", pt.Ranks)
+		}
+		if pt.BytesSent <= prev {
+			t.Fatalf("ranks=%d: bytes %d not above previous %d", pt.Ranks, pt.BytesSent, prev)
+		}
+		prev = pt.BytesSent
+	}
+	if _, err := os.Stat(filepath.Join(cfg.OutDir, "dist_comm_sweep.csv")); err != nil {
+		t.Fatalf("csv not written: %v", err)
+	}
+}

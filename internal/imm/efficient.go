@@ -41,7 +41,10 @@ type efficientEngine struct {
 	baseFresh bool
 }
 
-func newEfficientEngine(g *graph.Graph, opt Options) *efficientEngine {
+// PolicyFromOptions derives the RRR representation policy the Efficient
+// engine uses for opt. Exported so internal/dist can build rank-local
+// pools that are byte-identical to what Run would have produced.
+func PolicyFromOptions(opt Options) rrr.Policy {
 	policy := rrr.ListOnlyPolicy()
 	if opt.AdaptiveRep {
 		policy = rrr.DefaultPolicy()
@@ -49,6 +52,11 @@ func newEfficientEngine(g *graph.Graph, opt Options) *efficientEngine {
 			policy.DensityThreshold = opt.RepThreshold
 		}
 	}
+	return policy
+}
+
+func newEfficientEngine(g *graph.Graph, opt Options) *efficientEngine {
+	policy := PolicyFromOptions(opt)
 	return &efficientEngine{
 		g:      g,
 		opt:    opt,
@@ -58,11 +66,11 @@ func newEfficientEngine(g *graph.Graph, opt Options) *efficientEngine {
 	}
 }
 
-func (e *efficientEngine) setCount() int64      { return int64(len(e.p.sets)) }
-func (e *efficientEngine) stats() rrr.Stats     { return e.p.stats() }
-func (e *efficientEngine) breakdown() Breakdown { return e.bd }
+func (e *efficientEngine) SetCount() int64      { return int64(len(e.p.sets)) }
+func (e *efficientEngine) Stats() rrr.Stats     { return e.p.stats() }
+func (e *efficientEngine) Breakdown() Breakdown { return e.bd }
 
-func (e *efficientEngine) generate(target int64) {
+func (e *efficientEngine) Generate(target int64) {
 	from, to := e.p.grow(target)
 	if from == to {
 		return
@@ -117,20 +125,7 @@ func (e *efficientEngine) generate(target int64) {
 	// fused atomic updates (charged double for the lock prefix).
 	totalSets := to - from
 	sortCost := func(memberCount, setCount int64) int64 {
-		if setCount < 1 {
-			setCount = 1
-		}
-		sortable := memberCount
-		if e.policy.Adaptive {
-			// Only sets below the threshold are sorted; approximate the
-			// sorted share by the threshold density.
-			cut := int64(float64(e.p.n) * e.policy.DensityThreshold * float64(setCount))
-			if sortable > cut {
-				sortable = cut
-			}
-		}
-		avg := float64(memberCount) / float64(setCount)
-		return int64(float64(sortable) * log2f(avg+2))
+		return ModeledSortCost(e.policy, e.p.n, memberCount, setCount)
 	}
 	if dynamic {
 		// Dynamic balancing spreads batch jobs across the simulated
@@ -150,25 +145,52 @@ func (e *efficientEngine) generate(target int64) {
 	}
 }
 
-// selectSeeds implements Algorithm 2 with the adaptive counter update.
+// SelectSeeds implements Algorithm 2 with the adaptive counter update.
 // It is non-destructive: it works on a copy of the base counter so the
 // pool can keep growing across θ-estimation rounds.
-func (e *efficientEngine) selectSeeds(k int) ([]int32, float64) {
+func (e *efficientEngine) SelectSeeds(k int) ([]int32, float64) {
 	start := time.Now()
 	defer func() { e.bd.SelectionWall += time.Since(start) }()
 
-	nsets := len(e.p.sets)
-	n := int(e.g.N)
-	p := e.opt.Workers
+	var base *counter.Counter
+	if e.baseFresh {
+		base = e.base
+	}
+	seeds, cov, ops := SelectOnSets(e.g.N, e.p.sets, e.p.totalMembers, base, e.opt.Workers, e.opt.Update, k)
+	e.bd.SelectionModeled += ops
+	return seeds, cov
+}
+
+// SelectOnSets is the Find_Most_Influential_Set kernel of the Efficient
+// engine over an explicit pool: set-partitioned containment probes, the
+// global occurrence counter, and the adaptive decrement/rebuild update.
+// base, when non-nil, must already hold the occurrence counts of every
+// member of sets (the fused counter — in the distributed runtime, the
+// allreduced per-rank counters); when nil the counter is rebuilt from the
+// sets. totalMembers is Σ|R| over sets. The returned modeledOps is the
+// critical-path cost the Breakdown accounts under SelectionModeled.
+//
+// The kernel is deterministic for a given pool regardless of workers:
+// argmax ties break toward the lower vertex id and counter updates
+// commute, so any front-end selecting over the same sets returns the
+// same seeds — the property the distributed runtime's bit-identical
+// guarantee rests on.
+func SelectOnSets(n32 int32, sets []rrr.Set, totalMembers int64, base *counter.Counter, workers int, update counter.UpdateStrategy, k int) (result []int32, coverage float64, modeledOps float64) {
+	nsets := len(sets)
+	n := int(n32)
+	p := workers
+	if p < 1 {
+		p = 1
+	}
 	if nsets == 0 || k == 0 {
-		return nil, 0
+		return nil, 0, 0
 	}
 
-	work := counter.New(e.g.N)
+	work := counter.New(n32)
 	ops := make([]int64, p)
-	if e.baseFresh {
+	if base != nil {
 		// Copy the fused base counts; a streaming O(n/p) pass.
-		src := e.base.Raw()
+		src := base.Raw()
 		dst := work.Raw()
 		sched.Static(p, n, func(w, lo, hi int) {
 			copy(dst[lo:hi], src[lo:hi])
@@ -181,7 +203,7 @@ func (e *efficientEngine) selectSeeds(k int) ([]int32, float64) {
 		sched.Static(p, nsets, func(w, s0, e0 int) {
 			var o int64
 			for si := s0; si < e0; si++ {
-				set := e.p.sets[si]
+				set := sets[si]
 				set.ForEach(func(v int32) { work.Inc(v) })
 				o += 2 * int64(set.Size())
 			}
@@ -191,7 +213,7 @@ func (e *efficientEngine) selectSeeds(k int) ([]int32, float64) {
 
 	covered := make([]bool, nsets)
 	coveredCount := 0
-	surviving := e.p.totalMembers
+	surviving := totalMembers
 	seeds := make([]int32, 0, k)
 	raw := work.Raw()
 
@@ -223,7 +245,7 @@ func (e *efficientEngine) selectSeeds(k int) ([]int32, float64) {
 				if covered[si] {
 					continue
 				}
-				set := e.p.sets[si]
+				set := sets[si]
 				o++ // membership probe: O(1) bitmap or O(log) list
 				if _, isList := set.(*rrr.ListSet); isList {
 					o += int64(log2i(set.Size()))
@@ -245,7 +267,7 @@ func (e *efficientEngine) selectSeeds(k int) ([]int32, float64) {
 		// Phase B: fix the counter. Adaptive update compares the work of
 		// decrementing the covered sets against rebuilding from the
 		// survivors (§IV.C).
-		strategy := e.opt.Update
+		strategy := update
 		if strategy == counter.AdaptiveUpdate {
 			if counter.ChooseRebuild(coveredMembers, surviving-coveredMembers, int64(n)) {
 				strategy = counter.Rebuild
@@ -260,7 +282,7 @@ func (e *efficientEngine) selectSeeds(k int) ([]int32, float64) {
 				for slot := s0; slot < e0; slot++ {
 					for _, si := range newly[slot] {
 						covered[si] = true
-						e.p.sets[si].ForEach(func(u int32) {
+						sets[si].ForEach(func(u int32) {
 							// Atomic read: retired sentinels (-1) are
 							// stable during the phase, live counts may
 							// be decremented concurrently but never
@@ -270,7 +292,7 @@ func (e *efficientEngine) selectSeeds(k int) ([]int32, float64) {
 								work.Dec(u)
 							}
 						})
-						o += 2 * int64(e.p.sets[si].Size())
+						o += 2 * int64(sets[si].Size())
 					}
 				}
 				ops[w] += o
@@ -288,8 +310,8 @@ func (e *efficientEngine) selectSeeds(k int) ([]int32, float64) {
 					if covered[si] {
 						continue
 					}
-					e.p.sets[si].ForEach(func(u int32) { work.Inc(u) })
-					o += 2 * int64(e.p.sets[si].Size())
+					sets[si].ForEach(func(u int32) { work.Inc(u) })
+					o += 2 * int64(sets[si].Size())
 				}
 				ops[w] += o + int64(n/p)/8
 			})
@@ -312,6 +334,5 @@ func (e *efficientEngine) selectSeeds(k int) ([]int32, float64) {
 			break
 		}
 	}
-	e.bd.SelectionModeled += float64(maxOf(ops))
-	return seeds, float64(coveredCount) / float64(nsets)
+	return seeds, float64(coveredCount) / float64(nsets), float64(maxOf(ops))
 }

@@ -178,19 +178,36 @@ type Result struct {
 	Workers int
 }
 
-// engine is the contract the driver programs against.
-type engine interface {
-	// generate extends the pool to at least target sets.
-	generate(target int64)
-	// selectSeeds greedily picks k seeds without consuming the pool and
+// Engine is the contract the θ-estimation driver programs against. It is
+// exported so alternative front-ends — in particular the simulated
+// distributed-memory runtime in internal/dist — can drive their own pool
+// management through exactly the same martingale loop as Run, which is
+// what guarantees their θ trajectory (rounds, lower bound, final θ)
+// matches the shared-memory engines sample for sample.
+type Engine interface {
+	// Generate extends the pool to at least target sets.
+	Generate(target int64)
+	// SelectSeeds greedily picks k seeds without consuming the pool and
 	// returns them with the covered fraction.
-	selectSeeds(k int) ([]int32, float64)
-	// setCount returns the current pool size.
-	setCount() int64
-	// stats summarizes the pool representations.
-	stats() rrr.Stats
-	// breakdown returns accumulated phase costs.
-	breakdown() Breakdown
+	SelectSeeds(k int) ([]int32, float64)
+	// SetCount returns the current pool size.
+	SetCount() int64
+	// Stats summarizes the pool representations.
+	Stats() rrr.Stats
+	// Breakdown returns accumulated phase costs.
+	Breakdown() Breakdown
+}
+
+// NewEngine constructs the shared-memory engine selected by opt.Engine.
+func NewEngine(g *graph.Graph, opt Options) (Engine, error) {
+	switch opt.Engine {
+	case Ripples:
+		return newRipplesEngine(g, opt), nil
+	case Efficient:
+		return newEfficientEngine(g, opt), nil
+	default:
+		return nil, fmt.Errorf("imm: unknown engine %v", opt.Engine)
+	}
 }
 
 // Run executes IMM on g and returns the selected seeds.
@@ -198,17 +215,22 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 	if err := opt.normalize(g); err != nil {
 		return nil, err
 	}
-	t0 := time.Now()
-
-	var eng engine
-	switch opt.Engine {
-	case Ripples:
-		eng = newRipplesEngine(g, opt)
-	case Efficient:
-		eng = newEfficientEngine(g, opt)
-	default:
-		return nil, fmt.Errorf("imm: unknown engine %v", opt.Engine)
+	eng, err := NewEngine(g, opt)
+	if err != nil {
+		return nil, err
 	}
+	return RunEngine(g, opt, eng)
+}
+
+// RunEngine executes the IMM driver — iterative-doubling θ estimation
+// followed by the final λ*-sized sampling and selection — against a
+// caller-supplied Engine. Run delegates here; internal/dist supplies its
+// rank-partitioned engine to inherit the identical sampling trajectory.
+func RunEngine(g *graph.Graph, opt Options, eng Engine) (*Result, error) {
+	if err := opt.normalize(g); err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
 
 	n := float64(g.N)
 	k := opt.K
@@ -233,18 +255,18 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 				thetaI = opt.MaxTheta
 				capped = true
 			}
-			eng.generate(thetaI)
+			eng.Generate(thetaI)
 			rounds++
-			seeds, cov := eng.selectSeeds(k)
+			seeds, cov := eng.SelectSeeds(k)
 			if opt.TargetCoverage > 0 && cov >= opt.TargetCoverage {
 				// OPIM-style early exit: the sample already certifies
 				// the requested coverage.
-				bd := eng.breakdown()
+				bd := eng.Breakdown()
 				bd.TotalWall = time.Since(t0)
 				return &Result{
-					Seeds: seeds, Coverage: cov, Theta: eng.setCount(),
+					Seeds: seeds, Coverage: cov, Theta: eng.SetCount(),
 					Rounds: rounds, LB: n * cov / (1 + epsPrime),
-					Breakdown: bd, SetStats: eng.stats(),
+					Breakdown: bd, SetStats: eng.Stats(),
 					Engine: opt.Engine, Workers: opt.Workers,
 				}, nil
 			}
@@ -271,21 +293,21 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 	if opt.MaxTheta > 0 && theta > opt.MaxTheta {
 		theta = opt.MaxTheta
 	}
-	eng.generate(theta)
+	eng.Generate(theta)
 
 	// Selection phase.
-	seeds, cov := eng.selectSeeds(k)
+	seeds, cov := eng.SelectSeeds(k)
 
-	bd := eng.breakdown()
+	bd := eng.Breakdown()
 	bd.TotalWall = time.Since(t0)
 	return &Result{
 		Seeds:     seeds,
 		Coverage:  cov,
-		Theta:     eng.setCount(),
+		Theta:     eng.SetCount(),
 		Rounds:    rounds,
 		LB:        lb,
 		Breakdown: bd,
-		SetStats:  eng.stats(),
+		SetStats:  eng.Stats(),
 		Engine:    opt.Engine,
 		Workers:   opt.Workers,
 	}, nil

@@ -48,19 +48,60 @@ func buildSet(n int32, policy rrr.Policy, buf []int32) rrr.Set {
 	return policy.Build(n, verts)
 }
 
-// generateJob fills pool slots [start, end). RNG streams are derived from
-// the slot index, so pool contents are identical for any worker count,
-// schedule, and engine — which is what lets the tests compare engines
-// seed-for-seed.
-func generateJob(g *graph.Graph, pool *setPool, policy rrr.Policy, seed uint64, s *diffusion.Sampler, start, end int64) (members int64) {
+// generateInto is the one slot-sampling loop every generation path goes
+// through: it fills out[i] with the set for global slot lo+int64(i). RNG
+// streams are derived from the slot index, so pool contents are
+// identical for any worker count, schedule, engine, and rank
+// partitioning — which is what lets the tests compare engines and the
+// distributed runtime seed-for-seed.
+func generateInto(n int32, policy rrr.Policy, seed uint64, s *diffusion.Sampler, lo int64, out []rrr.Set) (members int64) {
 	var buf []int32
-	for i := start; i < end; i++ {
-		r := rng.NewStream(seed, int(i))
+	for i := range out {
+		r := rng.NewStream(seed, int(lo+int64(i)))
 		buf = s.SampleUniformRoot(r, buf[:0])
-		pool.sets[i] = buildSet(pool.n, policy, buf)
+		out[i] = buildSet(n, policy, buf)
 		members += int64(len(buf))
 	}
 	return members
+}
+
+// generateJob fills pool slots [start, end) through generateInto.
+func generateJob(pool *setPool, policy rrr.Policy, seed uint64, s *diffusion.Sampler, start, end int64) (members int64) {
+	return generateInto(pool.n, policy, seed, s, start, pool.sets[start:end])
+}
+
+// GenerateSlots fills out[i] with the RRR set for global slot lo+int64(i),
+// drawing each set from the slot-indexed RNG stream that makes pool
+// contents identical across worker counts, schedules, and engines. It is
+// the generation hook for distributed front-ends (internal/dist): a rank
+// owning slots [lo, lo+len(out)) produces exactly the sets a
+// shared-memory Run would have placed there. Returns the produced member
+// count and the edges visited (the sampling work metric).
+func GenerateSlots(g *graph.Graph, policy rrr.Policy, seed uint64, lo int64, out []rrr.Set) (members, edges int64) {
+	smp := diffusion.NewSampler(g)
+	members = generateInto(g.N, policy, seed, smp, lo, out)
+	return members, smp.EdgesVisited
+}
+
+// ModeledSortCost is the modeled comparison cost of building setCount
+// sets totaling memberCount members under policy: list sets are sorted
+// at |R|·log2(avg|R|) comparisons, and under an adaptive policy only the
+// sub-threshold (list) share is charged — bitmap construction needs no
+// order. Shared by the engines and the distributed runtime so their
+// SamplingModeled figures stay comparable.
+func ModeledSortCost(policy rrr.Policy, n int32, memberCount, setCount int64) int64 {
+	if setCount < 1 {
+		setCount = 1
+	}
+	sortable := memberCount
+	if policy.Adaptive {
+		cut := int64(float64(n) * policy.DensityThreshold * float64(setCount))
+		if sortable > cut {
+			sortable = cut
+		}
+	}
+	avg := float64(memberCount) / float64(setCount)
+	return int64(float64(sortable) * log2f(avg+2))
 }
 
 // generateStatic is the baseline generation schedule: the new range is
@@ -78,7 +119,7 @@ func generateStatic(g *graph.Graph, pool *setPool, policy rrr.Policy, seed uint6
 	}
 	sched.Static(workers, count, func(w, s0, e0 int) {
 		smp := diffusion.NewSampler(g)
-		m := generateJob(g, pool, policy, seed, smp, from+int64(s0), from+int64(e0))
+		m := generateJob(pool, policy, seed, smp, from+int64(s0), from+int64(e0))
 		edges[w] += smp.EdgesVisited
 		members[w] += m
 	})

@@ -33,11 +33,11 @@ func newRipplesEngine(g *graph.Graph, opt Options) *ripplesEngine {
 	return &ripplesEngine{g: g, opt: opt, p: newSetPool(g.N)}
 }
 
-func (e *ripplesEngine) setCount() int64      { return int64(len(e.p.sets)) }
-func (e *ripplesEngine) stats() rrr.Stats     { return e.p.stats() }
-func (e *ripplesEngine) breakdown() Breakdown { return e.bd }
+func (e *ripplesEngine) SetCount() int64      { return int64(len(e.p.sets)) }
+func (e *ripplesEngine) Stats() rrr.Stats     { return e.p.stats() }
+func (e *ripplesEngine) Breakdown() Breakdown { return e.bd }
 
-func (e *ripplesEngine) generate(target int64) {
+func (e *ripplesEngine) Generate(target int64) {
 	from, to := e.p.grow(target)
 	if from == to {
 		return
@@ -57,8 +57,8 @@ func (e *ripplesEngine) generate(target int64) {
 	e.bd.SamplingModeled += float64(maxOf(perWorker))
 }
 
-// selectSeeds implements Ripples' vertex-partitioned greedy selection.
-func (e *ripplesEngine) selectSeeds(k int) ([]int32, float64) {
+// SelectSeeds implements Ripples' vertex-partitioned greedy selection.
+func (e *ripplesEngine) SelectSeeds(k int) ([]int32, float64) {
 	start := time.Now()
 	defer func() { e.bd.SelectionWall += time.Since(start) }()
 
