@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -23,11 +24,13 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1|fig1|fig2|table2|fig5|table3|fig6|fig7|table4|ablations|dist|all")
-		out     = flag.String("out", "results", "output directory for CSVs and JSON logs")
-		quick   = flag.Bool("quick", false, "small sizes for a fast smoke run")
-		scale   = flag.Int("scale", 0, "clamp profile scale (0 = config default)")
-		dataset = flag.String("datasets", "", "comma-separated dataset filter")
+		exp      = flag.String("exp", "all", "experiment: table1|fig1|fig2|table2|fig5|table3|fig6|fig7|table4|ablations|dist|mem|ci|all")
+		out      = flag.String("out", "results", "output directory for CSVs and JSON logs")
+		quick    = flag.Bool("quick", false, "small sizes for a fast smoke run")
+		scale    = flag.Int("scale", 0, "clamp profile scale (0 = config default)")
+		dataset  = flag.String("datasets", "", "comma-separated dataset filter")
+		baseline = flag.String("baseline", "", "BENCH_baseline.json to gate the ci experiment against (fail on >tolerance regressions)")
+		tol      = flag.Float64("tolerance", 0.10, "allowed fractional drift for the ci gate")
 	)
 	flag.Parse()
 
@@ -171,6 +174,52 @@ func main() {
 		for _, r := range rows {
 			fmt.Printf("%-18s modeled=%14.0f penalty=%.2fx\n", r.Variant, r.Modeled, r.Penalty)
 		}
+		return nil
+	})
+
+	run("mem", func() error {
+		rows, err := harness.MemorySweep(cfg, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12s %-3s %-15s %10s %10s %10s %7s %12s %12s %6s\n",
+			"dataset", "mod", "variant", "setBytes", "idxBytes", "rawBytes", "ratio", "selCELF", "selScan", "match")
+		for _, r := range rows {
+			fmt.Printf("%-12s %-3s %-15s %10d %10d %10d %6.2fx %12.0f %12.0f %6v\n",
+				r.Dataset, r.Model, r.Variant, r.SetBytes, r.IndexBytes, r.RawBytes,
+				r.CompressionRatio, r.SelectionCELF, r.SelectionScan, r.SeedsMatch)
+		}
+		return nil
+	})
+
+	run("ci", func() error {
+		digest, err := harness.CIBench()
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(cfg.OutDir, "BENCH_ci.json")
+		if err := harness.WriteCIDigest(path, digest); err != nil {
+			return err
+		}
+		for _, m := range digest.Metrics {
+			fmt.Printf("%-45s theta=%-6d sampling=%12.0f selection=%12.0f poolB=%8d idxB=%8d ratio=%5.2f\n",
+				m.Key, m.Theta, m.SamplingModeled, m.SelectionModeled, m.PoolSetBytes, m.PoolIndexBytes, m.CompressionRatio)
+		}
+		fmt.Printf("digest written to %s\n", path)
+		if *baseline == "" {
+			return nil
+		}
+		base, err := harness.LoadCIDigest(*baseline)
+		if err != nil {
+			return fmt.Errorf("load baseline: %w", err)
+		}
+		if regressions := harness.CompareCI(base, digest, *tol); len(regressions) > 0 {
+			for _, r := range regressions {
+				fmt.Fprintf(os.Stderr, "REGRESSION: %s\n", r)
+			}
+			return fmt.Errorf("%d regression(s) vs %s at %.0f%% tolerance", len(regressions), *baseline, 100**tol)
+		}
+		fmt.Printf("no regressions vs %s at %.0f%% tolerance\n", *baseline, 100**tol)
 		return nil
 	})
 

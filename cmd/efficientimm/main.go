@@ -27,6 +27,8 @@ func main() {
 		undirected = flag.Bool("undirected", false, "treat the edge list as undirected")
 		modelName  = flag.String("model", "IC", "diffusion model: IC or LT")
 		engineName = flag.String("engine", "efficientimm", "engine: efficientimm or ripples")
+		poolName   = flag.String("pool", "slices", "RRR pool representation: slices or compressed")
+		selName    = flag.String("selection", "celf", "selection kernel: celf or scan")
 		k          = flag.Int("k", 50, "seed set size")
 		eps        = flag.Float64("eps", 0.5, "approximation parameter epsilon")
 		workers    = flag.Int("workers", runtime.NumCPU(), "parallel workers")
@@ -51,6 +53,10 @@ func main() {
 	model, err := efficientimm.ParseModel(*modelName)
 	fatalIf(err)
 	engine, err := efficientimm.ParseEngine(*engineName)
+	fatalIf(err)
+	pool, err := efficientimm.ParsePool(*poolName)
+	fatalIf(err)
+	selection, err := efficientimm.ParseSelection(*selName)
 	fatalIf(err)
 
 	var g *efficientimm.Graph
@@ -81,6 +87,8 @@ func main() {
 
 	opt := efficientimm.Defaults()
 	opt.Engine = engine
+	opt.Pool = pool
+	opt.Selection = selection
 	opt.K = *k
 	opt.Epsilon = *eps
 	opt.Workers = *workers
@@ -91,6 +99,9 @@ func main() {
 	var res *efficientimm.Result
 	var comm *efficientimm.DistResult
 	if *ranks > 0 {
+		// The distributed runtime always selects through the CELF
+		// kernel; report what actually ran rather than the flag.
+		selection = efficientimm.SelectCELF
 		dopt := efficientimm.DefaultDistOptions()
 		dopt.Options = opt
 		dopt.Ranks = *ranks
@@ -124,6 +135,17 @@ func main() {
 		"rrr_bytes":         res.SetStats.TotalBytes,
 		"rrr_bitmaps":       res.SetStats.Bitmaps,
 		"rrr_lists":         res.SetStats.Lists,
+		"rrr_compressed":    res.SetStats.Compressed,
+		"pool":              pool.String(),
+		"selection":         selection.String(),
+		// Peak pool footprint: resident set bytes, the inverted-index
+		// bytes CELF selection adds, and the raw []int32-slice cost the
+		// compression ratio is measured against.
+		"pool_set_bytes":         res.Pool.SetBytes,
+		"pool_index_bytes":       res.Pool.IndexBytes,
+		"pool_raw_bytes":         res.Pool.RawBytes,
+		"pool_total_bytes":       res.Pool.TotalBytes(),
+		"pool_compression_ratio": res.Pool.CompressionRatio(),
 	}
 	if comm != nil {
 		out["ranks"] = comm.Ranks

@@ -52,6 +52,13 @@ type (
 	EngineKind = imm.EngineKind
 	// Breakdown is the per-phase cost report inside Result.
 	Breakdown = imm.Breakdown
+	// PoolKind selects the RRR pool representation (slices or
+	// compressed).
+	PoolKind = imm.PoolKind
+	// SelectionKind selects the seed-selection kernel (CELF or scan).
+	SelectionKind = imm.SelectionKind
+	// PoolFootprint reports resident pool bytes inside Result.
+	PoolFootprint = imm.PoolFootprint
 	// CoverageStats summarizes RRR-set sizes (Table I methodology).
 	CoverageStats = diffusion.CoverageStats
 	// Profile describes a calibrated clone of one of the paper's SNAP
@@ -73,6 +80,19 @@ const (
 	EngineEfficient = imm.Efficient
 )
 
+// Pool representations and selection kernels.
+const (
+	// PoolSlices stores sparse sets as plain sorted []int32 lists.
+	PoolSlices = imm.PoolSlices
+	// PoolCompressed stores sparse sets as delta-encoded member lists
+	// (dense sets become bitset rows under the adaptive policy).
+	PoolCompressed = imm.PoolCompressed
+	// SelectCELF is the parallel lazy-greedy selection (default).
+	SelectCELF = imm.SelectCELF
+	// SelectScan is the eager argmax-and-update selection.
+	SelectScan = imm.SelectScan
+)
+
 // Defaults returns the paper's evaluation options (k=50, ε=0.5, all
 // optimizations enabled). Set Workers explicitly.
 func Defaults() Options { return imm.Defaults() }
@@ -85,6 +105,12 @@ func ParseModel(s string) (Model, error) { return graph.ParseModel(s) }
 
 // ParseEngine converts "ripples"/"efficientimm" to an EngineKind.
 func ParseEngine(s string) (EngineKind, error) { return imm.ParseEngine(s) }
+
+// ParsePool converts "slices"/"compressed" to a PoolKind.
+func ParsePool(s string) (PoolKind, error) { return imm.ParsePool(s) }
+
+// ParseSelection converts "celf"/"scan" to a SelectionKind.
+func ParseSelection(s string) (SelectionKind, error) { return imm.ParseSelection(s) }
 
 // NewBuilder returns a Builder for a graph with n vertices.
 func NewBuilder(n int32) *Builder { return graph.NewBuilder(n) }

@@ -57,6 +57,23 @@ func (b *Bitset) TestAndSet(i int) bool {
 	return old
 }
 
+// Grow extends the set so it can hold at least n bits, preserving the
+// bits already set. Shrinking is a no-op. The incremental structures
+// that track a growing RRR pool (per-shard coverage marks) grow in place
+// instead of reallocating a fresh set every θ round.
+func (b *Bitset) Grow(n int) {
+	if n <= b.n {
+		return
+	}
+	words := (n + wordBits - 1) / wordBits
+	if words > len(b.words) {
+		grown := make([]uint64, words)
+		copy(grown, b.words)
+		b.words = grown
+	}
+	b.n = n
+}
+
 // Reset clears every bit. It touches every word, so for sparse occupancy
 // prefer ClearList.
 func (b *Bitset) Reset() {

@@ -261,3 +261,32 @@ func BenchmarkAtomicSet(b *testing.B) {
 		s.Set(i & (1<<20 - 1))
 	}
 }
+
+func TestGrowPreservesBits(t *testing.T) {
+	b := New(10)
+	b.Set(3)
+	b.Set(9)
+	b.Grow(5) // shrink request: no-op
+	if b.Len() != 10 {
+		t.Fatalf("Len = %d after no-op grow", b.Len())
+	}
+	b.Grow(1000)
+	if b.Len() != 1000 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	if !b.Test(3) || !b.Test(9) || b.Test(4) {
+		t.Fatal("bits lost across Grow")
+	}
+	b.Set(999)
+	if !b.Test(999) || b.Count() != 3 {
+		t.Fatalf("post-grow bits wrong: count=%d", b.Count())
+	}
+	// Growing within the same word capacity must also extend Len.
+	c := New(1)
+	c.Set(0)
+	c.Grow(60)
+	c.Set(59)
+	if !c.Test(0) || !c.Test(59) {
+		t.Fatal("same-word grow lost bits")
+	}
+}

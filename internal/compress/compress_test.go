@@ -6,7 +6,6 @@ import (
 	"testing/quick"
 
 	"repro/internal/rng"
-	"repro/internal/rrr"
 )
 
 func roundTrip(t *testing.T, verts []int32) {
@@ -122,8 +121,10 @@ func TestCompressionBeatsRawOnClusteredSets(t *testing.T) {
 	}
 }
 
-func TestSetImplementsRRRInterface(t *testing.T) {
-	var _ rrr.Set = (*Set)(nil)
+func TestSetBehavesLikeRRRSet(t *testing.T) {
+	// Interface compliance with rrr.Set is asserted from the rrr side
+	// (which imports this package for its compressed representation);
+	// here we pin the behavioural contract.
 	s, err := NewSet([]int32{9, 2, 7, 2})
 	if err != nil {
 		t.Fatal(err)
@@ -162,13 +163,13 @@ func TestSetFootprintBelowListAndBitmap(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	list := rrr.NewListSet(verts)
-	bm := rrr.NewBitmapSet(n, verts)
-	if cs.Bytes() >= list.Bytes() {
-		t.Fatalf("compressed %d not below list %d", cs.Bytes(), list.Bytes())
+	listBytes := int64(len(verts)) * 4      // 4 bytes per member
+	bitmapBytes := int64((n + 63) / 64 * 8) // one bit per vertex
+	if cs.Bytes() >= listBytes {
+		t.Fatalf("compressed %d not below list %d", cs.Bytes(), listBytes)
 	}
-	if cs.Bytes() >= bm.Bytes() {
-		t.Fatalf("compressed %d not below bitmap %d", cs.Bytes(), bm.Bytes())
+	if cs.Bytes() >= bitmapBytes {
+		t.Fatalf("compressed %d not below bitmap %d", cs.Bytes(), bitmapBytes)
 	}
 }
 
@@ -277,7 +278,6 @@ func BenchmarkMembershipTradeoff(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	list := rrr.NewListSet(verts)
 	b.Run("huffman", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			cs.Contains(int32(i % 35000))
@@ -285,7 +285,9 @@ func BenchmarkMembershipTradeoff(b *testing.B) {
 	})
 	b.Run("list", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			list.Contains(int32(i % 35000))
+			v := int32(i % 35000)
+			j := sort.Search(len(verts), func(j int) bool { return verts[j] >= v })
+			_ = j < len(verts) && verts[j] == v
 		}
 	})
 }

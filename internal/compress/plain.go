@@ -1,0 +1,91 @@
+package compress
+
+import "fmt"
+
+// Plain delta-varint coding of sorted vertex lists — the pool-facing
+// sibling of the Huffman codec above. Encode/Decode pay a 256-byte
+// canonical-code header per set, which is fine for the footprint studies
+// they were written for but dwarfs the payload of a typical RRR set (a
+// handful of one-byte deltas). The plain layout drops the entropy stage
+// and keeps only the part that matters at pool granularity:
+//
+//	varint(count) | varint(first) | varint(delta-1)...
+//
+// Successive members are strictly increasing, so every delta is at least
+// one and the -1 bias keeps single-step runs in one byte. Decoding is a
+// single forward scan with no tables, cheap enough to sit on the
+// selection hot path.
+
+// AppendPlain appends the delta-varint encoding of sorted to dst and
+// returns the extended slice. sorted must be strictly increasing and
+// non-negative; AppendPlain does not validate (the pool sorts and
+// dedups before encoding).
+func AppendPlain(dst []byte, sorted []int32) []byte {
+	dst = appendUvarint(dst, uint64(len(sorted)))
+	prev := int64(-1)
+	for _, v := range sorted {
+		dst = appendUvarint(dst, uint64(int64(v)-prev-1))
+		prev = int64(v)
+	}
+	return dst
+}
+
+// PlainCount returns the member count of a plain encoding without
+// decoding the payload.
+func PlainCount(data []byte) (int, error) {
+	count, n := readUvarint(data)
+	if n <= 0 {
+		return 0, fmt.Errorf("compress: truncated plain count")
+	}
+	return int(count), nil
+}
+
+// DecodePlain reverses AppendPlain, appending the vertices to dst.
+func DecodePlain(data []byte, dst []int32) ([]int32, error) {
+	err := ForEachPlain(data, func(v int32) { dst = append(dst, v) })
+	return dst, err
+}
+
+// ForEachPlain visits the members of a plain encoding in ascending order
+// without materializing the list.
+func ForEachPlain(data []byte, fn func(v int32)) error {
+	count, n := readUvarint(data)
+	if n <= 0 {
+		return fmt.Errorf("compress: truncated plain count")
+	}
+	data = data[n:]
+	prev := int64(-1)
+	for i := uint64(0); i < count; i++ {
+		delta, n := readUvarint(data)
+		if n <= 0 {
+			return fmt.Errorf("compress: truncated plain delta %d", i)
+		}
+		data = data[n:]
+		prev += int64(delta) + 1
+		fn(int32(prev))
+	}
+	return nil
+}
+
+// PlainContains reports membership by scanning the deltas, stopping as
+// soon as the running value reaches v. No allocation.
+func PlainContains(data []byte, v int32) bool {
+	count, n := readUvarint(data)
+	if n <= 0 {
+		return false
+	}
+	data = data[n:]
+	prev := int64(-1)
+	for i := uint64(0); i < count; i++ {
+		delta, n := readUvarint(data)
+		if n <= 0 {
+			return false
+		}
+		data = data[n:]
+		prev += int64(delta) + 1
+		if prev >= int64(v) {
+			return prev == int64(v)
+		}
+	}
+	return false
+}

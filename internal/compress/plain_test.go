@@ -1,0 +1,116 @@
+package compress
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func plainRoundTrip(t *testing.T, verts []int32) {
+	t.Helper()
+	data := AppendPlain(nil, verts)
+	got, err := DecodePlain(data, nil)
+	if err != nil {
+		t.Fatalf("DecodePlain(%v): %v", verts, err)
+	}
+	if len(got) != len(verts) {
+		t.Fatalf("round trip length %d != %d", len(got), len(verts))
+	}
+	for i := range verts {
+		if got[i] != verts[i] {
+			t.Fatalf("round trip mismatch at %d: %d != %d", i, got[i], verts[i])
+		}
+	}
+	if c, err := PlainCount(data); err != nil || c != len(verts) {
+		t.Fatalf("PlainCount = %d, %v; want %d", c, err, len(verts))
+	}
+}
+
+func TestPlainRoundTrip(t *testing.T) {
+	plainRoundTrip(t, nil)
+	plainRoundTrip(t, []int32{0})
+	plainRoundTrip(t, []int32{0, 1, 2, 3})
+	plainRoundTrip(t, []int32{7})
+	plainRoundTrip(t, []int32{0, 1<<30 + 17})
+	plainRoundTrip(t, []int32{5, 1000, 1001, 1 << 20})
+}
+
+func TestPlainRoundTripRandom(t *testing.T) {
+	r := rng.NewStream(99, 0)
+	for trial := 0; trial < 50; trial++ {
+		n := int(r.Uint64()%2000) + 1
+		seen := map[int32]bool{}
+		var verts []int32
+		for len(verts) < n {
+			v := int32(r.Uint64() % (1 << 22))
+			if !seen[v] {
+				seen[v] = true
+				verts = append(verts, v)
+			}
+		}
+		sort.Slice(verts, func(i, j int) bool { return verts[i] < verts[j] })
+		plainRoundTrip(t, verts)
+	}
+}
+
+func TestPlainBeatsSliceOnClusteredIDs(t *testing.T) {
+	// Consecutive-ish ids (the common RRR shape after BFS over a
+	// community): one byte per member, 4x below the slice cost.
+	verts := make([]int32, 4000)
+	for i := range verts {
+		verts[i] = int32(i * 3)
+	}
+	data := AppendPlain(nil, verts)
+	if int64(len(data))*2 >= int64(len(verts))*4 {
+		t.Fatalf("plain encoding %dB not at least 2x below slice %dB", len(data), len(verts)*4)
+	}
+}
+
+func TestPlainContains(t *testing.T) {
+	verts := []int32{2, 7, 9, 500, 501}
+	data := AppendPlain(nil, verts)
+	for _, v := range verts {
+		if !PlainContains(data, v) {
+			t.Fatalf("missing member %d", v)
+		}
+	}
+	for _, v := range []int32{0, 3, 8, 499, 502, 1 << 20} {
+		if PlainContains(data, v) {
+			t.Fatalf("phantom member %d", v)
+		}
+	}
+}
+
+func TestPlainTruncation(t *testing.T) {
+	data := AppendPlain(nil, []int32{3, 900, 40000})
+	if _, err := DecodePlain(nil, nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	for cut := 1; cut < len(data); cut++ {
+		if _, err := DecodePlain(data[:cut], nil); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestForEachPlainMatchesDecode(t *testing.T) {
+	verts := []int32{1, 4, 6, 10000}
+	data := AppendPlain(nil, verts)
+	var walked []int32
+	if err := ForEachPlain(data, func(v int32) { walked = append(walked, v) }); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodePlain(data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(walked) != len(decoded) {
+		t.Fatalf("walked %v != decoded %v", walked, decoded)
+	}
+	for i := range walked {
+		if walked[i] != decoded[i] {
+			t.Fatalf("walked %v != decoded %v", walked, decoded)
+		}
+	}
+}

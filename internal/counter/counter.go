@@ -134,6 +134,103 @@ func (c *Counter) SequentialArgMax() Regional {
 	return best
 }
 
+// GainItem is one candidate in a lazy-greedy (CELF) selection: a vertex
+// and its cached marginal gain (an upper bound once coverage advances —
+// marginal coverage gain is non-increasing under the greedy).
+type GainItem struct {
+	Gain   int64
+	Vertex int32
+}
+
+// GainLess is the CELF priority order: higher gain first, ties toward
+// the lower vertex id. The tie-break matches ArgMax, which is what makes
+// lazy selection return byte-identical seeds to the eager argmax scan at
+// any worker count. Exported so the selection kernel reduces per-shard
+// heap tops under exactly the heap's own order.
+func GainLess(a, b GainItem) bool {
+	return a.Gain > b.Gain || (a.Gain == b.Gain && a.Vertex < b.Vertex)
+}
+
+// GainHeap is a deterministic binary max-heap of GainItems used as the
+// per-shard priority queue of the parallel CELF selection. It supports
+// exactly the operations that selection needs — bulk build, peek, pop,
+// and re-keying the current top — so there is no position index to
+// maintain.
+type GainHeap struct {
+	items []GainItem
+}
+
+// NewGainHeap returns an empty heap with capacity for hint items.
+func NewGainHeap(hint int) *GainHeap {
+	return &GainHeap{items: make([]GainItem, 0, hint)}
+}
+
+// Len returns the number of queued candidates.
+func (h *GainHeap) Len() int { return len(h.items) }
+
+// Append adds an item without restoring heap order; call Init after the
+// bulk load. Splitting build this way keeps construction O(n).
+func (h *GainHeap) Append(gain int64, vertex int32) {
+	h.items = append(h.items, GainItem{Gain: gain, Vertex: vertex})
+}
+
+// Init establishes the heap invariant over all appended items.
+func (h *GainHeap) Init() {
+	for i := len(h.items)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+// Top returns the best candidate without removing it.
+func (h *GainHeap) Top() (GainItem, bool) {
+	if len(h.items) == 0 {
+		return GainItem{}, false
+	}
+	return h.items[0], true
+}
+
+// Pop removes and returns the best candidate.
+func (h *GainHeap) Pop() (GainItem, bool) {
+	if len(h.items) == 0 {
+		return GainItem{}, false
+	}
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	if last > 0 {
+		h.siftDown(0)
+	}
+	return top, true
+}
+
+// UpdateTop re-keys the current top with a recomputed gain and restores
+// the invariant — the CELF lazy-reinsertion step. Panics on an empty
+// heap.
+func (h *GainHeap) UpdateTop(gain int64) {
+	h.items[0].Gain = gain
+	h.siftDown(0)
+}
+
+func (h *GainHeap) siftDown(i int) {
+	n := len(h.items)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		best := l
+		if r := l + 1; r < n && GainLess(h.items[r], h.items[l]) {
+			best = r
+		}
+		if !GainLess(h.items[best], h.items[i]) {
+			return
+		}
+		h.items[i], h.items[best] = h.items[best], h.items[i]
+		i = best
+	}
+}
+
 // UpdateStrategy selects how counts are corrected after a seed is chosen
 // and its covered RRR sets are retired.
 type UpdateStrategy int

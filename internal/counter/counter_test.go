@@ -198,3 +198,68 @@ func TestAddFrom(t *testing.T) {
 	}()
 	a.AddFrom(New(4))
 }
+
+func TestGainHeapOrdering(t *testing.T) {
+	h := NewGainHeap(8)
+	for _, it := range []GainItem{{3, 5}, {9, 2}, {3, 1}, {9, 7}, {0, 0}} {
+		h.Append(it.Gain, it.Vertex)
+	}
+	h.Init()
+	want := []GainItem{{9, 2}, {9, 7}, {3, 1}, {3, 5}, {0, 0}}
+	for i, w := range want {
+		got, ok := h.Pop()
+		if !ok || got != w {
+			t.Fatalf("pop %d = %+v, want %+v", i, got, w)
+		}
+	}
+	if _, ok := h.Pop(); ok {
+		t.Fatal("pop from empty heap succeeded")
+	}
+	if _, ok := h.Top(); ok {
+		t.Fatal("top of empty heap succeeded")
+	}
+}
+
+func TestGainHeapUpdateTop(t *testing.T) {
+	h := NewGainHeap(4)
+	h.Append(10, 4)
+	h.Append(8, 1)
+	h.Append(6, 9)
+	h.Init()
+	h.UpdateTop(7) // 10@4 decays to 7@4: 8@1 must surface
+	if top, _ := h.Top(); top != (GainItem{8, 1}) {
+		t.Fatalf("top after decay = %+v", top)
+	}
+	h.UpdateTop(7) // 8@1 decays to 7@1: ties with 7@4, lower id wins
+	if top, _ := h.Top(); top != (GainItem{7, 1}) {
+		t.Fatalf("tie-break top = %+v", top)
+	}
+}
+
+func TestGainHeapMatchesArgMaxOrder(t *testing.T) {
+	// Popping a fully fresh heap must enumerate vertices in exactly the
+	// order repeated ArgMax-with-retirement would visit them.
+	r := rng.NewStream(31, 2)
+	n := int32(300)
+	c := New(n)
+	for i := 0; i < 4000; i++ {
+		c.Inc(int32(r.Uint64() % uint64(n)))
+	}
+	h := NewGainHeap(int(n))
+	for v := int32(0); v < n; v++ {
+		h.Append(c.Get(v), v)
+	}
+	h.Init()
+	raw := c.Raw()
+	for i := 0; i < int(n); i++ {
+		got, ok := h.Pop()
+		if !ok {
+			t.Fatal("heap exhausted early")
+		}
+		best := c.ArgMax(3)
+		if best.Vertex != got.Vertex || best.Count != got.Gain {
+			t.Fatalf("pop %d: heap %+v vs argmax %+v", i, got, best)
+		}
+		raw[best.Vertex] = -1
+	}
+}

@@ -197,3 +197,48 @@ func TestEngineLabelNormalized(t *testing.T) {
 	}
 	assertSameSeeds(t, sharedRun(t, g, opt).Seeds, res.Seeds)
 }
+
+// TestCompressedPoolAcrossRanks pins the compressed-pool guarantee at
+// Ranks>1: ranks generate delta-encoded sets under the same policy as
+// the shared-memory compressed run, the gather ships the compressed
+// payloads (strictly fewer bytes than the slice-pool gather), and rank-0
+// CELF selection over the gathered pool returns seeds byte-identical to
+// both the shared-memory compressed run and the slice-pool run.
+func TestCompressedPoolAcrossRanks(t *testing.T) {
+	g := testGraph(t)
+	slices := testOptions(1)
+	slices.Pool = imm.PoolSlices
+	refSlices := sharedRun(t, g, slices)
+
+	compressed := testOptions(1)
+	compressed.Pool = imm.PoolCompressed
+	refCompressed := sharedRun(t, g, compressed)
+	assertSameSeeds(t, refSlices.Seeds, refCompressed.Seeds)
+
+	for _, ranks := range []int{2, 3, 4} {
+		optC := testOptions(ranks)
+		optC.Pool = imm.PoolCompressed
+		resC, err := Run(g, optC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameSeeds(t, refCompressed.Seeds, resC.Seeds)
+		if resC.Theta != refCompressed.Theta {
+			t.Fatalf("ranks=%d: theta %d vs %d", ranks, resC.Theta, refCompressed.Theta)
+		}
+		optS := testOptions(ranks)
+		optS.Pool = imm.PoolSlices
+		resS, err := Run(g, optS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resC.Comm.SetGather.BytesSent >= resS.Comm.SetGather.BytesSent {
+			t.Fatalf("ranks=%d: compressed gather %dB not below slices gather %dB",
+				ranks, resC.Comm.SetGather.BytesSent, resS.Comm.SetGather.BytesSent)
+		}
+		if resC.Pool.SetBytes >= resS.Pool.SetBytes {
+			t.Fatalf("ranks=%d: compressed pool %dB not below slices pool %dB",
+				ranks, resC.Pool.SetBytes, resS.Pool.SetBytes)
+		}
+	}
+}

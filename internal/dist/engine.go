@@ -30,6 +30,11 @@ type engine struct {
 	pool         []rrr.Set // rank 0's gathered global pool
 	totalMembers int64
 	base         *counter.Counter // allreduced occurrence counts over pool
+	// selector holds rank 0's persistent sharded inverted index over
+	// the gathered pool, extended with each round's new sets so every
+	// set is indexed exactly once across the θ-estimation rounds —
+	// the same incremental accounting as the shared-memory engine.
+	selector *imm.Selector
 
 	comm Comm
 	bd   imm.Breakdown
@@ -40,16 +45,31 @@ func newEngine(g *graph.Graph, opt Options) *engine {
 		opt.Workers = 1
 	}
 	return &engine{
-		g:      g,
-		opt:    opt,
-		policy: imm.PolicyFromOptions(opt.Options),
-		base:   counter.New(g.N),
+		g:        g,
+		opt:      opt,
+		policy:   imm.PolicyFromOptions(opt.Options),
+		base:     counter.New(g.N),
+		selector: imm.NewSelector(g.N),
 	}
 }
 
 func (e *engine) SetCount() int64          { return int64(len(e.pool)) }
 func (e *engine) Stats() rrr.Stats         { return rrr.Summarize(e.g.N, e.pool) }
 func (e *engine) Breakdown() imm.Breakdown { return e.bd }
+
+// PoolFootprint reports rank 0's gathered pool. The representation —
+// and therefore the gather volume and the resident bytes — follows the
+// caller's PoolKind through PolicyFromOptions, so a compressed-pool
+// distributed run both ships and holds the delta-encoded payloads. The
+// selection-side inverted index is transient (rebuilt per SelectOnSets
+// call) and not counted as resident.
+func (e *engine) PoolFootprint() imm.PoolFootprint {
+	var set int64
+	for _, s := range e.pool {
+		set += s.Bytes()
+	}
+	return imm.PoolFootprint{SetBytes: set, RawBytes: 4 * e.totalMembers}
+}
 
 // rankRound is what one rank hands the root after a generation round.
 type rankRound struct {
@@ -115,15 +135,19 @@ func (e *engine) Generate(target int64) {
 	// total (two 8-byte values both ways per non-root rank).
 	e.comm.record(&e.comm.ThetaExchange, 2*(ranks-1), 2*(ranks-1)*16)
 
+	// Fold the round's gathered sets into rank 0's selection index.
+	e.selector.Extend(e.pool[from:], e.opt.Workers)
+
 	e.bd.SamplingWall += time.Since(start)
 	e.bd.SamplingModeled += float64(critical)
 }
 
 // SelectSeeds runs Find_Most_Influential_Set at rank 0 over the gathered
-// pool, seeded with the allreduced counter, then broadcasts the result.
+// pool (the persistent CELF selector, semantics of imm.SelectOnSets),
+// seeded with the allreduced counter, then broadcasts the result.
 func (e *engine) SelectSeeds(k int) ([]int32, float64) {
 	start := time.Now()
-	seeds, cov, ops := imm.SelectOnSets(e.g.N, e.pool, e.totalMembers, e.base, e.opt.Workers, e.opt.Update, k)
+	seeds, cov, ops := e.selector.Select(e.base, e.opt.Workers, k)
 	e.bd.SelectionWall += time.Since(start)
 	e.bd.SelectionModeled += ops
 	if ranks := int64(e.opt.Ranks); ranks > 1 {

@@ -283,14 +283,19 @@ func Fig5AdaptiveUpdate(cfg Config, datasets []string) ([]Fig5Row, error) {
 		if err != nil {
 			return nil, err
 		}
+		// The adaptive counter update is a property of the eager scan
+		// kernel (CELF retires coverage through postings and never runs a
+		// decrement/rebuild pass), so the ablation pins Selection to it.
 		optDec := cfg.options(imm.Efficient, graph.IC, workers)
 		optDec.Update = counter.Decrement
+		optDec.Selection = imm.SelectScan
 		recDec, err := runOne(g, p.Name, optDec)
 		if err != nil {
 			return nil, err
 		}
 		optAd := cfg.options(imm.Efficient, graph.IC, workers)
 		optAd.Update = counter.AdaptiveUpdate
+		optAd.Selection = imm.SelectScan
 		recAd, err := runOne(g, p.Name, optAd)
 		if err != nil {
 			return nil, err
@@ -573,8 +578,10 @@ func Ablations(cfg Config) ([]AblationRow, error) {
 		{"full", func(*imm.Options) {}},
 		{"no-fusion", func(o *imm.Options) { o.Fusion = false }},
 		{"no-adaptive-rep", func(o *imm.Options) { o.AdaptiveRep = false }},
-		{"decrement-only", func(o *imm.Options) { o.Update = counter.Decrement }},
-		{"rebuild-only", func(o *imm.Options) { o.Update = counter.Rebuild }},
+		{"compressed-pool", func(o *imm.Options) { o.Pool = imm.PoolCompressed }},
+		{"scan-selection", func(o *imm.Options) { o.Selection = imm.SelectScan }},
+		{"scan-decrement", func(o *imm.Options) { o.Selection = imm.SelectScan; o.Update = counter.Decrement }},
+		{"scan-rebuild", func(o *imm.Options) { o.Selection = imm.SelectScan; o.Update = counter.Rebuild }},
 		{"static-schedule", func(o *imm.Options) { o.DynamicBalance = false }},
 		{"ripples-baseline", func(o *imm.Options) { o.Engine = imm.Ripples }},
 	}

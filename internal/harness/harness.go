@@ -149,6 +149,11 @@ type RunRecord struct {
 	Theta            int64   `json:"theta"`
 	Coverage         float64 `json:"coverage"`
 	Seeds            []int32 `json:"seeds"`
+	// Pool footprint (the memory dimension of the sweep).
+	PoolSetBytes   int64   `json:"pool_set_bytes"`
+	PoolIndexBytes int64   `json:"pool_index_bytes"`
+	PoolRawBytes   int64   `json:"pool_raw_bytes"`
+	PoolRatio      float64 `json:"pool_compression_ratio"`
 }
 
 // runOne executes a single IMM run and converts the result.
@@ -171,6 +176,10 @@ func runOne(g *graph.Graph, name string, opt imm.Options) (RunRecord, error) {
 		Theta:            res.Theta,
 		Coverage:         res.Coverage,
 		Seeds:            res.Seeds,
+		PoolSetBytes:     res.Pool.SetBytes,
+		PoolIndexBytes:   res.Pool.IndexBytes,
+		PoolRawBytes:     res.Pool.RawBytes,
+		PoolRatio:        res.Pool.CompressionRatio(),
 	}, nil
 }
 

@@ -223,8 +223,8 @@ func TestAblations(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 7 {
-		t.Fatalf("%d ablation rows, want 7", len(rows))
+	if len(rows) != 9 {
+		t.Fatalf("%d ablation rows, want 9", len(rows))
 	}
 	if rows[0].Variant != "full" || rows[0].Penalty != 1 {
 		t.Fatalf("first row must be the full configuration: %+v", rows[0])
@@ -270,5 +270,123 @@ func TestDistSweep(t *testing.T) {
 	}
 	if _, err := os.Stat(filepath.Join(cfg.OutDir, "dist_comm_sweep.csv")); err != nil {
 		t.Fatalf("csv not written: %v", err)
+	}
+}
+
+func TestMemorySweep(t *testing.T) {
+	cfg := quick(t, true)
+	rows, err := MemorySweep(cfg, []string{"web-Google"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 dataset x 2 models x 3 variants.
+	if len(rows) != 6 {
+		t.Fatalf("%d rows, want 6", len(rows))
+	}
+	byKey := map[string]MemoryRow{}
+	for _, r := range rows {
+		if !r.SeedsMatch {
+			t.Fatalf("%s/%s/%s: seeds diverged from the slice baseline", r.Dataset, r.Model, r.Variant)
+		}
+		if r.SetBytes <= 0 || r.RawBytes <= 0 {
+			t.Fatalf("footprint missing: %+v", r)
+		}
+		byKey[r.Model+"/"+r.Variant] = r
+	}
+	for _, model := range []string{"IC", "LT"} {
+		raw := byKey[model+"/slice-list"]
+		comp := byKey[model+"/compressed"]
+		adaptive := byKey[model+"/slice-adaptive"]
+		if comp.SetBytes > adaptive.SetBytes {
+			t.Fatalf("%s: compressed %dB above adaptive slices %dB", model, comp.SetBytes, adaptive.SetBytes)
+		}
+		if comp.CompressionRatio <= 1 {
+			t.Fatalf("%s: no compression vs slice pool: %.2f", model, comp.CompressionRatio)
+		}
+		if raw.SetBytes != raw.RawBytes {
+			t.Fatalf("%s: slice-list pool must cost exactly 4B/member: %d vs %d", model, raw.SetBytes, raw.RawBytes)
+		}
+	}
+	// The acceptance pin: >= 2x reduction vs the []int32-slice pool on
+	// the default harness clone under IC (the memory-pressure model).
+	if r := byKey["IC/compressed"]; r.CompressionRatio < 2 {
+		t.Fatalf("IC compressed ratio %.2f, want >= 2", r.CompressionRatio)
+	}
+	if _, err := os.Stat(filepath.Join(cfg.OutDir, "memory_selection_sweep.csv")); err != nil {
+		t.Fatalf("csv not written: %v", err)
+	}
+}
+
+func TestCIBenchDeterministicAndComparable(t *testing.T) {
+	a, err := CIBench()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CIBench()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Metrics) != 6 { // 2 models x (ripples + efficient x 2 pools)
+		t.Fatalf("%d metrics, want 6", len(a.Metrics))
+	}
+	if regs := CompareCI(a, b, 0); len(regs) != 0 {
+		t.Fatalf("two identical runs diverge: %v", regs)
+	}
+	// Round-trip through the JSON the CI job ships.
+	path := filepath.Join(t.TempDir(), "BENCH_ci.json")
+	if err := WriteCIDigest(path, a); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCIDigest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := CompareCI(loaded, b, 0); len(regs) != 0 {
+		t.Fatalf("JSON round trip diverges: %v", regs)
+	}
+}
+
+func TestCompareCIFlagsRegressions(t *testing.T) {
+	base := CIDigest{Config: ciConfigTag, Metrics: []CIMetric{{
+		Key: "k", Theta: 100, SamplingModeled: 1000, SelectionModeled: 500,
+		PoolSetBytes: 4000, PoolIndexBytes: 0, CompressionRatio: 3, Seeds: "[1 2]",
+	}}}
+	cur := base
+	cur.Metrics = append([]CIMetric(nil), base.Metrics...)
+	if regs := CompareCI(base, cur, 0.1); len(regs) != 0 {
+		t.Fatalf("identical digests flagged: %v", regs)
+	}
+	// Within tolerance: +5% sampling passes.
+	cur.Metrics[0].SamplingModeled = 1050
+	if regs := CompareCI(base, cur, 0.1); len(regs) != 0 {
+		t.Fatalf("within-tolerance drift flagged: %v", regs)
+	}
+	// Beyond tolerance: +20% sampling fails.
+	cur.Metrics[0].SamplingModeled = 1200
+	if regs := CompareCI(base, cur, 0.1); len(regs) != 1 {
+		t.Fatalf("sampling regression not flagged: %v", regs)
+	}
+	// Seeds drift fails regardless of costs.
+	cur.Metrics[0].SamplingModeled = 1000
+	cur.Metrics[0].Seeds = "[1 3]"
+	if regs := CompareCI(base, cur, 0.1); len(regs) != 1 {
+		t.Fatalf("seed drift not flagged: %v", regs)
+	}
+	// Compression-ratio collapse fails.
+	cur.Metrics[0].Seeds = "[1 2]"
+	cur.Metrics[0].CompressionRatio = 1.5
+	if regs := CompareCI(base, cur, 0.1); len(regs) != 1 {
+		t.Fatalf("ratio regression not flagged: %v", regs)
+	}
+	// Missing metric fails.
+	cur.Metrics = nil
+	if regs := CompareCI(base, cur, 0.1); len(regs) != 1 {
+		t.Fatalf("missing metric not flagged: %v", regs)
+	}
+	// Config mismatch fails fast.
+	cur = base
+	cur.Config = "other"
+	if regs := CompareCI(base, cur, 0.1); len(regs) != 1 {
+		t.Fatalf("config mismatch not flagged: %v", regs)
 	}
 }

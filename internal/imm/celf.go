@@ -1,0 +1,248 @@
+package imm
+
+import (
+	"repro/internal/counter"
+	"repro/internal/rrr"
+	"repro/internal/sched"
+)
+
+// Parallel lazy-greedy (CELF) seed selection over the sharded pool's
+// inverted index.
+//
+// The eager kernel (SelectOnSetsScan) re-establishes the exact marginal
+// gain of every vertex after every seed; CELF exploits submodularity —
+// marginal coverage gain never increases as coverage grows — to keep
+// cached gains as upper bounds in per-shard max heaps and recompute only
+// the candidates that actually surface. A candidate is selected the
+// moment its cached gain is known to be current, because every other
+// cached gain is an upper bound that the heap order already places below
+// it.
+//
+// Determinism: the heap order and the cross-heap reduction both use
+// (gain desc, vertex asc) — counter.GainLess — which is exactly the
+// tie-break of the eager argmax. Gains are integers, shard layout is
+// fixed (poolShards does not depend on the worker count), and the
+// parallel passes only partition read-only postings, so the selected
+// seed sequence is byte-identical to SelectOnSetsScan at any worker
+// count. The tests pin this across workers ∈ {1,2,4,8} and both pool
+// representations.
+func (p *shardedPool) selectCELF(base *counter.Counter, workers, k int) (seeds []int32, coverage float64, modeledOps float64) {
+	nsets := p.count
+	n := int(p.n)
+	w := workers
+	if w < 1 {
+		w = 1
+	}
+	if nsets == 0 || k == 0 {
+		return nil, 0, 0
+	}
+
+	ops := make([]int64, w)
+	var serial int64 // critical-path work of the sequential heap machinery
+
+	// Bring the inverted index up to date with the pool (no-op unless
+	// the pool grew since the last selection) and clear the coverage
+	// scratch.
+	p.ensureIndexed(w, ops)
+	sched.Static(w, poolShards, func(wk, s0, s1 int) {
+		for s := s0; s < s1; s++ {
+			p.shards[s].covered.Reset()
+			ops[wk] += int64(p.shards[s].indexed)/64 + 1
+		}
+	})
+
+	// Initial gains: the fused base counter when it is fresh (a
+	// streaming copy), else a posting-length sum — both equal each
+	// vertex's occurrence count over the whole pool.
+	gains := make([]int64, n)
+	if base != nil {
+		src := base.Raw()
+		sched.Static(w, n, func(wk, lo, hi int) {
+			copy(gains[lo:hi], src[lo:hi])
+			ops[wk] += int64(hi-lo)/8 + 1
+		})
+	} else {
+		sched.Static(w, n, func(wk, lo, hi int) {
+			for v := lo; v < hi; v++ {
+				var g int64
+				for s := range p.shards {
+					g += int64(len(p.shards[s].post[v]))
+				}
+				gains[v] = g
+			}
+			ops[wk] += int64(hi - lo)
+		})
+	}
+
+	// Per-shard max-gain heaps over fixed contiguous vertex regions.
+	regions := poolShards
+	if regions > n {
+		regions = n
+	}
+	heaps := make([]*counter.GainHeap, regions)
+	sched.Static(w, regions, func(wk, r0, r1 int) {
+		for r := r0; r < r1; r++ {
+			lo, hi := r*n/regions, (r+1)*n/regions
+			h := counter.NewGainHeap(hi - lo)
+			for v := lo; v < hi; v++ {
+				h.Append(gains[v], int32(v))
+			}
+			h.Init()
+			heaps[r] = h
+			ops[wk] += int64(hi - lo)
+		}
+	})
+
+	// version[v] is the selection round v's cached gain was computed at;
+	// a cached gain is exact iff nothing has been covered since. Round 0
+	// gains are exact by construction.
+	version := make([]int32, n)
+	shardWork := make([]int64, poolShards)
+	seeds = make([]int32, 0, k)
+	var coveredCount int64
+
+	for len(seeds) < k && len(seeds) < n {
+		round := int32(len(seeds))
+		chosen := int32(-1)
+		for {
+			// Reduce the per-shard heap tops under the heap's own order.
+			bestR := -1
+			var best counter.GainItem
+			for r, h := range heaps {
+				if top, ok := h.Top(); ok {
+					if bestR < 0 || counter.GainLess(top, best) {
+						bestR, best = r, top
+					}
+				}
+			}
+			serial += int64(len(heaps))
+			if bestR < 0 {
+				break // every vertex already selected
+			}
+			if version[best.Vertex] == round {
+				// Exact gain on top: it dominates every cached upper
+				// bound under (gain desc, id asc), so it is the argmax.
+				heaps[bestR].Pop()
+				serial += int64(log2i(heaps[bestR].Len() + 1))
+				chosen = best.Vertex
+				break
+			}
+			// Stale: recompute the true gain by counting uncovered
+			// postings, shard-parallel with a deterministic reduction.
+			v := best.Vertex
+			sched.Static(w, poolShards, func(wk, s0, s1 int) {
+				for s := s0; s < s1; s++ {
+					sh := &p.shards[s]
+					var g int64
+					for _, j := range sh.post[v] {
+						if !sh.covered.Test(int(j)) {
+							g++
+						}
+					}
+					shardWork[s] = g
+					ops[wk] += int64(len(sh.post[v])) + 1
+				}
+			})
+			var g int64
+			for s := range shardWork {
+				g += shardWork[s]
+			}
+			version[v] = round
+			heaps[bestR].UpdateTop(g)
+			serial += int64(log2i(heaps[bestR].Len() + 1))
+		}
+		if chosen < 0 {
+			break
+		}
+		seeds = append(seeds, chosen)
+
+		// Retire the seed's coverage: walk its postings per shard and
+		// mark the newly covered entries. This is the whole counter
+		// maintenance — no decrement/rebuild pass over set members.
+		sched.Static(w, poolShards, func(wk, s0, s1 int) {
+			for s := s0; s < s1; s++ {
+				sh := &p.shards[s]
+				var newly int64
+				for _, j := range sh.post[chosen] {
+					if !sh.covered.Test(int(j)) {
+						sh.covered.Set(int(j))
+						newly++
+					}
+				}
+				shardWork[s] = newly
+				ops[wk] += int64(len(sh.post[chosen])) + 1
+			}
+		})
+		for s := range shardWork {
+			coveredCount += shardWork[s]
+		}
+	}
+	return seeds, float64(coveredCount) / float64(nsets), float64(maxOf(ops)) + float64(serial)
+}
+
+// Selector is an incremental Find_Most_Influential_Set front-end over
+// an externally owned, append-only set collection: Extend absorbs new
+// sets into the sharded inverted index, Select runs the parallel CELF
+// kernel over everything absorbed so far. Front-ends whose pool grows
+// across θ-estimation rounds (the distributed runtime's gathered rank-0
+// pool) index each set exactly once instead of rebuilding per round,
+// matching the shared-memory engine's incremental accounting.
+type Selector struct {
+	p *shardedPool
+}
+
+// NewSelector returns an empty Selector over an n-vertex graph.
+func NewSelector(n int32) *Selector { return &Selector{p: newShardedPool(n)} }
+
+// Extend appends sets to the selector's pool. Sets already absorbed
+// must not be passed again; callers feed each θ round's new slice.
+func (s *Selector) Extend(sets []rrr.Set, workers int) {
+	from := s.p.count
+	s.p.grow(from + int64(len(sets)))
+	w := workers
+	if w < 1 {
+		w = 1
+	}
+	members := make([]int64, w)
+	sched.Static(w, len(sets), func(wk, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s.p.put(from+int64(i), sets[i])
+			members[wk] += int64(sets[i].Size())
+		}
+	})
+	s.p.addMembers(members)
+}
+
+// Select runs the CELF kernel over every set absorbed so far. Semantics
+// and determinism match SelectOnSets.
+func (s *Selector) Select(base *counter.Counter, workers, k int) (seeds []int32, coverage float64, modeledOps float64) {
+	return s.p.selectCELF(base, workers, k)
+}
+
+// SelectOnSets is the Find_Most_Influential_Set kernel over an explicit
+// pool: it builds a transient sharded inverted index over sets and runs
+// the parallel CELF selection, so front-ends that gather flat set slices
+// inherit the lazy-greedy path unchanged (growing pools should hold a
+// Selector instead and pay the indexing once). base, when non-nil, must
+// already hold the occurrence counts of every member of sets (the fused
+// counter; in the distributed runtime, the allreduced per-rank
+// counters); when nil the gains are read off the index. totalMembers is
+// Σ|R| over sets.
+//
+// The update strategy is accepted for signature compatibility with the
+// eager kernel but is not consulted: CELF retires coverage by walking
+// postings, making the decrement/rebuild trade-off moot. Callers that
+// specifically want the adaptive-update kernel (the Figure 5 ablation)
+// use SelectOnSetsScan.
+//
+// The kernel is deterministic for a given pool regardless of workers, so
+// any front-end selecting over the same sets returns the same seeds —
+// the property the distributed runtime's bit-identical guarantee rests
+// on.
+func SelectOnSets(n32 int32, sets []rrr.Set, totalMembers int64, base *counter.Counter, workers int, update counter.UpdateStrategy, k int) (result []int32, coverage float64, modeledOps float64) {
+	_ = update
+	_ = totalMembers // recomputed by Extend from the sets themselves
+	s := NewSelector(n32)
+	s.Extend(sets, workers)
+	return s.Select(base, workers, k)
+}

@@ -28,7 +28,7 @@ import (
 type efficientEngine struct {
 	g   *graph.Graph
 	opt Options
-	p   *setPool
+	p   *shardedPool
 	bd  Breakdown
 
 	policy rrr.Policy
@@ -43,7 +43,9 @@ type efficientEngine struct {
 
 // PolicyFromOptions derives the RRR representation policy the Efficient
 // engine uses for opt. Exported so internal/dist can build rank-local
-// pools that are byte-identical to what Run would have produced.
+// pools that are byte-identical to what Run would have produced. The
+// compressed pool kind switches sub-threshold sets to delta-encoded
+// lists; AdaptiveRep independently governs the dense→bitset-row switch.
 func PolicyFromOptions(opt Options) rrr.Policy {
 	policy := rrr.ListOnlyPolicy()
 	if opt.AdaptiveRep {
@@ -51,6 +53,9 @@ func PolicyFromOptions(opt Options) rrr.Policy {
 		if opt.RepThreshold > 0 {
 			policy.DensityThreshold = opt.RepThreshold
 		}
+	}
+	if opt.Pool == PoolCompressed {
+		policy.Compress = true
 	}
 	return policy
 }
@@ -60,15 +65,16 @@ func newEfficientEngine(g *graph.Graph, opt Options) *efficientEngine {
 	return &efficientEngine{
 		g:      g,
 		opt:    opt,
-		p:      newSetPool(g.N),
+		p:      newShardedPool(g.N),
 		policy: policy,
 		base:   counter.New(g.N),
 	}
 }
 
-func (e *efficientEngine) SetCount() int64      { return int64(len(e.p.sets)) }
-func (e *efficientEngine) Stats() rrr.Stats     { return e.p.stats() }
-func (e *efficientEngine) Breakdown() Breakdown { return e.bd }
+func (e *efficientEngine) SetCount() int64              { return e.p.len() }
+func (e *efficientEngine) Stats() rrr.Stats             { return e.p.stats() }
+func (e *efficientEngine) Breakdown() Breakdown         { return e.bd }
+func (e *efficientEngine) PoolFootprint() PoolFootprint { return e.p.footprint() }
 
 func (e *efficientEngine) Generate(target int64) {
 	from, to := e.p.grow(target)
@@ -111,7 +117,7 @@ func (e *efficientEngine) Generate(target int64) {
 			count := int(to - from)
 			sched.Static(e.opt.Workers, count, func(w, s0, e0 int) {
 				for i := s0; i < e0; i++ {
-					set := e.p.sets[from+int64(i)]
+					set := e.p.get(from + int64(i))
 					set.ForEach(func(v int32) { e.base.Inc(v) })
 					fusionCounts[w] += int64(set.Size())
 				}
@@ -145,9 +151,13 @@ func (e *efficientEngine) Generate(target int64) {
 	}
 }
 
-// SelectSeeds implements Algorithm 2 with the adaptive counter update.
-// It is non-destructive: it works on a copy of the base counter so the
-// pool can keep growing across θ-estimation rounds.
+// SelectSeeds runs Find_Most_Influential_Set over the sharded pool. The
+// default path is the parallel lazy-greedy selection over the inverted
+// index (selectCELF); SelectScan falls back to the eager
+// argmax-and-update kernel with the Figure 5 counter strategies. Both
+// are non-destructive — coverage marks live in per-call scratch and the
+// base counter is only read — so the pool can keep growing across
+// θ-estimation rounds, and both return byte-identical seed sequences.
 func (e *efficientEngine) SelectSeeds(k int) ([]int32, float64) {
 	start := time.Now()
 	defer func() { e.bd.SelectionWall += time.Since(start) }()
@@ -156,26 +166,32 @@ func (e *efficientEngine) SelectSeeds(k int) ([]int32, float64) {
 	if e.baseFresh {
 		base = e.base
 	}
-	seeds, cov, ops := SelectOnSets(e.g.N, e.p.sets, e.p.totalMembers, base, e.opt.Workers, e.opt.Update, k)
+	var seeds []int32
+	var cov float64
+	var ops float64
+	if e.opt.Selection == SelectScan {
+		seeds, cov, ops = SelectOnSetsScan(e.g.N, e.p.flatten(), e.p.totalMembers, base, e.opt.Workers, e.opt.Update, k)
+	} else {
+		seeds, cov, ops = e.p.selectCELF(base, e.opt.Workers, k)
+	}
 	e.bd.SelectionModeled += ops
 	return seeds, cov
 }
 
-// SelectOnSets is the Find_Most_Influential_Set kernel of the Efficient
-// engine over an explicit pool: set-partitioned containment probes, the
-// global occurrence counter, and the adaptive decrement/rebuild update.
-// base, when non-nil, must already hold the occurrence counts of every
-// member of sets (the fused counter — in the distributed runtime, the
-// allreduced per-rank counters); when nil the counter is rebuilt from the
-// sets. totalMembers is Σ|R| over sets. The returned modeledOps is the
+// SelectOnSetsScan is the eager Find_Most_Influential_Set kernel over an
+// explicit pool: set-partitioned containment probes, the global
+// occurrence counter, and the adaptive decrement/rebuild update. base,
+// when non-nil, must already hold the occurrence counts of every member
+// of sets (the fused counter — in the distributed runtime, the allreduced
+// per-rank counters); when nil the counter is rebuilt from the sets.
+// totalMembers is Σ|R| over sets. The returned modeledOps is the
 // critical-path cost the Breakdown accounts under SelectionModeled.
 //
-// The kernel is deterministic for a given pool regardless of workers:
-// argmax ties break toward the lower vertex id and counter updates
-// commute, so any front-end selecting over the same sets returns the
-// same seeds — the property the distributed runtime's bit-identical
-// guarantee rests on.
-func SelectOnSets(n32 int32, sets []rrr.Set, totalMembers int64, base *counter.Counter, workers int, update counter.UpdateStrategy, k int) (result []int32, coverage float64, modeledOps float64) {
+// This is the reference selection the CELF path (SelectOnSets) is pinned
+// against, and the kernel the counter-update ablations exercise; it is
+// deterministic for a given pool regardless of workers: argmax ties
+// break toward the lower vertex id and counter updates commute.
+func SelectOnSetsScan(n32 int32, sets []rrr.Set, totalMembers int64, base *counter.Counter, workers int, update counter.UpdateStrategy, k int) (result []int32, coverage float64, modeledOps float64) {
 	nsets := len(sets)
 	n := int(n32)
 	p := workers

@@ -60,6 +60,73 @@ func ParseEngine(s string) (EngineKind, error) {
 	return 0, fmt.Errorf("imm: unknown engine %q (want ripples or efficientimm)", s)
 }
 
+// PoolKind selects the RRR pool representation of the Efficient engine
+// (and the distributed runtime, which builds its rank pools under the
+// same policy).
+type PoolKind int
+
+const (
+	// PoolSlices stores sub-threshold sets as plain sorted []int32
+	// lists — the original representation.
+	PoolSlices PoolKind = iota
+	// PoolCompressed stores sub-threshold sets as delta-varint-encoded
+	// member lists; dense sets still become bitset rows under
+	// AdaptiveRep. Set contents are identical, so seeds are unaffected.
+	PoolCompressed
+)
+
+func (p PoolKind) String() string {
+	if p == PoolCompressed {
+		return "compressed"
+	}
+	return "slices"
+}
+
+// ParsePool converts a pool name ("slices" or "compressed") to a
+// PoolKind.
+func ParsePool(s string) (PoolKind, error) {
+	switch s {
+	case "slices", "slice", "lists":
+		return PoolSlices, nil
+	case "compressed", "compress", "delta":
+		return PoolCompressed, nil
+	}
+	return 0, fmt.Errorf("imm: unknown pool %q (want slices or compressed)", s)
+}
+
+// SelectionKind selects the Efficient engine's seed-selection kernel.
+// Both kernels return byte-identical seed sequences; they differ only in
+// how much work they do to find each argmax.
+type SelectionKind int
+
+const (
+	// SelectCELF is the parallel lazy-greedy selection over the pool's
+	// inverted index — the default.
+	SelectCELF SelectionKind = iota
+	// SelectScan is the eager argmax-and-update kernel with the
+	// decrement/rebuild counter strategies (the Figure 5 ablation path).
+	SelectScan
+)
+
+func (s SelectionKind) String() string {
+	if s == SelectScan {
+		return "scan"
+	}
+	return "celf"
+}
+
+// ParseSelection converts a selection name ("celf" or "scan") to a
+// SelectionKind.
+func ParseSelection(s string) (SelectionKind, error) {
+	switch s {
+	case "celf", "lazy":
+		return SelectCELF, nil
+	case "scan", "eager":
+		return SelectScan, nil
+	}
+	return 0, fmt.Errorf("imm: unknown selection %q (want celf or scan)", s)
+}
+
 // Options configures a Run. The zero value is not valid; use Defaults and
 // override.
 type Options struct {
@@ -78,6 +145,14 @@ type Options struct {
 	Update         counter.UpdateStrategy // seed-retirement counter maintenance
 	DynamicBalance bool                   // work-stealing generation
 	RepThreshold   float64                // density threshold for AdaptiveRep (0 = default)
+
+	// Pool selects the RRR storage representation (PoolSlices or
+	// PoolCompressed). Ignored by Ripples, which always stores plain
+	// lists.
+	Pool PoolKind
+	// Selection selects the Efficient engine's selection kernel
+	// (SelectCELF or SelectScan). Seeds are identical either way.
+	Selection SelectionKind
 
 	// BatchSize is the generation job granularity in RRR sets.
 	BatchSize int
@@ -108,6 +183,8 @@ func Defaults() Options {
 		AdaptiveRep:    true,
 		Update:         counter.AdaptiveUpdate,
 		DynamicBalance: true,
+		Pool:           PoolSlices,
+		Selection:      SelectCELF,
 		BatchSize:      64,
 	}
 }
@@ -133,6 +210,12 @@ func (o *Options) normalize(g *graph.Graph) error {
 	}
 	if o.BatchSize < 1 {
 		o.BatchSize = 64
+	}
+	if o.Pool != PoolSlices && o.Pool != PoolCompressed {
+		return fmt.Errorf("imm: unknown pool kind %d", int(o.Pool))
+	}
+	if o.Selection != SelectCELF && o.Selection != SelectScan {
+		return fmt.Errorf("imm: unknown selection kind %d", int(o.Selection))
 	}
 	return nil
 }
@@ -173,6 +256,10 @@ type Result struct {
 
 	Breakdown Breakdown
 	SetStats  rrr.Stats
+	// Pool is the peak resident footprint of the RRR pool: set bytes,
+	// inverted-index bytes, and the plain-slice baseline the compression
+	// ratio is measured against.
+	Pool PoolFootprint
 
 	Engine  EngineKind
 	Workers int
@@ -194,6 +281,9 @@ type Engine interface {
 	SetCount() int64
 	// Stats summarizes the pool representations.
 	Stats() rrr.Stats
+	// PoolFootprint reports the resident pool bytes (sets, index, and
+	// the raw-slice baseline).
+	PoolFootprint() PoolFootprint
 	// Breakdown returns accumulated phase costs.
 	Breakdown() Breakdown
 }
@@ -266,7 +356,7 @@ func RunEngine(g *graph.Graph, opt Options, eng Engine) (*Result, error) {
 				return &Result{
 					Seeds: seeds, Coverage: cov, Theta: eng.SetCount(),
 					Rounds: rounds, LB: n * cov / (1 + epsPrime),
-					Breakdown: bd, SetStats: eng.Stats(),
+					Breakdown: bd, SetStats: eng.Stats(), Pool: eng.PoolFootprint(),
 					Engine: opt.Engine, Workers: opt.Workers,
 				}, nil
 			}
@@ -308,6 +398,7 @@ func RunEngine(g *graph.Graph, opt Options, eng Engine) (*Result, error) {
 		LB:        lb,
 		Breakdown: bd,
 		SetStats:  eng.Stats(),
+		Pool:      eng.PoolFootprint(),
 		Engine:    opt.Engine,
 		Workers:   opt.Workers,
 	}, nil

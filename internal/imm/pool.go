@@ -1,14 +1,23 @@
 package imm
 
 import (
-	"sort"
-
 	"repro/internal/diffusion"
 	"repro/internal/graph"
 	"repro/internal/rng"
 	"repro/internal/rrr"
 	"repro/internal/sched"
 )
+
+// poolStore is the write side of an RRR pool: generation fills
+// pre-grown slots by global set id. Two implementations exist — the flat
+// setPool the Ripples baseline and the instrumented traces keep, and the
+// sharded pool (shardpool.go) behind the Efficient engine. Slots are
+// written at most once and by one worker, so put needs no locking.
+type poolStore interface {
+	vertexCount() int32
+	put(i int64, set rrr.Set)
+	addMembers(perWorker []int64)
+}
 
 // setPool holds the RRR sets generated so far. Generation appends;
 // selection never mutates it, so the pool can keep growing across the
@@ -32,20 +41,17 @@ func (p *setPool) grow(target int64) (from, to int64) {
 	return from, target
 }
 
-func (p *setPool) stats() rrr.Stats { return rrr.Summarize(p.n, p.sets) }
+func (p *setPool) vertexCount() int32       { return p.n }
+func (p *setPool) put(i int64, set rrr.Set) { p.sets[i] = set }
+func (p *setPool) stats() rrr.Stats         { return rrr.Summarize(p.n, p.sets) }
 
-// buildSet finalizes one sampled vertex list into a Set under the policy.
-// The buffer is copied, sorted if a list representation is chosen (the
-// paper's baseline sorts every set; EFFICIENTIMM sorts only the small
-// ones — bitmap construction needs no order).
+// buildSet finalizes one sampled vertex list into a Set. Representation
+// choice lives in rrr.Policy.BuildScratch — the one dispatch shared with
+// every other front-end — which sorts only when a list or compressed
+// representation is chosen (the paper's baseline sorts every set;
+// EFFICIENTIMM skips the sort for bitmaps).
 func buildSet(n int32, policy rrr.Policy, buf []int32) rrr.Set {
-	if policy.Adaptive && float64(len(buf)) >= policy.DensityThreshold*float64(n) {
-		return rrr.NewBitmapSet(n, buf)
-	}
-	verts := make([]int32, len(buf))
-	copy(verts, buf)
-	sort.Slice(verts, func(i, j int) bool { return verts[i] < verts[j] })
-	return policy.Build(n, verts)
+	return policy.BuildScratch(n, buf)
 }
 
 // generateInto is the one slot-sampling loop every generation path goes
@@ -65,9 +71,18 @@ func generateInto(n int32, policy rrr.Policy, seed uint64, s *diffusion.Sampler,
 	return members
 }
 
-// generateJob fills pool slots [start, end) through generateInto.
-func generateJob(pool *setPool, policy rrr.Policy, seed uint64, s *diffusion.Sampler, start, end int64) (members int64) {
-	return generateInto(pool.n, policy, seed, s, start, pool.sets[start:end])
+// generateJob fills pool slots [start, end) from the slot-indexed RNG
+// streams, writing each finished set through the store.
+func generateJob(store poolStore, policy rrr.Policy, seed uint64, s *diffusion.Sampler, start, end int64) (members int64) {
+	n := store.vertexCount()
+	var buf []int32
+	for i := start; i < end; i++ {
+		r := rng.NewStream(seed, int(i))
+		buf = s.SampleUniformRoot(r, buf[:0])
+		store.put(i, buildSet(n, policy, buf))
+		members += int64(len(buf))
+	}
+	return members
 }
 
 // GenerateSlots fills out[i] with the RRR set for global slot lo+int64(i),
@@ -110,7 +125,7 @@ func ModeledSortCost(policy rrr.Policy, n int32, memberCount, setCount int64) in
 // imbalance the paper's dynamic balancing removes.
 // Returns per-worker edge-visit counts (the sampling work metric) and
 // the per-worker produced member counts.
-func generateStatic(g *graph.Graph, pool *setPool, policy rrr.Policy, seed uint64, workers int, from, to int64) (edges, members []int64) {
+func generateStatic(g *graph.Graph, pool poolStore, policy rrr.Policy, seed uint64, workers int, from, to int64) (edges, members []int64) {
 	count := int(to - from)
 	edges = make([]int64, workers)
 	members = make([]int64, workers)
@@ -140,7 +155,7 @@ func generateStatic(g *graph.Graph, pool *setPool, policy rrr.Policy, seed uint6
 // the modeled runtime uses — per-executor sums would reflect the number
 // of physical cores the goroutines happened to run on, not the worker
 // count being simulated.
-func generateDynamic(g *graph.Graph, pool *setPool, policy rrr.Policy, seed uint64, workers, batch int, from, to int64, onSet func(worker int, set rrr.Set)) (edges, members []int64, maxJob int64) {
+func generateDynamic(g *graph.Graph, pool poolStore, policy rrr.Policy, seed uint64, workers, batch int, from, to int64, onSet func(worker int, set rrr.Set)) (edges, members []int64, maxJob int64) {
 	count := to - from
 	edges = make([]int64, workers)
 	members = make([]int64, workers)
@@ -168,11 +183,12 @@ func generateDynamic(g *graph.Graph, pool *setPool, policy rrr.Policy, seed uint
 		edgesBefore := smp.EdgesVisited
 		var jobMembers int64
 		var buf []int32
+		n := pool.vertexCount()
 		for i := s0; i < e0; i++ {
 			r := rng.NewStream(seed, int(i))
 			buf = smp.SampleUniformRoot(r, buf[:0])
-			set := buildSet(pool.n, policy, buf)
-			pool.sets[i] = set
+			set := buildSet(n, policy, buf)
+			pool.put(i, set)
 			members[w] += int64(len(buf))
 			jobMembers += int64(len(buf))
 			if onSet != nil {

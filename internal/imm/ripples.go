@@ -37,6 +37,17 @@ func (e *ripplesEngine) SetCount() int64      { return int64(len(e.p.sets)) }
 func (e *ripplesEngine) Stats() rrr.Stats     { return e.p.stats() }
 func (e *ripplesEngine) Breakdown() Breakdown { return e.bd }
 
+// PoolFootprint reports the baseline's flat list pool: every byte is set
+// payload (4 per member), there is no index, and the raw-slice baseline
+// is by definition the same figure.
+func (e *ripplesEngine) PoolFootprint() PoolFootprint {
+	var set int64
+	for _, s := range e.p.sets {
+		set += s.Bytes()
+	}
+	return PoolFootprint{SetBytes: set, RawBytes: 4 * e.p.totalMembers}
+}
+
 func (e *ripplesEngine) Generate(target int64) {
 	from, to := e.p.grow(target)
 	if from == to {

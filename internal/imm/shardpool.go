@@ -1,0 +1,201 @@
+package imm
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/rrr"
+	"repro/internal/sched"
+)
+
+// The sharded RRR pool behind the Efficient engine. Set ids are struck
+// round-robin across a fixed number of shards (fixed so that nothing
+// about the pool layout — and therefore nothing about selection —
+// depends on the worker count). Each shard owns:
+//
+//   - the sets themselves, in whatever representation the policy chose
+//     (plain lists, delta-encoded compressed lists, or bitset rows);
+//   - an inverted index mapping vertex → ids of the shard's sets that
+//     contain it, extended incrementally as the pool grows, so coverage
+//     updates during selection walk compact postings instead of
+//     re-scanning (and, for compressed sets, re-decoding) every set;
+//   - a coverage scratch bitset reused across selection calls.
+//
+// Shards give the two expensive maintenance passes — index extension
+// after generation and posting walks during selection — a natural
+// parallel grain that is independent of the simulated worker count.
+
+// poolShards is the fixed shard count. A power of two keeps the id
+// mapping a mask/shift; 16 shards keep per-shard postings balanced (ids
+// are striped) while giving up to 16 workers independent work.
+const poolShards = 16
+
+// PoolFootprint reports where an engine's RRR pool memory went.
+// SetBytes is the resident representation (the paper's Table III
+// quantity), IndexBytes the inverted-index postings that CELF selection
+// walks, RawBytes the 4-bytes-per-member cost of holding the
+// same pool as plain []int32 slices — the compression baseline.
+type PoolFootprint struct {
+	SetBytes   int64
+	IndexBytes int64
+	RawBytes   int64
+}
+
+// TotalBytes is the full resident footprint, sets plus index.
+func (f PoolFootprint) TotalBytes() int64 { return f.SetBytes + f.IndexBytes }
+
+// CompressionRatio is raw-slice bytes over resident set bytes (>1 means
+// the representation beats plain slices).
+func (f PoolFootprint) CompressionRatio() float64 {
+	if f.SetBytes == 0 {
+		return 1
+	}
+	return float64(f.RawBytes) / float64(f.SetBytes)
+}
+
+// poolShard is one stripe of the pool. Entry j holds global set id
+// j*poolShards + (shard index).
+type poolShard struct {
+	sets []rrr.Set
+
+	// Inverted index over sets[:indexed]: post[v] lists the local entry
+	// ids whose set contains v, in ascending order. Once built,
+	// selection works entirely on postings and never touches (or, for
+	// compressed sets, decodes) a set representation again.
+	post    [][]int32
+	covered *bitset.Bitset // selection scratch over entries, reset per call
+	indexed int
+
+	postCount int64 // total postings (one per member)
+}
+
+// extend indexes entries [indexed, len(sets)) and returns the member
+// count absorbed — the modeled work of the pass (a decode step and a
+// posting append per member).
+func (s *poolShard) extend(n int32) (members int64) {
+	if s.post == nil {
+		s.post = make([][]int32, n)
+	}
+	for j := s.indexed; j < len(s.sets); j++ {
+		set := s.sets[j]
+		set.ForEach(func(v int32) { s.post[v] = append(s.post[v], int32(j)) })
+		members += int64(set.Size())
+	}
+	s.postCount += members
+	s.indexed = len(s.sets)
+	if s.covered == nil {
+		s.covered = bitset.New(s.indexed)
+	} else {
+		s.covered.Grow(s.indexed)
+	}
+	return members
+}
+
+// shardedPool is the Efficient engine's pool: grow/put during
+// generation, ensureIndexed + CELF during selection.
+type shardedPool struct {
+	n            int32
+	count        int64
+	totalMembers int64
+	shards       [poolShards]poolShard
+	// flat caches the id-ordered view for scan-mode selection. Slots
+	// are write-once, so the cache only ever extends — never
+	// invalidates.
+	flat []rrr.Set
+}
+
+func newShardedPool(n int32) *shardedPool { return &shardedPool{n: n} }
+
+// shardOf maps a global set id to (shard, local entry id).
+func shardOf(i int64) (int, int) { return int(i % poolShards), int(i / poolShards) }
+
+func (p *shardedPool) vertexCount() int32 { return p.n }
+func (p *shardedPool) len() int64         { return p.count }
+
+// grow pre-sizes every shard for ids up to target and returns the
+// previous and new pool lengths.
+func (p *shardedPool) grow(target int64) (from, to int64) {
+	from = p.count
+	if target <= from {
+		return from, from
+	}
+	for s := range p.shards {
+		// Entries shard s must hold for ids < target.
+		need := int((target - int64(s) + poolShards - 1) / poolShards)
+		sh := &p.shards[s]
+		if need > len(sh.sets) {
+			sh.sets = append(sh.sets, make([]rrr.Set, need-len(sh.sets))...)
+		}
+	}
+	p.count = target
+	return from, target
+}
+
+// put stores the set for global id i. Distinct ids map to distinct
+// slots, so concurrent generation workers need no locking.
+func (p *shardedPool) put(i int64, set rrr.Set) {
+	s, j := shardOf(i)
+	p.shards[s].sets[j] = set
+}
+
+// get returns the set for global id i.
+func (p *shardedPool) get(i int64) rrr.Set {
+	s, j := shardOf(i)
+	return p.shards[s].sets[j]
+}
+
+func (p *shardedPool) addMembers(perWorker []int64) {
+	for _, m := range perWorker {
+		p.totalMembers += m
+	}
+}
+
+// ensureIndexed extends every shard's inverted index over the entries
+// generated since the last selection, in parallel across shards, and
+// charges the decode-and-append work (2 ops per member) to the
+// executing workers. Idempotent and cheap when nothing is new.
+func (p *shardedPool) ensureIndexed(workers int, ops []int64) {
+	sched.Static(workers, poolShards, func(w, s0, s1 int) {
+		for s := s0; s < s1; s++ {
+			ops[w] += 2 * p.shards[s].extend(p.n)
+		}
+	})
+}
+
+// stats summarizes the pool in one walk over the shards.
+func (p *shardedPool) stats() rrr.Stats {
+	var st rrr.Stats
+	for i := int64(0); i < p.count; i++ {
+		st.Add(p.get(i))
+	}
+	st.Finalize(p.n)
+	return st
+}
+
+// footprint reports resident pool bytes as they stand: set payloads for
+// the whole pool, index bytes only for what selection actually indexed.
+// A scan-mode run therefore reports IndexBytes 0 — it never builds the
+// inverted view — which is the memory/selection-speed trade-off the
+// harness sweep measures.
+func (p *shardedPool) footprint() PoolFootprint {
+	var f PoolFootprint
+	for i := int64(0); i < p.count; i++ {
+		f.SetBytes += p.get(i).Bytes()
+	}
+	for s := range p.shards {
+		// Postings payload: 4 bytes per member, the CSR-equivalent cost
+		// of the inverted view (per-vertex bucket headers are an
+		// implementation detail a CSR layout would amortize away).
+		f.IndexBytes += 4 * p.shards[s].postCount
+	}
+	f.RawBytes = 4 * p.totalMembers
+	return f
+}
+
+// flatten returns the id-ordered []rrr.Set view the scan-mode selection
+// and the round-trip tests consume, extending the cached view over any
+// sets generated since the last call. Callers must not mutate it.
+func (p *shardedPool) flatten() []rrr.Set {
+	for i := int64(len(p.flat)); i < p.count; i++ {
+		p.flat = append(p.flat, p.get(i))
+	}
+	return p.flat
+}

@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"repro/internal/bitset"
+	"repro/internal/compress"
 )
 
 // Set is one random reverse-reachable set over a graph with a fixed
@@ -128,6 +129,64 @@ func (s *BitmapSet) Kind() string { return "bitmap" }
 // Words exposes the backing words for trace-driven cache simulation.
 func (s *BitmapSet) Words() []uint64 { return s.bits.Words() }
 
+// CompressedSet is a delta-varint-encoded sorted vertex list — the
+// HBMax-style compressed representation at pool granularity (no per-set
+// entropy-coder header, unlike compress.Set). It trades byte-at-a-time
+// decode on iteration for roughly a quarter of the ListSet footprint on
+// social-graph RRR sets, whose deltas are small. Membership probes are
+// O(|set|) scans; the compressed pool's selection path never issues
+// them (it walks an inverted index instead), so only legacy scan-mode
+// selection pays the decode tax.
+type CompressedSet struct {
+	data  []byte
+	count int32
+}
+
+// NewCompressedSet builds a CompressedSet from vertices, sorting and
+// deduplicating a scratch copy before encoding.
+func NewCompressedSet(vertices []int32) *CompressedSet {
+	vs := append([]int32(nil), vertices...)
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	out := vs[:0]
+	for i, v := range vs {
+		if i == 0 || v != vs[i-1] {
+			out = append(out, v)
+		}
+	}
+	return NewCompressedSorted(out)
+}
+
+// NewCompressedSorted encodes an already strictly-sorted unique member
+// slice. The slice is not retained.
+func NewCompressedSorted(sorted []int32) *CompressedSet {
+	return &CompressedSet{data: compress.AppendPlain(nil, sorted), count: int32(len(sorted))}
+}
+
+// Contains scans the delta stream, stopping at the first member >= v.
+func (s *CompressedSet) Contains(v int32) bool { return compress.PlainContains(s.data, v) }
+
+// Size returns the member count without decoding.
+func (s *CompressedSet) Size() int { return int(s.count) }
+
+// ForEach decodes and visits members in ascending order without
+// materializing the list.
+func (s *CompressedSet) ForEach(fn func(v int32)) { _ = compress.ForEachPlain(s.data, fn) }
+
+// Vertices appends the decoded members to dst.
+func (s *CompressedSet) Vertices(dst []int32) []int32 {
+	out, err := compress.DecodePlain(s.data, dst)
+	if err != nil {
+		return dst
+	}
+	return out
+}
+
+// Bytes is the encoded payload size.
+func (s *CompressedSet) Bytes() int64 { return int64(len(s.data)) }
+
+// Kind returns "compressed".
+func (s *CompressedSet) Kind() string { return "compressed" }
+
 // Policy decides representations for new sets.
 type Policy struct {
 	// Adaptive enables per-set switching. When false every set is a
@@ -139,6 +198,10 @@ type Policy struct {
 	// parity is at density 1/32 ≈ 3%. The default of 1/16 biases toward
 	// lists, accounting for the bitmap's lost sort-free iteration.
 	DensityThreshold float64
+	// Compress switches sub-threshold sets from plain sorted lists to
+	// delta-varint CompressedSets (the compressed-pool representation).
+	// Dense sets still become bitset rows when Adaptive is on.
+	Compress bool
 }
 
 // DefaultPolicy returns the adaptive policy with the 1/16 threshold.
@@ -147,6 +210,15 @@ func DefaultPolicy() Policy { return Policy{Adaptive: true, DensityThreshold: 1.
 // ListOnlyPolicy returns the Ripples-style fixed representation.
 func ListOnlyPolicy() Policy { return Policy{Adaptive: false} }
 
+// CompressedPolicy returns the compressed-pool policy: delta-encoded
+// member lists below the adaptive density threshold, bitset rows above
+// it.
+func CompressedPolicy() Policy {
+	p := DefaultPolicy()
+	p.Compress = true
+	return p
+}
+
 // Build materializes a set from a sorted, unique member slice, choosing
 // the representation per the policy. The slice is adopted when a list is
 // chosen, so callers must not reuse it.
@@ -154,7 +226,29 @@ func (p Policy) Build(n int32, sortedVerts []int32) Set {
 	if p.Adaptive && n > 0 && float64(len(sortedVerts)) >= p.DensityThreshold*float64(n) {
 		return NewBitmapSet(n, sortedVerts)
 	}
+	if p.Compress {
+		return NewCompressedSorted(sortedVerts)
+	}
 	return newListSetSorted(sortedVerts)
+}
+
+// BuildScratch materializes a set from an unsorted, unique scratch
+// buffer — the sampler's reusable output — choosing the representation
+// per the policy. The buffer may be reordered in place but is never
+// retained, so callers reuse it across sets; only the list
+// representation pays a copy (bitmaps and compressed sets re-encode
+// into their own storage). This is the single representation dispatch
+// both generation paths go through, so engine pools and Build-made sets
+// can never disagree on the policy semantics.
+func (p Policy) BuildScratch(n int32, buf []int32) Set {
+	if p.Adaptive && n > 0 && float64(len(buf)) >= p.DensityThreshold*float64(n) {
+		return NewBitmapSet(n, buf) // needs no order
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	if p.Compress {
+		return NewCompressedSorted(buf)
+	}
+	return newListSetSorted(append([]int32(nil), buf...))
 }
 
 // Stats summarizes a collection of sets, driving Table I (coverage) and
@@ -166,32 +260,47 @@ type Stats struct {
 	TotalBytes  int64
 	Bitmaps     int
 	Lists       int
+	Compressed  int
 	AvgCoverage float64 // mean |set|/n
 	MaxCoverage float64 // max |set|/n
+}
+
+// Add folds one set into the running totals. Callers that do not hold
+// their sets in a flat slice (the sharded pool) accumulate through Add
+// and then call Finalize; Summarize composes the two for slices.
+func (st *Stats) Add(s Set) {
+	sz := s.Size()
+	st.Count++
+	st.TotalSize += int64(sz)
+	if sz > st.MaxSize {
+		st.MaxSize = sz
+	}
+	st.TotalBytes += s.Bytes()
+	switch s.Kind() {
+	case "bitmap":
+		st.Bitmaps++
+	case "compressed":
+		st.Compressed++
+	default:
+		st.Lists++
+	}
+}
+
+// Finalize computes the coverage ratios once every set has been Added.
+func (st *Stats) Finalize(n int32) {
+	if n > 0 && st.Count > 0 {
+		st.AvgCoverage = float64(st.TotalSize) / float64(st.Count) / float64(n)
+		st.MaxCoverage = float64(st.MaxSize) / float64(n)
+	}
 }
 
 // Summarize computes Stats over sets on a graph with n vertices.
 func Summarize(n int32, sets []Set) Stats {
 	var st Stats
-	st.Count = len(sets)
 	for _, s := range sets {
-		sz := s.Size()
-		st.TotalSize += int64(sz)
-		if sz > st.MaxSize {
-			st.MaxSize = sz
-		}
-		st.TotalBytes += s.Bytes()
-		switch s.Kind() {
-		case "bitmap":
-			st.Bitmaps++
-		default:
-			st.Lists++
-		}
+		st.Add(s)
 	}
-	if n > 0 && st.Count > 0 {
-		st.AvgCoverage = float64(st.TotalSize) / float64(st.Count) / float64(n)
-		st.MaxCoverage = float64(st.MaxSize) / float64(n)
-	}
+	st.Finalize(n)
 	return st
 }
 
@@ -215,9 +324,9 @@ func (p Policy) FootprintBytes(n int32, count int64, meanSize float64) int64 {
 
 // String renders the stats for logs.
 func (st Stats) String() string {
-	return fmt.Sprintf("sets=%d avg|R|=%.1f max|R|=%d avgCov=%.1f%% maxCov=%.1f%% bytes=%d (lists=%d bitmaps=%d)",
+	return fmt.Sprintf("sets=%d avg|R|=%.1f max|R|=%d avgCov=%.1f%% maxCov=%.1f%% bytes=%d (lists=%d bitmaps=%d compressed=%d)",
 		st.Count, float64(st.TotalSize)/float64(max(st.Count, 1)), st.MaxSize,
-		st.AvgCoverage*100, st.MaxCoverage*100, st.TotalBytes, st.Lists, st.Bitmaps)
+		st.AvgCoverage*100, st.MaxCoverage*100, st.TotalBytes, st.Lists, st.Bitmaps, st.Compressed)
 }
 
 func max(a, b int) int {
