@@ -10,6 +10,7 @@ package efficientimm
 // benches run the same code at bench-friendly sizes.
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 
@@ -17,6 +18,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/imm"
+	"repro/internal/ingest"
 	"repro/internal/numa"
 )
 
@@ -364,4 +366,50 @@ func BenchmarkCELFSelect(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkIngest measures the parallel edge-list pipeline and the
+// snapshot reload at several worker counts, reporting MB/s and edges/s
+// as custom metrics (the ingest_sweep.csv quantities at bench size).
+func BenchmarkIngest(b *testing.B) {
+	g, err := gen.RMAT(gen.DefaultRMAT(13, 8), graph.IC, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var text bytes.Buffer
+	if err := graph.WriteEdgeList(&text, g); err != nil {
+		b.Fatal(err)
+	}
+	data := text.Bytes()
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("edgelist/workers=%d", w), func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			var st ingest.Stats
+			for i := 0; i < b.N; i++ {
+				_, s, err := ingest.Bytes(data, ingest.Options{Workers: w, Model: graph.IC, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				st = s
+			}
+			b.ReportMetric(st.MBPerSec(), "MB/s")
+			b.ReportMetric(st.EdgesPerSec(), "edges/s")
+		})
+	}
+	ingested, _, err := ingest.Bytes(data, ingest.Options{Workers: 4, Model: graph.IC, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if err := ingest.WriteSnapshot(&snap, ingested, 1); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("snapshot/reload", func(b *testing.B) {
+		b.SetBytes(int64(snap.Len()))
+		for i := 0; i < b.N; i++ {
+			if _, _, err := ingest.ReadSnapshot(bytes.NewReader(snap.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

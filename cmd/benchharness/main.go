@@ -24,7 +24,8 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1|fig1|fig2|table2|fig5|table3|fig6|fig7|table4|ablations|dist|mem|ci|all")
+		exp      = flag.String("exp", "all", "experiment: table1|fig1|fig2|table2|fig5|table3|fig6|fig7|table4|ablations|dist|mem|ingest|ci|all")
+		ingScale = flag.Int("ingest-scale", 0, "ingest experiment: log2 vertices of the generated graph (0 = 17 for ~1M+ edges, or 13 with -quick)")
 		out      = flag.String("out", "results", "output directory for CSVs and JSON logs")
 		quick    = flag.Bool("quick", false, "small sizes for a fast smoke run")
 		scale    = flag.Int("scale", 0, "clamp profile scale (0 = config default)")
@@ -192,6 +193,28 @@ func main() {
 		return nil
 	})
 
+	run("ingest", func() error {
+		scale := *ingScale
+		if scale == 0 && *quick {
+			scale = 13
+		}
+		rows, err := harness.IngestSweep(cfg, scale, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%7s %9s %10s %10s %10s %12s %9s %6s\n",
+			"workers", "nodes", "edges", "wall_ms", "MB/s", "edges/s", "speedup", "ident")
+		for _, r := range rows {
+			fmt.Printf("%7d %9d %10d %10.1f %10.1f %12.0f %8.2fx %6v\n",
+				r.Workers, r.Nodes, r.Edges, r.WallMS, r.MBPerSec, r.EdgesPerSec, r.SpeedupVs1, r.Identical)
+		}
+		if len(rows) > 0 {
+			fmt.Printf("snapshot: %d bytes, reload %.1fms, identical=%v\n",
+				rows[0].SnapshotBytes, rows[0].SnapshotLoadMS, rows[0].SnapshotIdentical)
+		}
+		return nil
+	})
+
 	run("ci", func() error {
 		digest, err := harness.CIBench()
 		if err != nil {
@@ -204,6 +227,10 @@ func main() {
 		for _, m := range digest.Metrics {
 			fmt.Printf("%-45s theta=%-6d sampling=%12.0f selection=%12.0f poolB=%8d idxB=%8d ratio=%5.2f\n",
 				m.Key, m.Theta, m.SamplingModeled, m.SelectionModeled, m.PoolSetBytes, m.PoolIndexBytes, m.CompressionRatio)
+		}
+		if in := digest.Ingest; in != nil {
+			fmt.Printf("%-45s theta=%-6d nodes=%d edges=%d snapshotB=%d (%.1f MB/s, not gated)\n",
+				"ingest (text->pipeline->snapshot->run)", in.Theta, in.Nodes, in.Edges, in.SnapshotBytes, in.MBPerSec)
 		}
 		fmt.Printf("digest written to %s\n", path)
 		if *baseline == "" {

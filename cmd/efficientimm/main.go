@@ -6,6 +6,8 @@
 //
 //	efficientimm -dataset web-Google -model IC -k 50 -eps 0.5 -workers 8
 //	efficientimm -graph edges.txt -undirected -model LT -engine ripples
+//	efficientimm -graph edges.txt -ingest-workers 8 -save-snapshot g.imsnap
+//	efficientimm -graph g.imsnap              # reload in milliseconds
 //	efficientimm -dataset com-DBLP -ranks 4   # simulated distributed run
 package main
 
@@ -15,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	efficientimm "repro"
@@ -23,7 +26,10 @@ import (
 func main() {
 	var (
 		dataset    = flag.String("dataset", "", "SNAP-clone profile name (see -list)")
-		graphFile  = flag.String("graph", "", "edge-list file to load instead of a profile")
+		graphFile  = flag.String("graph", "", "graph file to load instead of a profile (edge list or .imsnap snapshot)")
+		format     = flag.String("format", "auto", "graph file format: auto | edgelist | snapshot (auto keys on the .imsnap extension)")
+		ingWorkers = flag.Int("ingest-workers", runtime.NumCPU(), "parallel workers for edge-list ingestion")
+		saveSnap   = flag.String("save-snapshot", "", "after loading, save the graph as a .imsnap snapshot to this path")
 		undirected = flag.Bool("undirected", false, "treat the edge list as undirected")
 		modelName  = flag.String("model", "IC", "diffusion model: IC or LT")
 		engineName = flag.String("engine", "efficientimm", "engine: efficientimm or ripples")
@@ -59,11 +65,51 @@ func main() {
 	selection, err := efficientimm.ParseSelection(*selName)
 	fatalIf(err)
 
+	modelFlagSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "model" {
+			modelFlagSet = true
+		}
+	})
+
 	var g *efficientimm.Graph
+	var ingStats *efficientimm.IngestStats
+	// weightSeed is what -save-snapshot records as weight provenance: the
+	// -seed flag normally, but the original seed when the weights were
+	// adopted from a snapshot (so re-snapshotting stays canonical).
+	weightSeed := *seed
 	switch {
 	case *graphFile != "":
-		g, err = efficientimm.LoadEdgeListFile(*graphFile, *undirected, model, *seed)
-		fatalIf(err)
+		fmtName := *format
+		if fmtName == "auto" {
+			if strings.HasSuffix(*graphFile, ".imsnap") {
+				fmtName = "snapshot"
+			} else {
+				fmtName = "edgelist"
+			}
+		}
+		switch fmtName {
+		case "edgelist":
+			var st efficientimm.IngestStats
+			g, st, err = efficientimm.IngestFile(*graphFile, efficientimm.IngestOptions{
+				Workers: *ingWorkers, Undirected: *undirected, Model: model, Seed: *seed,
+			})
+			fatalIf(err)
+			ingStats = &st
+		case "snapshot":
+			var info efficientimm.SnapshotInfo
+			g, info, err = efficientimm.ReadSnapshotFile(*graphFile)
+			fatalIf(err)
+			// The snapshot carries its model and weights; an explicit
+			// conflicting -model is a mistake, not a request.
+			if modelFlagSet && info.Model != model {
+				fatalIf(fmt.Errorf("snapshot %s holds a %v graph but -model=%v was requested", *graphFile, info.Model, model))
+			}
+			model = info.Model
+			weightSeed = info.Seed
+		default:
+			fatalIf(fmt.Errorf("unknown -format %q (want auto, edgelist or snapshot)", fmtName))
+		}
 	case *dataset != "":
 		profiles := efficientimm.Profiles()
 		found := false
@@ -83,6 +129,11 @@ func main() {
 		}
 	default:
 		fatalIf(fmt.Errorf("one of -dataset or -graph is required"))
+	}
+
+	if *saveSnap != "" {
+		fatalIf(efficientimm.WriteSnapshotFile(*saveSnap, g, weightSeed))
+		fmt.Fprintf(os.Stderr, "efficientimm: snapshot saved to %s\n", *saveSnap)
 	}
 
 	opt := efficientimm.Defaults()
@@ -146,6 +197,13 @@ func main() {
 		"pool_raw_bytes":         res.Pool.RawBytes,
 		"pool_total_bytes":       res.Pool.TotalBytes(),
 		"pool_compression_ratio": res.Pool.CompressionRatio(),
+	}
+	if ingStats != nil {
+		out["ingest_workers"] = ingStats.Workers
+		out["ingest_ms"] = float64(ingStats.TotalWall) / float64(time.Millisecond)
+		out["ingest_mb_per_s"] = ingStats.MBPerSec()
+		out["ingest_self_loops"] = ingStats.SelfLoops
+		out["ingest_duplicates"] = ingStats.Duplicates
 	}
 	if comm != nil {
 		out["ranks"] = comm.Ranks

@@ -1,19 +1,30 @@
-// Command graphgen emits synthetic graphs as SNAP-style edge lists:
-// either a calibrated dataset clone or a raw generator family.
+// Command graphgen emits synthetic graphs as SNAP-style edge lists
+// and/or binary .imsnap snapshots: either a calibrated dataset clone or
+// a raw generator family.
 //
 // Usage:
 //
 //	graphgen -profile web-Google -out web-google.txt
 //	graphgen -kind rmat -scale 14 -edgefactor 8 -out rmat.txt
 //	graphgen -kind ba -n 100000 -k 4 -out ba.txt
+//	graphgen -kind rmat -scale 16 -out g.txt -snapshot g.imsnap
+//
+// A -snapshot written alongside -out describes the canonical
+// reingestion of that edge list (ids densified, self-loops and
+// duplicates dropped, weights drawn from -seed), so running the engine
+// on either file produces identical seeds — the equivalence the CI
+// datasets job pins every run.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	efficientimm "repro"
+	"repro/internal/gen"
 )
 
 func main() {
@@ -26,13 +37,23 @@ func main() {
 		k          = flag.Int("k", 3, "ba: links per new vertex; ws: neighbors per side")
 		m          = flag.Int64("m", 50000, "er: edge count")
 		beta       = flag.Float64("beta", 0.05, "ws: rewiring probability")
-		seed       = flag.Uint64("seed", 1, "RNG seed")
-		outPath    = flag.String("out", "", "output file (default stdout)")
+		modelName  = flag.String("model", "IC", "diffusion model for -snapshot weights: IC or LT")
+		seed       = flag.Uint64("seed", 1, "RNG seed (generation and snapshot weights)")
+		outPath    = flag.String("out", "", "edge-list output file (default stdout when -snapshot unset)")
+		snapPath   = flag.String("snapshot", "", "also write a binary .imsnap snapshot of the canonical reingestion")
+		version    = flag.Bool("version", false, "print the generator version (CI cache key) and exit")
 	)
 	flag.Parse()
 
+	if *version {
+		fmt.Println(gen.Version)
+		return
+	}
+
+	model, err := efficientimm.ParseModel(*modelName)
+	fatalIf(err)
+
 	var g *efficientimm.Graph
-	var err error
 	switch {
 	case *profile != "":
 		for _, p := range efficientimm.Profiles() {
@@ -40,31 +61,47 @@ func main() {
 				if *scale > 0 && p.Scale > *scale {
 					p.Scale = *scale
 				}
-				g, err = p.Generate(efficientimm.IC, *seed)
+				g, err = p.Generate(model, *seed)
 			}
 		}
 		if g == nil && err == nil {
 			err = fmt.Errorf("unknown profile %q", *profile)
 		}
 	case *kind == "rmat":
-		g, err = efficientimm.GenerateRMAT(*scale, *edgeFactor, efficientimm.IC, *seed)
+		g, err = efficientimm.GenerateRMAT(*scale, *edgeFactor, model, *seed)
 	case *kind == "ba":
-		g, err = efficientimm.GenerateBarabasiAlbert(int32(*n), *k, efficientimm.IC, *seed)
+		g, err = efficientimm.GenerateBarabasiAlbert(int32(*n), *k, model, *seed)
 	case *kind == "er":
-		g, err = efficientimm.GenerateErdosRenyi(int32(*n), *m, efficientimm.IC, *seed)
+		g, err = efficientimm.GenerateErdosRenyi(int32(*n), *m, model, *seed)
 	case *kind == "ws":
-		g, err = efficientimm.GenerateWattsStrogatz(int32(*n), *k, *beta, efficientimm.IC, *seed)
+		g, err = efficientimm.GenerateWattsStrogatz(int32(*n), *k, *beta, model, *seed)
 	default:
 		err = fmt.Errorf("one of -profile or -kind is required")
 	}
 	fatalIf(err)
 
-	if *outPath == "" {
-		fatalIf(efficientimm.WriteEdgeList(os.Stdout, g))
-		return
+	if *snapPath != "" {
+		// Snapshot the canonical reingestion of the edge list rather than
+		// the generator's raw graph: the text round trip drops isolated
+		// vertices, and the snapshot must describe the same graph a
+		// loader of the .txt sees.
+		var buf bytes.Buffer
+		fatalIf(efficientimm.WriteEdgeList(&buf, g))
+		ing, st, err := efficientimm.Ingest(&buf, efficientimm.IngestOptions{
+			Workers: runtime.NumCPU(), Model: model, Seed: *seed,
+		})
+		fatalIf(err)
+		fatalIf(efficientimm.WriteSnapshotFile(*snapPath, ing, *seed))
+		fmt.Fprintf(os.Stderr, "graphgen: wrote snapshot of %d nodes, %d edges to %s\n", st.Nodes, st.Edges, *snapPath)
 	}
-	fatalIf(efficientimm.WriteEdgeListFile(*outPath, g))
-	fmt.Fprintf(os.Stderr, "graphgen: wrote %d nodes, %d edges to %s\n", g.N, g.M, *outPath)
+
+	switch {
+	case *outPath != "":
+		fatalIf(efficientimm.WriteEdgeListFile(*outPath, g))
+		fmt.Fprintf(os.Stderr, "graphgen: wrote %d nodes, %d edges to %s\n", g.N, g.M, *outPath)
+	case *snapPath == "":
+		fatalIf(efficientimm.WriteEdgeList(os.Stdout, g))
+	}
 }
 
 func fatalIf(err error) {

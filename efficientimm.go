@@ -30,6 +30,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/imm"
+	"repro/internal/ingest"
 )
 
 // Re-exported core types. Aliases keep the internal packages as the
@@ -122,14 +123,69 @@ func FromEdges(n int32, edges []Edge, model Model, seed uint64) (*Graph, error) 
 }
 
 // LoadEdgeList reads a SNAP-style edge list ("src dst" per line, '#'
-// comments) and assigns model parameters from seed.
+// and '%' comments) and assigns model parameters from seed. It runs the
+// parallel ingestion pipeline on all CPUs; the result is byte-identical
+// to the sequential loader at any worker count. Use Ingest for control
+// over workers, the dedupe policy, and throughput stats.
 func LoadEdgeList(r io.Reader, undirected bool, model Model, seed uint64) (*Graph, error) {
-	return graph.LoadEdgeList(r, undirected, model, seed)
+	g, _, err := ingest.Reader(r, IngestOptions{Undirected: undirected, Model: model, Seed: seed})
+	return g, err
 }
 
-// LoadEdgeListFile opens path and delegates to LoadEdgeList.
+// LoadEdgeListFile opens path and ingests it in parallel (see
+// LoadEdgeList).
 func LoadEdgeListFile(path string, undirected bool, model Model, seed uint64) (*Graph, error) {
-	return graph.LoadEdgeListFile(path, undirected, model, seed)
+	g, _, err := ingest.File(path, IngestOptions{Undirected: undirected, Model: model, Seed: seed})
+	return g, err
+}
+
+// Parallel ingestion and the binary snapshot codec (internal/ingest).
+type (
+	// IngestOptions configures the parallel edge-list pipeline.
+	IngestOptions = ingest.Options
+	// IngestStats reports ingest throughput and dedupe counts.
+	IngestStats = ingest.Stats
+	// SnapshotInfo is the header metadata of a .imsnap snapshot.
+	SnapshotInfo = ingest.SnapshotInfo
+)
+
+// Dedupe policies for IngestOptions.
+const (
+	// DedupeSilent drops self-loops and duplicate edges (the Builder
+	// semantics; default).
+	DedupeSilent = ingest.DedupeSilent
+	// DedupeStrict fails ingestion when the input contains any.
+	DedupeStrict = ingest.DedupeStrict
+)
+
+// Ingest runs the chunked parallel ingestion pipeline over an edge-list
+// stream. The produced graph is byte-identical at every worker count.
+func Ingest(r io.Reader, opt IngestOptions) (*Graph, IngestStats, error) {
+	return ingest.Reader(r, opt)
+}
+
+// IngestFile ingests an edge-list file with parallel reads and parses.
+func IngestFile(path string, opt IngestOptions) (*Graph, IngestStats, error) {
+	return ingest.File(path, opt)
+}
+
+// WriteSnapshot writes g as a versioned, checksummed binary .imsnap
+// snapshot; seed records the weight-assignment provenance. Reloading a
+// snapshot reproduces the exact graph — and therefore the exact seeds —
+// of the original ingestion, in milliseconds.
+func WriteSnapshot(w io.Writer, g *Graph, seed uint64) error { return ingest.WriteSnapshot(w, g, seed) }
+
+// WriteSnapshotFile creates path and writes the snapshot.
+func WriteSnapshotFile(path string, g *Graph, seed uint64) error {
+	return ingest.WriteSnapshotFile(path, g, seed)
+}
+
+// ReadSnapshot reads a .imsnap snapshot, verifying its checksums.
+func ReadSnapshot(r io.Reader) (*Graph, SnapshotInfo, error) { return ingest.ReadSnapshot(r) }
+
+// ReadSnapshotFile opens path and delegates to ReadSnapshot.
+func ReadSnapshotFile(path string) (*Graph, SnapshotInfo, error) {
+	return ingest.ReadSnapshotFile(path)
 }
 
 // WriteEdgeList writes the graph's forward edges as SNAP-style text.
@@ -193,6 +249,13 @@ func DefaultDistOptions() DistOptions { return dist.DefaultOptions() }
 // the same seeds as Run on the same seed, and reports the communication
 // volume the distribution costs.
 func RunDistributed(g *Graph, opt DistOptions) (*DistResult, error) { return dist.Run(g, opt) }
+
+// RunDistributedSnapshot is RunDistributed with the input graph loaded
+// by rank 0 from a .imsnap snapshot and broadcast to the other ranks
+// (metered into Comm.GraphBroadcast).
+func RunDistributedSnapshot(path string, opt DistOptions) (*DistResult, error) {
+	return dist.RunSnapshot(path, opt)
+}
 
 // UseWeightedCascade replaces the graph's IC probabilities with the
 // classic weighted-cascade assignment p(u,v) = 1/indegree(v), the

@@ -171,3 +171,89 @@ func TestEnginesComparableViaPublicAPI(t *testing.T) {
 		}
 	}
 }
+
+// TestPublicAPIIngestAndSnapshot pins the acceptance loop end to end
+// through the public facade: parallel ingestion is worker-count
+// invariant, and a snapshot round trip reproduces identical seeds
+// through Run and RunDistributed.
+func TestPublicAPIIngestAndSnapshot(t *testing.T) {
+	src, err := GenerateRMAT(9, 6, IC, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	edgePath := filepath.Join(dir, "g.txt")
+	if err := WriteEdgeListFile(edgePath, src); err != nil {
+		t.Fatal(err)
+	}
+
+	opt := Defaults()
+	opt.K = 8
+	opt.Workers = 2
+	opt.Seed = 11
+	opt.MaxTheta = 1500
+
+	var want []int32
+	for _, w := range []int{1, 2, 4, 8} {
+		g, st, err := IngestFile(edgePath, IngestOptions{Workers: w, Model: IC, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Edges != g.M {
+			t.Fatalf("stats disagree with graph: %d vs %d", st.Edges, g.M)
+		}
+		res, err := Run(g, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = res.Seeds
+		}
+		for i := range want {
+			if res.Seeds[i] != want[i] {
+				t.Fatalf("ingest-workers=%d: seeds diverged at %d", w, i)
+			}
+		}
+	}
+
+	g, _, err := IngestFile(edgePath, IngestOptions{Workers: 4, Model: IC, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapPath := filepath.Join(dir, "g.imsnap")
+	if err := WriteSnapshotFile(snapPath, g, 11); err != nil {
+		t.Fatal(err)
+	}
+	loaded, info, err := ReadSnapshotFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Model != IC || info.Seed != 11 || info.N != g.N || info.M != g.M {
+		t.Fatalf("snapshot metadata: %+v", info)
+	}
+	res, err := Run(loaded, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if res.Seeds[i] != want[i] {
+			t.Fatal("snapshot reload changed the seeds through Run")
+		}
+	}
+
+	dopt := DefaultDistOptions()
+	dopt.Options = opt
+	dopt.Ranks = 3
+	dres, err := RunDistributedSnapshot(snapPath, dopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if dres.Seeds[i] != want[i] {
+			t.Fatal("snapshot reload changed the seeds through RunDistributed")
+		}
+	}
+	if dres.Comm.GraphBroadcast.BytesSent == 0 {
+		t.Fatal("graph broadcast not metered")
+	}
+}

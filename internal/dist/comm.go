@@ -33,6 +33,10 @@ type Comm struct {
 	// SeedBroadcast covers the root broadcasting each round's selected
 	// seed set and coverage so every rank can evaluate the stopping rule.
 	SeedBroadcast PhaseComm
+	// GraphBroadcast covers rank 0 shipping the input graph to the other
+	// ranks when the run starts from a snapshot (RunSnapshot): one
+	// message per non-root rank, each carrying the snapshot payload.
+	GraphBroadcast PhaseComm
 }
 
 // record books messages carrying totalBytes of payload against a phase

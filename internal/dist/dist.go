@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/imm"
+	"repro/internal/ingest"
 )
 
 // Options configures a distributed run. The embedded imm.Options carry
@@ -73,4 +74,25 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 		return nil, err
 	}
 	return &Result{Result: *res, Ranks: opt.Ranks, Comm: eng.comm}, nil
+}
+
+// RunSnapshot executes a distributed run whose input graph rank 0 loads
+// from a binary .imsnap snapshot (internal/ingest) and broadcasts to
+// the other ranks — the deployment shape of a real MPI job, where only
+// the root touches the shared filesystem. The broadcast is metered into
+// Comm.GraphBroadcast at the snapshot's wire size per non-root rank.
+// Seeds are identical to Run on the equivalently ingested graph.
+func RunSnapshot(path string, opt Options) (*Result, error) {
+	g, info, err := ingest.ReadSnapshotFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("dist: rank 0 snapshot load: %w", err)
+	}
+	res, err := Run(g, opt)
+	if err != nil {
+		return nil, err
+	}
+	if ranks := int64(opt.Ranks); ranks > 1 {
+		res.Comm.record(&res.Comm.GraphBroadcast, ranks-1, (ranks-1)*info.Bytes)
+	}
+	return res, nil
 }

@@ -1,11 +1,13 @@
 package dist
 
 import (
+	"path/filepath"
 	"testing"
 
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/imm"
+	"repro/internal/ingest"
 )
 
 func testGraph(t *testing.T) *graph.Graph {
@@ -240,5 +242,40 @@ func TestCompressedPoolAcrossRanks(t *testing.T) {
 			t.Fatalf("ranks=%d: compressed pool %dB not below slices pool %dB",
 				ranks, resC.Pool.SetBytes, resS.Pool.SetBytes)
 		}
+	}
+}
+
+// TestRunSnapshot pins the snapshot-fed distributed path: rank 0 loads
+// the graph from a .imsnap file, seeds match the in-memory run exactly,
+// and the graph broadcast is metered at the snapshot's wire size per
+// non-root rank.
+func TestRunSnapshot(t *testing.T) {
+	g := testGraph(t)
+	path := filepath.Join(t.TempDir(), "g.imsnap")
+	if err := ingest.WriteSnapshotFile(path, g, 7); err != nil {
+		t.Fatal(err)
+	}
+	for _, ranks := range []int{1, 3} {
+		opt := testOptions(ranks)
+		direct, err := Run(g, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap, err := RunSnapshot(path, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameSeeds(t, direct.Seeds, snap.Seeds)
+		wantBytes := int64(ranks-1) * ingest.SnapshotSize(g)
+		if snap.Comm.GraphBroadcast.BytesSent != wantBytes {
+			t.Fatalf("ranks=%d: graph broadcast %dB, want %dB",
+				ranks, snap.Comm.GraphBroadcast.BytesSent, wantBytes)
+		}
+		if snap.Comm.BytesSent != direct.Comm.BytesSent+wantBytes {
+			t.Fatalf("ranks=%d: broadcast not folded into aggregate", ranks)
+		}
+	}
+	if _, err := RunSnapshot(filepath.Join(t.TempDir(), "missing.imsnap"), testOptions(2)); err == nil {
+		t.Fatal("missing snapshot not surfaced")
 	}
 }

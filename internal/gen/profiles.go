@@ -7,6 +7,14 @@ import (
 	"repro/internal/graph"
 )
 
+// Version identifies the generator family's output. Bump it whenever a
+// change alters the edges or weights any generator emits for a given
+// seed — including changes to internal/rng, which both the generators
+// and the weight assignment draw from. The CI datasets job keys its
+// materialized-graph cache on this value (plus a hash of the gen,
+// graph, ingest and rng sources), so a bump invalidates cached graphs.
+const Version = "gen-v1"
+
 // Profile describes a calibrated synthetic clone of one of the paper's
 // SNAP datasets. PaperNodes/PaperEdges record the original scale for the
 // footprint analyses; Nodes/Edges are the reduced scale actually

@@ -1,0 +1,122 @@
+package graph
+
+import "fmt"
+
+// FromCSRTopology assembles a Graph directly from prebuilt CSR arrays,
+// without diffusion parameters. It is the seam the parallel ingestion
+// pipeline (internal/ingest) uses: the pipeline lays out the arrays
+// itself and then attaches model parameters through AssignIC/AssignLT,
+// exactly like Builder.Build does. The arrays are adopted, not copied;
+// callers must not retain them. Invariants (monotone indices, strictly
+// sorted segments, in-range targets) are validated.
+func FromCSRTopology(n int32, m int64, outIndex []int64, outEdges []int32, inIndex []int64, inEdges []int32) (*Graph, error) {
+	if n < 0 || m < 0 {
+		return nil, fmt.Errorf("graph: negative shape n=%d m=%d", n, m)
+	}
+	g := &Graph{
+		N:        n,
+		M:        m,
+		OutIndex: outIndex,
+		OutEdges: outEdges,
+		InIndex:  inIndex,
+		InEdges:  inEdges,
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// FromCSR assembles a complete Graph — topology plus per-edge diffusion
+// parameters — from prebuilt arrays. It is the constructor the snapshot
+// reader uses: the stored weights are adopted verbatim instead of being
+// re-drawn, which is what makes a snapshot reload reproduce the exact
+// graph (and therefore the exact seeds) of the original ingestion. For
+// IC, inAccum must be empty; for LT it must hold the per-segment prefix
+// sums of inProb. All invariants are validated before the graph is
+// returned.
+func FromCSR(model Model, n int32, m int64, outIndex []int64, outEdges []int32, outProb []float32, inIndex []int64, inEdges []int32, inProb []float32, inAccum []float32) (*Graph, error) {
+	if model != IC && model != LT {
+		return nil, fmt.Errorf("graph: unknown model %v", model)
+	}
+	if int64(len(outProb)) != m || int64(len(inProb)) != m {
+		return nil, fmt.Errorf("graph: probability arrays must have length M=%d (got out=%d in=%d)", m, len(outProb), len(inProb))
+	}
+	switch model {
+	case IC:
+		if len(inAccum) != 0 {
+			return nil, fmt.Errorf("graph: IC graph must not carry InAccum")
+		}
+		inAccum = nil
+	case LT:
+		if int64(len(inAccum)) != m {
+			return nil, fmt.Errorf("graph: LT graph needs InAccum of length M=%d, got %d", m, len(inAccum))
+		}
+	}
+	g, err := FromCSRTopology(n, m, outIndex, outEdges, inIndex, inEdges)
+	if err != nil {
+		return nil, err
+	}
+	g.OutProb = outProb
+	g.InProb = inProb
+	g.InAccum = inAccum
+	g.model = model
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Equal reports whether two graphs are byte-identical: same model, same
+// CSR arrays, same per-edge parameters. This is the property the
+// ingestion tests pin across worker counts and snapshot round trips —
+// not isomorphism, exact array equality.
+func Equal(a, b *Graph) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.N != b.N || a.M != b.M || a.model != b.model {
+		return false
+	}
+	return eqI64(a.OutIndex, b.OutIndex) && eqI32(a.OutEdges, b.OutEdges) && eqF32(a.OutProb, b.OutProb) &&
+		eqI64(a.InIndex, b.InIndex) && eqI32(a.InEdges, b.InEdges) && eqF32(a.InProb, b.InProb) &&
+		eqF32(a.InAccum, b.InAccum)
+}
+
+func eqI64(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func eqI32(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func eqF32(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		// Bit-identity, not numeric closeness: snapshots store the exact
+		// float32 payload.
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -5,71 +5,177 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strconv"
-	"strings"
+	"sort"
 )
 
+// MaxLineLen is the longest accepted edge-list line: 1 MiB, the scanner
+// buffer this loader has always used. The parallel pipeline in
+// internal/ingest enforces the same cap so both paths agree on which
+// inputs are valid.
+const MaxLineLen = 1 << 20
+
+// Edge-list policy (shared by this sequential loader and the parallel
+// pipeline in internal/ingest, which calls ParseEdgeLine):
+//
+//   - '#' and '%' lines are comments; blank lines are skipped. The '%'
+//     form covers MatrixMarket-style "%%MatrixMarket" banners.
+//   - A data line must hold EXACTLY two non-negative integers. Lines
+//     with three or more fields are rejected rather than misparsed —
+//     in particular the "rows cols nnz" size line that follows a
+//     MatrixMarket banner is an error, not the edge (rows, cols).
+//   - Vertex ids are arbitrary non-negative int64s, densified to
+//     [0, N) by ascending raw id (sort-based ranking). The ranking
+//     depends only on the set of ids, never on the order lines are
+//     read, which is what keeps parallel ingestion worker-count
+//     invariant.
+//   - Self-loops and duplicate edges are accepted in the input and
+//     silently dropped during CSR construction, matching Builder (the
+//     preprocessing applied to the paper's SNAP datasets). Callers who
+//     need to detect them instead of dropping them use
+//     ingest.Options.Dedupe = ingest.DedupeStrict.
+
+// ParseEdgeLine parses one edge-list line under the policy above.
+// skip reports comment/blank lines; src/dst are only meaningful when
+// skip is false and err is nil. The returned error describes the first
+// offending field but carries no line number — callers prepend their
+// own position information.
+func ParseEdgeLine(line []byte) (src, dst int64, skip bool, err error) {
+	i := 0
+	for i < len(line) && isSpace(line[i]) {
+		i++
+	}
+	if i == len(line) || line[i] == '#' || line[i] == '%' {
+		return 0, 0, true, nil
+	}
+	src, i, err = parseID(line, i, "source")
+	if err != nil {
+		return 0, 0, false, err
+	}
+	if i == len(line) || !isSpace(line[i]) {
+		return 0, 0, false, fmt.Errorf("want exactly 2 fields, got %q", string(line))
+	}
+	for i < len(line) && isSpace(line[i]) {
+		i++
+	}
+	dst, i, err = parseID(line, i, "target")
+	if err != nil {
+		return 0, 0, false, err
+	}
+	for i < len(line) && isSpace(line[i]) {
+		i++
+	}
+	if i != len(line) {
+		return 0, 0, false, fmt.Errorf("want exactly 2 fields, got %q (MatrixMarket size headers are not edges)", string(line))
+	}
+	if src < 0 || dst < 0 {
+		return 0, 0, false, fmt.Errorf("negative vertex id in %q", string(line))
+	}
+	return src, dst, false, nil
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f' }
+
+// parseID parses a non-negative decimal field starting at line[i]. A
+// leading '-' is parsed (so the caller can report "negative vertex id"
+// rather than a generic syntax error) but any other non-digit fails.
+func parseID(line []byte, i int, role string) (int64, int, error) {
+	if i >= len(line) {
+		return 0, i, fmt.Errorf("want exactly 2 fields, got %q", string(line))
+	}
+	neg := false
+	if line[i] == '-' || line[i] == '+' {
+		neg = line[i] == '-'
+		i++
+	}
+	start := i
+	var v int64
+	for i < len(line) && line[i] >= '0' && line[i] <= '9' {
+		d := int64(line[i] - '0')
+		if v > (1<<63-1-d)/10 {
+			return 0, i, fmt.Errorf("bad %s id: %q overflows int64", role, string(line))
+		}
+		v = v*10 + d
+		i++
+	}
+	if i == start || (i < len(line) && !isSpace(line[i])) {
+		return 0, i, fmt.Errorf("bad %s id in %q", role, string(line))
+	}
+	if neg {
+		v = -v
+	}
+	return v, i, nil
+}
+
+// DensifyIDs ranks the raw ids appearing in edges: the returned slice
+// is sorted and duplicate-free, so an id's dense vertex number is its
+// RankID index. Sort-based ranking makes the mapping a pure function
+// of the id set — the property that lets the parallel pipeline in
+// internal/ingest densify chunks independently and still produce
+// identical graphs at every worker count.
+func DensifyIDs(ids []int64) []int64 {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := ids[:0]
+	for i, v := range ids {
+		if i == 0 || v != ids[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// RankID returns id's dense vertex number under a DensifyIDs ranking.
+// It is the single definition of the densification mapping — the
+// sequential loader and the parallel pipeline both call it, so the
+// byte-identity pin between them cannot drift.
+func RankID(ids []int64, id int64) int32 {
+	return int32(sort.Search(len(ids), func(i int) bool { return ids[i] >= id }))
+}
+
 // LoadEdgeList reads a SNAP-style whitespace-separated edge list from r:
-// one "src dst" pair per line, '#' lines are comments, vertex ids are
-// arbitrary non-negative integers and are densified to [0, N). When
+// one "src dst" pair per line under the policy documented above. When
 // undirected is set every edge is added in both directions, matching how
 // the paper handles the undirected com-* SNAP graphs.
+//
+// This is the sequential reference loader. internal/ingest implements
+// the same semantics as a chunked parallel pipeline and is pinned
+// byte-identical to this function at every worker count; the public
+// efficientimm.LoadEdgeList delegates there. Lines longer than
+// MaxLineLen fail (the scanner buffer is capped).
 func LoadEdgeList(r io.Reader, undirected bool, model Model, seed uint64) (*Graph, error) {
 	type rawEdge struct{ src, dst int64 }
 	var raw []rawEdge
-	maxID := int64(-1)
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	sc.Buffer(make([]byte, 64<<10), MaxLineLen)
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "%") {
+		src, dst, skip, err := ParseEdgeLine(sc.Bytes())
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+		}
+		if skip {
 			continue
 		}
-		fields := strings.Fields(line)
-		if len(fields) < 2 {
-			return nil, fmt.Errorf("graph: line %d: want at least 2 fields, got %q", lineNo, line)
-		}
-		src, err := strconv.ParseInt(fields[0], 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("graph: line %d: bad source id: %v", lineNo, err)
-		}
-		dst, err := strconv.ParseInt(fields[1], 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("graph: line %d: bad target id: %v", lineNo, err)
-		}
-		if src < 0 || dst < 0 {
-			return nil, fmt.Errorf("graph: line %d: negative vertex id", lineNo)
-		}
 		raw = append(raw, rawEdge{src, dst})
-		if src > maxID {
-			maxID = src
-		}
-		if dst > maxID {
-			maxID = dst
-		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("graph: reading edge list: %w", err)
 	}
 
-	// Densify ids: SNAP files frequently have sparse id spaces.
-	remap := make(map[int64]int32, len(raw))
-	next := int32(0)
+	// Densify ids by ascending raw id: SNAP files frequently have sparse
+	// id spaces, and rank densification keeps the mapping independent of
+	// line order (see DensifyIDs).
+	ids := make([]int64, 0, 2*len(raw))
 	for _, e := range raw {
-		if _, ok := remap[e.src]; !ok {
-			remap[e.src] = next
-			next++
-		}
-		if _, ok := remap[e.dst]; !ok {
-			remap[e.dst] = next
-			next++
-		}
+		ids = append(ids, e.src, e.dst)
 	}
-	b := NewBuilder(next)
+	ids = DensifyIDs(ids)
+	if int64(len(ids)) > int64(1)<<31-1 {
+		return nil, fmt.Errorf("graph: %d distinct vertex ids exceed int32 range", len(ids))
+	}
+	b := NewBuilder(int32(len(ids)))
 	for _, e := range raw {
-		s, d := remap[e.src], remap[e.dst]
+		s, d := RankID(ids, e.src), RankID(ids, e.dst)
 		if undirected {
 			b.AddUndirected(s, d)
 		} else {

@@ -1,0 +1,99 @@
+package graph
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// Error-path coverage for the sequential loader; the parallel pipeline
+// in internal/ingest pins behavioral parity against this loader, so the
+// policy is only spelled out once, here.
+
+func TestLoadEdgeListRejectsExtraFields(t *testing.T) {
+	// A MatrixMarket size header ("rows cols nnz") must be rejected, not
+	// misparsed as the edge (rows, cols).
+	cases := []string{
+		"%%MatrixMarket matrix coordinate\n10 10 57\n1 2\n",
+		"1 2 0.5\n",
+		"1 2 3 4\n",
+	}
+	for _, c := range cases {
+		if _, err := LoadEdgeList(strings.NewReader(c), false, IC, 1); err == nil {
+			t.Errorf("input %q: 3+ field line not rejected", c)
+		}
+	}
+	// But '%' comment lines themselves are skipped.
+	g, err := LoadEdgeList(strings.NewReader("% banner\n0 1\n"), false, IC, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M != 1 {
+		t.Fatalf("M=%d, want 1", g.M)
+	}
+}
+
+func TestLoadEdgeListOversizedLine(t *testing.T) {
+	long := strings.Repeat("7", MaxLineLen+16) + " 1\n"
+	if _, err := LoadEdgeList(strings.NewReader(long), false, IC, 1); err == nil {
+		t.Fatal("line beyond the scanner buffer not rejected")
+	}
+	// An oversized comment line fails the same way: the scanner cap is a
+	// property of the line, not the payload.
+	if _, err := LoadEdgeList(strings.NewReader("#"+long), false, IC, 1); err == nil {
+		t.Fatal("oversized comment line not rejected")
+	}
+}
+
+func TestLoadEdgeListSparseAndNegativeIDs(t *testing.T) {
+	// Sparse ids densify by ascending raw id: 5→0, 7→1, 10^9→2.
+	g, err := LoadEdgeList(strings.NewReader("1000000000 5\n7 1000000000\n"), false, IC, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 3 || g.M != 2 {
+		t.Fatalf("N=%d M=%d, want 3/2", g.N, g.M)
+	}
+	if !g.HasEdge(2, 0) || !g.HasEdge(1, 2) {
+		t.Fatal("sort-based densification mapped ids wrong")
+	}
+	for _, bad := range []string{"-1 2\n", "1 -2\n", "- 2\n", "99999999999999999999 1\n"} {
+		if _, err := LoadEdgeList(strings.NewReader(bad), false, IC, 1); err == nil {
+			t.Errorf("input %q: expected error", bad)
+		}
+	}
+}
+
+func TestLoadEdgeListTruncatedFile(t *testing.T) {
+	// A final line without a newline still parses...
+	g, err := LoadEdgeList(strings.NewReader("0 1\n1 2"), false, IC, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M != 2 {
+		t.Fatalf("M=%d, want 2 (truncated last line lost)", g.M)
+	}
+	// ...but a line cut mid-token is a parse error, not a silent skip.
+	if _, err := LoadEdgeList(strings.NewReader("0 1\n1"), false, IC, 1); err == nil {
+		t.Fatal("half an edge accepted")
+	}
+	if _, err := LoadEdgeList(errReader{}, false, IC, 1); err == nil {
+		t.Fatal("reader failure not surfaced")
+	}
+}
+
+type errReader struct{}
+
+func (errReader) Read([]byte) (int, error) { return 0, errors.New("disk gone") }
+
+func TestLoadEdgeListDedupePolicy(t *testing.T) {
+	// Self-loops and duplicates are silently dropped (the documented
+	// Builder-matching policy); internal/ingest offers the strict mode.
+	g, err := LoadEdgeList(strings.NewReader("0 1\n0 1\n2 2\n1 0\n"), false, IC, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M != 2 {
+		t.Fatalf("M=%d, want 2 after dedupe", g.M)
+	}
+}

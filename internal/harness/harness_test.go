@@ -317,6 +317,37 @@ func TestMemorySweep(t *testing.T) {
 	}
 }
 
+func TestIngestSweep(t *testing.T) {
+	cfg := quick(t, true)
+	rows, err := IngestSweep(cfg, 10, []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Identical {
+			t.Fatalf("workers=%d: ingested graph differs from the sequential reference", r.Workers)
+		}
+		if !r.SnapshotIdentical {
+			t.Fatalf("workers=%d: snapshot reload differs", r.Workers)
+		}
+		if r.Edges == 0 || r.InputBytes == 0 || r.MBPerSec <= 0 {
+			t.Fatalf("empty measurement: %+v", r)
+		}
+		if r.SnapshotBytes == 0 {
+			t.Fatalf("snapshot size missing: %+v", r)
+		}
+	}
+	if rows[0].Workers != 1 || rows[0].SpeedupVs1 != 1 {
+		t.Fatalf("first row not the workers=1 baseline: %+v", rows[0])
+	}
+	if _, err := os.Stat(filepath.Join(cfg.OutDir, "ingest_sweep.csv")); err != nil {
+		t.Fatalf("csv not written: %v", err)
+	}
+}
+
 func TestCIBenchDeterministicAndComparable(t *testing.T) {
 	a, err := CIBench()
 	if err != nil {
@@ -328,6 +359,9 @@ func TestCIBenchDeterministicAndComparable(t *testing.T) {
 	}
 	if len(a.Metrics) != 6 { // 2 models x (ripples + efficient x 2 pools)
 		t.Fatalf("%d metrics, want 6", len(a.Metrics))
+	}
+	if a.Ingest == nil || a.Ingest.Edges == 0 || a.Ingest.SnapshotBytes == 0 || a.Ingest.Seeds == "" {
+		t.Fatalf("ingest leg missing or empty: %+v", a.Ingest)
 	}
 	if regs := CompareCI(a, b, 0); len(regs) != 0 {
 		t.Fatalf("two identical runs diverge: %v", regs)
@@ -388,5 +422,49 @@ func TestCompareCIFlagsRegressions(t *testing.T) {
 	cur.Config = "other"
 	if regs := CompareCI(base, cur, 0.1); len(regs) != 1 {
 		t.Fatalf("config mismatch not flagged: %v", regs)
+	}
+}
+
+func TestCompareCIFlagsIngestRegressions(t *testing.T) {
+	base := CIDigest{Config: ciConfigTag, Ingest: &CIIngest{
+		Nodes: 100, Edges: 500, SnapshotBytes: 10000, Theta: 42, Seeds: "[1 2]", MBPerSec: 123,
+	}}
+	clone := func() CIDigest {
+		d := base
+		in := *base.Ingest
+		d.Ingest = &in
+		return d
+	}
+	if regs := CompareCI(base, clone(), 0.1); len(regs) != 0 {
+		t.Fatalf("identical ingest legs flagged: %v", regs)
+	}
+	// Throughput drift alone never fails (hardware-dependent).
+	cur := clone()
+	cur.Ingest.MBPerSec = 1
+	if regs := CompareCI(base, cur, 0.1); len(regs) != 0 {
+		t.Fatalf("throughput drift flagged: %v", regs)
+	}
+	// Snapshot growth beyond tolerance fails.
+	cur = clone()
+	cur.Ingest.SnapshotBytes = 12000
+	if regs := CompareCI(base, cur, 0.1); len(regs) != 1 {
+		t.Fatalf("snapshot growth not flagged: %v", regs)
+	}
+	// Seed or θ drift through the ingested graph fails exactly.
+	cur = clone()
+	cur.Ingest.Seeds = "[1 3]"
+	if regs := CompareCI(base, cur, 0.1); len(regs) != 1 {
+		t.Fatalf("ingest seed drift not flagged: %v", regs)
+	}
+	cur = clone()
+	cur.Ingest.Theta = 43
+	if regs := CompareCI(base, cur, 0.1); len(regs) != 1 {
+		t.Fatalf("ingest theta drift not flagged: %v", regs)
+	}
+	// Missing leg fails.
+	cur = clone()
+	cur.Ingest = nil
+	if regs := CompareCI(base, cur, 0.1); len(regs) != 1 {
+		t.Fatalf("missing ingest leg not flagged: %v", regs)
 	}
 }

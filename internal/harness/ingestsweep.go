@@ -1,0 +1,129 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/ingest"
+)
+
+// ---------------------------------------------------------------------
+// Ingest sweep — parallel ingestion throughput and snapshot reload.
+// ---------------------------------------------------------------------
+
+// IngestRow is one worker count of the ingest sweep, plus the snapshot
+// columns (constant across rows: one snapshot per sweep).
+type IngestRow struct {
+	Workers    int
+	Nodes      int32
+	Edges      int64 // final M after dedupe
+	InputBytes int64
+
+	WallMS      float64
+	MBPerSec    float64
+	EdgesPerSec float64
+	SpeedupVs1  float64
+	// Identical pins the tentpole guarantee: the graph (CSR arrays and
+	// weights) is byte-identical to the sequential reference loader.
+	Identical bool
+
+	SnapshotBytes     int64
+	SnapshotLoadMS    float64
+	SnapshotIdentical bool
+}
+
+// IngestSweep generates an R-MAT edge list at the given scale (log2
+// vertices; <= 0 means 17, ~1M+ edges), writes it to disk, and ingests
+// it at each worker count, measuring end-to-end throughput and checking
+// byte-identity against the sequential graph.LoadEdgeListFile
+// reference. The workers=1 graph is then snapshotted and reloaded to
+// time the binary path and verify its identity too. Results land in
+// ingest_sweep.csv.
+func IngestSweep(cfg Config, scale int, workersList []int) ([]IngestRow, error) {
+	if scale <= 0 {
+		scale = 17
+	}
+	if workersList == nil {
+		workersList = []int{1, 2, 4, 8}
+	}
+	g, err := gen.RMAT(gen.DefaultRMAT(scale, 10), graph.IC, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	dir := cfg.OutDir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "ingest-sweep")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("ingest_rmat%d.txt", scale))
+	if err := graph.WriteEdgeListFile(path, g); err != nil {
+		return nil, err
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+
+	ref, err := graph.LoadEdgeListFile(path, false, graph.IC, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("harness: sequential reference load: %w", err)
+	}
+
+	snapPath := filepath.Join(dir, fmt.Sprintf("ingest_rmat%d.imsnap", scale))
+	if err := ingest.WriteSnapshotFile(snapPath, ref, cfg.Seed); err != nil {
+		return nil, err
+	}
+	snapStart := time.Now()
+	reloaded, info, err := ingest.ReadSnapshotFile(snapPath)
+	if err != nil {
+		return nil, err
+	}
+	snapLoadMS := float64(time.Since(snapStart)) / float64(time.Millisecond)
+	snapIdentical := graph.Equal(ref, reloaded)
+
+	var rows []IngestRow
+	var base float64
+	for _, w := range workersList {
+		gi, st, err := ingest.File(path, ingest.Options{Workers: w, Model: graph.IC, Seed: cfg.Seed})
+		if err != nil {
+			return nil, fmt.Errorf("harness: ingest workers=%d: %w", w, err)
+		}
+		wallMS := float64(st.TotalWall) / float64(time.Millisecond)
+		if base == 0 {
+			base = wallMS
+		}
+		rows = append(rows, IngestRow{
+			Workers:           w,
+			Nodes:             st.Nodes,
+			Edges:             st.Edges,
+			InputBytes:        fi.Size(),
+			WallMS:            wallMS,
+			MBPerSec:          st.MBPerSec(),
+			EdgesPerSec:       st.EdgesPerSec(),
+			SpeedupVs1:        safeDiv(base, wallMS),
+			Identical:         graph.Equal(ref, gi),
+			SnapshotBytes:     info.Bytes,
+			SnapshotLoadMS:    snapLoadMS,
+			SnapshotIdentical: snapIdentical,
+		})
+	}
+	csv := [][]string{{"workers", "nodes", "edges", "input_bytes", "wall_ms", "mb_per_s", "edges_per_s", "speedup_vs_1", "identical", "snapshot_bytes", "snapshot_load_ms", "snapshot_identical"}}
+	for _, r := range rows {
+		csv = append(csv, []string{
+			itoa(r.Workers), itoa(int(r.Nodes)), i64(r.Edges), i64(r.InputBytes),
+			f2(r.WallMS), f2(r.MBPerSec), f2(r.EdgesPerSec), f2(r.SpeedupVs1), fmt.Sprintf("%v", r.Identical),
+			i64(r.SnapshotBytes), f2(r.SnapshotLoadMS), fmt.Sprintf("%v", r.SnapshotIdentical),
+		})
+	}
+	return rows, cfg.writeCSV("ingest_sweep.csv", csv)
+}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/imm"
+	"repro/internal/ingest"
 )
 
 // ---------------------------------------------------------------------
@@ -146,17 +148,32 @@ type CIMetric struct {
 	Seeds            string  `json:"seeds"`
 }
 
+// CIIngest is the ingestion leg of the digest: the pinned graph is
+// written as text, re-ingested through the parallel pipeline, and
+// snapshotted. Edges/Nodes/Theta/Seeds/SnapshotBytes are deterministic
+// and gated; MBPerSec is wall-clock throughput, recorded for the
+// artifact trail but never gated (runner hardware varies).
+type CIIngest struct {
+	Nodes         int32   `json:"nodes"`
+	Edges         int64   `json:"edges"`
+	SnapshotBytes int64   `json:"snapshot_bytes"`
+	Theta         int64   `json:"theta"`
+	Seeds         string  `json:"seeds"`
+	MBPerSec      float64 `json:"ingest_mb_per_s"`
+}
+
 // CIDigest is the BENCH_ci.json payload: a self-describing config tag
 // plus the gated metrics.
 type CIDigest struct {
 	Config  string     `json:"config"`
 	Metrics []CIMetric `json:"metrics"`
+	Ingest  *CIIngest  `json:"ingest,omitempty"`
 }
 
 // ciConfigTag names the pinned measurement configuration; bump it when
 // the CIBench setup changes so stale baselines fail loudly instead of
 // comparing apples to oranges.
-const ciConfigTag = "web-Google@9 k=25 w=4 seed=1 thetaIC=4000 thetaLT=8000 v1"
+const ciConfigTag = "web-Google@9 k=25 w=4 seed=1 thetaIC=4000 thetaLT=8000 v2+ingest"
 
 // CIBench runs the fixed small configuration the bench-regression CI
 // job gates on: the web-Google clone at scale 9, both models, the
@@ -209,6 +226,52 @@ func CIBench() (CIDigest, error) {
 				Seeds:            fmt.Sprint(res.Seeds),
 			})
 		}
+	}
+
+	// Ingestion leg: text → parallel ingest → snapshot → Run. The
+	// snapshot size and the seeds through the ingested graph guard the
+	// loader and the codec the same way the metrics above guard the
+	// engines.
+	gIC, err := prof.Generate(graph.IC, 1)
+	if err != nil {
+		return digest, err
+	}
+	var text bytes.Buffer
+	if err := graph.WriteEdgeList(&text, gIC); err != nil {
+		return digest, err
+	}
+	ing, st, err := ingest.Reader(&text, ingest.Options{Workers: 4, Model: graph.IC, Seed: 1})
+	if err != nil {
+		return digest, err
+	}
+	var snap bytes.Buffer
+	if err := ingest.WriteSnapshot(&snap, ing, 1); err != nil {
+		return digest, err
+	}
+	snapBytes := int64(snap.Len())
+	reloaded, _, err := ingest.ReadSnapshot(bytes.NewReader(snap.Bytes()))
+	if err != nil {
+		return digest, err
+	}
+	if !graph.Equal(ing, reloaded) {
+		return digest, fmt.Errorf("harness: snapshot round trip changed the CI graph")
+	}
+	opt := imm.Defaults()
+	opt.Workers = 4
+	opt.K = 25
+	opt.Seed = 1
+	opt.MaxTheta = 4000
+	res, err := imm.Run(reloaded, opt)
+	if err != nil {
+		return digest, err
+	}
+	digest.Ingest = &CIIngest{
+		Nodes:         st.Nodes,
+		Edges:         st.Edges,
+		SnapshotBytes: snapBytes,
+		Theta:         res.Theta,
+		Seeds:         fmt.Sprint(res.Seeds),
+		MBPerSec:      st.MBPerSec(),
 	}
 	return digest, nil
 }
@@ -285,6 +348,30 @@ func CompareCI(base, cur CIDigest, tol float64) []string {
 		if b.CompressionRatio > 0 && c.CompressionRatio < b.CompressionRatio*(1-tol) {
 			regressions = append(regressions, fmt.Sprintf("%s: compression ratio %.2f below baseline %.2f",
 				b.Key, c.CompressionRatio, b.CompressionRatio))
+		}
+	}
+	// Ingestion gate: shape, θ and seeds are deterministic and must
+	// match exactly; the snapshot may grow at most tol. Throughput
+	// (MBPerSec) is hardware-dependent and deliberately not gated.
+	if base.Ingest != nil {
+		b, c := base.Ingest, cur.Ingest
+		switch {
+		case c == nil:
+			regressions = append(regressions, "ingest: leg missing from current run")
+		default:
+			if c.Nodes != b.Nodes || c.Edges != b.Edges {
+				regressions = append(regressions, fmt.Sprintf("ingest: shape %d/%d != baseline %d/%d", c.Nodes, c.Edges, b.Nodes, b.Edges))
+			}
+			if c.Theta != b.Theta {
+				regressions = append(regressions, fmt.Sprintf("ingest: theta %d != baseline %d", c.Theta, b.Theta))
+			}
+			if c.Seeds != b.Seeds {
+				regressions = append(regressions, "ingest: seeds through the ingested graph diverged from baseline")
+			}
+			if grew(float64(c.SnapshotBytes), float64(b.SnapshotBytes)) {
+				regressions = append(regressions, fmt.Sprintf("ingest: snapshot bytes %+.1f%% (%d -> %d)",
+					100*(float64(c.SnapshotBytes)/float64(b.SnapshotBytes)-1), b.SnapshotBytes, c.SnapshotBytes))
+			}
 		}
 	}
 	return regressions

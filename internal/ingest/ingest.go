@@ -1,0 +1,567 @@
+// Package ingest is the parallel graph-ingestion subsystem: a chunked,
+// worker-parallel edge-list pipeline plus a versioned binary snapshot
+// codec (snapshot.go), so a billion-edge SNAP file is parsed once and
+// reloaded in milliseconds thereafter.
+//
+// The pipeline splits the input into byte ranges aligned to line
+// boundaries, parses chunks concurrently into per-worker edge blocks
+// with local max-id tallies, then runs a deterministic two-pass CSR
+// construction: a parallel degree histogram, prefix-summed offsets, and
+// a parallel scatter fill with per-chunk write cursors (no atomics).
+// Vertex ids are densified by ascending raw id (graph.DensifyIDs), a
+// pure function of the id set, so the resulting *graph.Graph — CSR
+// arrays and diffusion weights alike — is byte-identical at every
+// worker count and to the sequential graph.LoadEdgeList reference
+// loader. The tests pin exactly that.
+package ingest
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// Dedupe selects the self-loop/duplicate-edge policy.
+type Dedupe int
+
+const (
+	// DedupeSilent drops self-loops and duplicate directed edges during
+	// CSR construction — the Builder semantics every loader in this
+	// repository has always applied. The drop counts are reported in
+	// Stats.
+	DedupeSilent Dedupe = iota
+	// DedupeStrict fails ingestion when the input contains any self-loop
+	// or duplicate directed edge, for pipelines that treat them as data
+	// corruption rather than preprocessing noise.
+	DedupeStrict
+)
+
+// Options configures one ingestion run. The zero value ingests a
+// directed IC graph with seed 0 on all CPUs under the silent dedupe
+// policy.
+type Options struct {
+	// Workers is the parse/scatter parallelism. <= 0 means
+	// runtime.NumCPU(). Workers = 1 is the fully sequential path; every
+	// worker count produces a byte-identical graph.
+	Workers int
+	// Undirected adds both directions of every edge, matching the
+	// undirected com-* SNAP graphs.
+	Undirected bool
+	// Model and Seed select the diffusion parameter assignment
+	// (graph.AssignIC / graph.AssignLT), exactly as in Builder.Build.
+	Model graph.Model
+	Seed  uint64
+	// Dedupe is the self-loop/duplicate policy; see the Dedupe constants.
+	Dedupe Dedupe
+}
+
+// Stats reports what one ingestion run did.
+type Stats struct {
+	Bytes      int64 // input size
+	RawEdges   int64 // directed edges parsed (after undirected doubling)
+	Edges      int64 // final M after dedupe
+	Nodes      int32
+	SelfLoops  int64 // directed self-loop records dropped (or found, under strict)
+	Duplicates int64 // directed duplicate records dropped (or found, under strict)
+	Workers    int
+
+	ParseWall  time.Duration // chunked parse (+ id densification)
+	BuildWall  time.Duration // two-pass CSR construction
+	AssignWall time.Duration // diffusion-parameter assignment
+	TotalWall  time.Duration
+}
+
+// MBPerSec is the end-to-end ingest throughput in MiB/s.
+func (s Stats) MBPerSec() float64 {
+	if s.TotalWall <= 0 {
+		return 0
+	}
+	return float64(s.Bytes) / (1 << 20) / s.TotalWall.Seconds()
+}
+
+// EdgesPerSec is the end-to-end ingest throughput in parsed edges/s.
+func (s Stats) EdgesPerSec() float64 {
+	if s.TotalWall <= 0 {
+		return 0
+	}
+	return float64(s.RawEdges) / s.TotalWall.Seconds()
+}
+
+// File ingests an edge-list file. Regular files are read into memory
+// by all workers in parallel (disjoint ReadAt ranges), then handed to
+// Bytes; non-regular inputs (FIFOs, /dev/stdin) have no meaningful
+// size or ReadAt and fall back to the streaming Reader path.
+func File(path string, opt Options) (*graph.Graph, Stats, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	if !fi.Mode().IsRegular() {
+		return Reader(f, opt)
+	}
+	size := fi.Size()
+	data := make([]byte, size)
+	workers := clampWorkers(opt.Workers, size)
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		lo, hi := size*int64(w)/int64(workers), size*int64(w+1)/int64(workers)
+		wg.Add(1)
+		go func(w int, lo, hi int64) {
+			defer wg.Done()
+			if lo == hi {
+				return
+			}
+			if _, err := f.ReadAt(data[lo:hi], lo); err != nil {
+				errs[w] = err
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, Stats{}, fmt.Errorf("ingest: reading %s: %w", path, err)
+		}
+	}
+	return Bytes(data, opt)
+}
+
+// Reader ingests an edge list from r (read fully into memory first;
+// prefer File for large inputs, which reads in parallel).
+func Reader(r io.Reader, opt Options) (*graph.Graph, Stats, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, Stats{}, fmt.Errorf("ingest: reading edge list: %w", err)
+	}
+	return Bytes(data, opt)
+}
+
+// Bytes runs the full pipeline over an in-memory edge list.
+func Bytes(data []byte, opt Options) (*graph.Graph, Stats, error) {
+	start := time.Now()
+	workers := clampWorkers(opt.Workers, int64(len(data)))
+	st := Stats{Bytes: int64(len(data)), Workers: workers}
+
+	// ---- stage 1: chunked parallel parse -------------------------------
+	bounds := chunkBounds(data, workers)
+	blocks := make([]parseBlock, len(bounds)-1)
+	var wg sync.WaitGroup
+	for c := range blocks {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			blocks[c] = parseChunk(data, bounds[c], bounds[c+1])
+		}(c)
+	}
+	wg.Wait()
+	// Deterministic error reporting: the earliest offending byte wins,
+	// regardless of which worker hit it first.
+	for _, b := range blocks {
+		if b.err != nil {
+			line := 1 + countNewlines(data[:b.errOff])
+			return nil, st, fmt.Errorf("ingest: line %d: %v", line, b.err)
+		}
+	}
+
+	// ---- stage 2: sort-based id densification --------------------------
+	// Each chunk's ids arrive sorted and unique (parseChunk); a k-way
+	// merge yields the global ranking. The result depends only on the id
+	// set, so it is invariant under the chunking.
+	ids := mergeSortedUnique(blocks)
+	if int64(len(ids)) > int64(1)<<31-1 {
+		return nil, st, fmt.Errorf("ingest: %d distinct vertex ids exceed int32 range", len(ids))
+	}
+	n := int32(len(ids))
+	st.ParseWall = time.Since(start)
+
+	// ---- stage 3: remap raw ids, expand undirected, drop self-loops ----
+	buildStart := time.Now()
+	dense := make([][]graph.Edge, len(blocks))
+	loops := make([]int64, len(blocks))
+	for c := range blocks {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			dense[c], loops[c] = remapBlock(blocks[c].edges, ids, opt.Undirected)
+		}(c)
+	}
+	wg.Wait()
+	for c := range blocks {
+		st.SelfLoops += loops[c]
+		st.RawEdges += int64(len(blocks[c].edges))
+		blocks[c].edges = nil
+	}
+	if opt.Undirected {
+		st.RawEdges *= 2
+	}
+
+	// ---- stage 4: two-pass CSR construction ----------------------------
+	outIndex, outEdges, dups, err := buildOutCSR(n, dense, workers)
+	if err != nil {
+		return nil, st, err
+	}
+	st.Duplicates = dups
+	st.Edges = outIndex[n]
+	st.Nodes = n
+	if opt.Dedupe == DedupeStrict && (st.SelfLoops > 0 || st.Duplicates > 0) {
+		return nil, st, fmt.Errorf("ingest: strict dedupe: input contains %d self-loop(s) and %d duplicate edge(s)", st.SelfLoops, st.Duplicates)
+	}
+	inIndex, inEdges := buildInCSR(n, outIndex, outEdges, workers)
+	g, err := graph.FromCSRTopology(n, outIndex[n], outIndex, outEdges, inIndex, inEdges)
+	if err != nil {
+		return nil, st, fmt.Errorf("ingest: %w", err)
+	}
+	st.BuildWall = time.Since(buildStart)
+
+	// ---- stage 5: diffusion parameters ---------------------------------
+	assignStart := time.Now()
+	switch opt.Model {
+	case graph.IC:
+		graph.AssignIC(g, opt.Seed)
+	case graph.LT:
+		graph.AssignLT(g, opt.Seed)
+	default:
+		return nil, st, fmt.Errorf("ingest: unknown model %v", opt.Model)
+	}
+	st.AssignWall = time.Since(assignStart)
+	st.TotalWall = time.Since(start)
+	return g, st, nil
+}
+
+func clampWorkers(w int, size int64) int {
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	// No point splitting tiny inputs into empty chunks.
+	if max := int(size/1024) + 1; w > max {
+		w = max
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// chunkBounds splits data into (roughly) equal byte ranges whose
+// boundaries sit just after a newline, so every line lives in exactly
+// one chunk. Bounds are monotone; chunks may be empty on tiny inputs.
+func chunkBounds(data []byte, workers int) []int {
+	bounds := make([]int, workers+1)
+	bounds[workers] = len(data)
+	for i := 1; i < workers; i++ {
+		p := len(data) * i / workers
+		if p < bounds[i-1] {
+			p = bounds[i-1]
+		}
+		for p < len(data) && data[p] != '\n' {
+			p++
+		}
+		if p < len(data) {
+			p++ // one past the newline
+		}
+		bounds[i] = p
+	}
+	return bounds
+}
+
+type rawEdge struct{ src, dst int64 }
+
+type parseBlock struct {
+	edges  []rawEdge
+	ids    []int64 // sorted unique raw ids of this chunk
+	err    error
+	errOff int // absolute byte offset of the offending line
+}
+
+// parseChunk parses data[lo:hi) line by line under the shared policy
+// (graph.ParseEdgeLine) and pre-sorts the chunk's ids for the merge.
+func parseChunk(data []byte, lo, hi int) parseBlock {
+	var b parseBlock
+	i := lo
+	for i < hi {
+		j := i
+		for j < hi && data[j] != '\n' {
+			j++
+		}
+		line := data[i:j]
+		if len(line) > graph.MaxLineLen {
+			b.err = fmt.Errorf("line exceeds %d bytes", graph.MaxLineLen)
+			b.errOff = i
+			return b
+		}
+		src, dst, skip, err := graph.ParseEdgeLine(line)
+		if err != nil {
+			b.err = err
+			b.errOff = i
+			return b
+		}
+		if !skip {
+			b.edges = append(b.edges, rawEdge{src, dst})
+		}
+		i = j + 1
+	}
+	b.ids = make([]int64, 0, 2*len(b.edges))
+	for _, e := range b.edges {
+		b.ids = append(b.ids, e.src, e.dst)
+	}
+	b.ids = graph.DensifyIDs(b.ids)
+	return b
+}
+
+func countNewlines(data []byte) int {
+	n := 0
+	for _, c := range data {
+		if c == '\n' {
+			n++
+		}
+	}
+	return n
+}
+
+// mergeSortedUnique merges the per-chunk sorted unique id lists into the
+// global sorted unique id ranking.
+func mergeSortedUnique(blocks []parseBlock) []int64 {
+	total := 0
+	for _, b := range blocks {
+		total += len(b.ids)
+	}
+	out := make([]int64, 0, total)
+	cursors := make([]int, len(blocks))
+	for {
+		best := int64(0)
+		found := false
+		for c, b := range blocks {
+			if cursors[c] < len(b.ids) {
+				if v := b.ids[cursors[c]]; !found || v < best {
+					best, found = v, true
+				}
+			}
+		}
+		if !found {
+			return out
+		}
+		out = append(out, best)
+		for c, b := range blocks {
+			if cursors[c] < len(b.ids) && b.ids[cursors[c]] == best {
+				cursors[c]++
+			}
+		}
+	}
+}
+
+// remapBlock converts raw ids to dense ranks by binary search over the
+// global ranking, expands undirected edges, and drops self-loops
+// (counting them).
+func remapBlock(edges []rawEdge, ids []int64, undirected bool) ([]graph.Edge, int64) {
+	out := make([]graph.Edge, 0, len(edges)*expand(undirected))
+	var loops int64
+	for _, e := range edges {
+		if e.src == e.dst {
+			loops += int64(expand(undirected))
+			continue
+		}
+		s, d := graph.RankID(ids, e.src), graph.RankID(ids, e.dst)
+		out = append(out, graph.Edge{Src: s, Dst: d})
+		if undirected {
+			out = append(out, graph.Edge{Src: d, Dst: s})
+		}
+	}
+	return out, loops
+}
+
+func expand(undirected bool) int {
+	if undirected {
+		return 2
+	}
+	return 1
+}
+
+// buildOutCSR lays out the forward CSR in two passes: a parallel
+// per-chunk degree histogram whose prefix sums give every chunk a
+// private write cursor per vertex (scatter without atomics), then a
+// parallel per-segment sort + dedupe + compaction. The result is the
+// sorted, duplicate-free CSR — a pure function of the edge set,
+// independent of chunking.
+func buildOutCSR(n int32, blocks [][]graph.Edge, workers int) (index []int64, edges []int32, dups int64, err error) {
+	// Pass 1a: per-chunk out-degree histograms.
+	counts := make([][]int32, len(blocks))
+	var wg sync.WaitGroup
+	for c := range blocks {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cnt := make([]int32, n)
+			for _, e := range blocks[c] {
+				cnt[e.Src]++
+			}
+			counts[c] = cnt
+		}(c)
+	}
+	wg.Wait()
+
+	// Pass 1b: global offsets and per-chunk cursors.
+	dupIndex := make([]int64, n+1)
+	cursors := make([][]int64, len(blocks))
+	for c := range cursors {
+		cursors[c] = make([]int64, n)
+	}
+	var total int64
+	for u := int32(0); u < n; u++ {
+		dupIndex[u] = total
+		for c := range blocks {
+			cursors[c][u] = total
+			total += int64(counts[c][u])
+		}
+	}
+	dupIndex[n] = total
+
+	// Pass 1c: parallel scatter — each chunk owns disjoint cursor ranges.
+	scattered := make([]int32, total)
+	for c := range blocks {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cur := cursors[c]
+			for _, e := range blocks[c] {
+				scattered[cur[e.Src]] = e.Dst
+				cur[e.Src]++
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	// Pass 2a: parallel per-segment sort + unique count over contiguous
+	// vertex ranges.
+	uniq := make([]int64, n)
+	parallelRanges(int(n), workers, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			seg := scattered[dupIndex[u]:dupIndex[u+1]]
+			sort.Slice(seg, func(i, j int) bool { return seg[i] < seg[j] })
+			var k int64
+			for i, v := range seg {
+				if i == 0 || v != seg[i-1] {
+					k++
+				}
+			}
+			uniq[u] = k
+		}
+	})
+
+	// Pass 2b: final offsets and parallel compaction.
+	index = make([]int64, n+1)
+	var m int64
+	for u := int32(0); u < n; u++ {
+		index[u] = m
+		m += uniq[u]
+	}
+	index[n] = m
+	edges = make([]int32, m)
+	parallelRanges(int(n), workers, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			seg := scattered[dupIndex[u]:dupIndex[u+1]]
+			w := index[u]
+			for i, v := range seg {
+				if i == 0 || v != seg[i-1] {
+					edges[w] = v
+					w++
+				}
+			}
+		}
+	})
+	return index, edges, total - m, nil
+}
+
+// buildInCSR derives the transpose CSR from the final forward CSR with
+// the same histogram/prefix/scatter discipline: contiguous source
+// ranges per worker, per-range cursor bases, so in-segments come out
+// sorted by source without any post-sort.
+func buildInCSR(n int32, outIndex []int64, outEdges []int32, workers int) ([]int64, []int32) {
+	parts := workers
+	if parts > int(n) && n > 0 {
+		parts = int(n)
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	counts := make([][]int32, parts)
+	var wg sync.WaitGroup
+	for p := 0; p < parts; p++ {
+		lo, hi := int32(int(n)*p/parts), int32(int(n)*(p+1)/parts)
+		wg.Add(1)
+		go func(p int, lo, hi int32) {
+			defer wg.Done()
+			cnt := make([]int32, n)
+			for k := outIndex[lo]; k < outIndex[hi]; k++ {
+				cnt[outEdges[k]]++
+			}
+			counts[p] = cnt
+		}(p, lo, hi)
+	}
+	wg.Wait()
+
+	inIndex := make([]int64, n+1)
+	cursors := make([][]int64, parts)
+	for p := range cursors {
+		cursors[p] = make([]int64, n)
+	}
+	var total int64
+	for v := int32(0); v < n; v++ {
+		inIndex[v] = total
+		for p := 0; p < parts; p++ {
+			cursors[p][v] = total
+			total += int64(counts[p][v])
+		}
+	}
+	inIndex[n] = total
+
+	inEdges := make([]int32, total)
+	for p := 0; p < parts; p++ {
+		lo, hi := int32(int(n)*p/parts), int32(int(n)*(p+1)/parts)
+		wg.Add(1)
+		go func(p int, lo, hi int32) {
+			defer wg.Done()
+			cur := cursors[p]
+			for u := lo; u < hi; u++ {
+				for k := outIndex[u]; k < outIndex[u+1]; k++ {
+					v := outEdges[k]
+					inEdges[cur[v]] = u
+					cur[v]++
+				}
+			}
+		}(p, lo, hi)
+	}
+	wg.Wait()
+	return inIndex, inEdges
+}
+
+// parallelRanges runs fn over contiguous [lo, hi) partitions of [0, n).
+func parallelRanges(n, workers int, fn func(lo, hi int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < workers; p++ {
+		lo, hi := n*p/workers, n*(p+1)/workers
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

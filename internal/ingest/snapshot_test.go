@@ -1,0 +1,134 @@
+package ingest
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func snapshotFixture(t *testing.T, model graph.Model) *graph.Graph {
+	t.Helper()
+	g, err := gen.RMAT(gen.DefaultRMAT(8, 6), model, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	for _, model := range []graph.Model{graph.IC, graph.LT} {
+		g := snapshotFixture(t, model)
+		var buf bytes.Buffer
+		if err := WriteSnapshot(&buf, g, 5); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := int64(buf.Len()), SnapshotSize(g); got != want {
+			t.Fatalf("%v: snapshot size %d, SnapshotSize predicts %d", model, got, want)
+		}
+		g2, info, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !graph.Equal(g, g2) {
+			t.Fatalf("%v: round trip not byte-identical", model)
+		}
+		if info.Model != model || info.Seed != 5 || info.N != g.N || info.M != g.M || info.Version != SnapshotVersion {
+			t.Fatalf("header metadata wrong: %+v", info)
+		}
+	}
+}
+
+func TestSnapshotCanonicalBytes(t *testing.T) {
+	g := snapshotFixture(t, graph.IC)
+	var a, b bytes.Buffer
+	if err := WriteSnapshot(&a, g, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSnapshot(&b, g, 5); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("snapshot encoding is not canonical")
+	}
+}
+
+func TestSnapshotFileRoundTrip(t *testing.T) {
+	g := snapshotFixture(t, graph.LT)
+	path := filepath.Join(t.TempDir(), "g"+SnapshotExt)
+	if err := WriteSnapshotFile(path, g, 5); err != nil {
+		t.Fatal(err)
+	}
+	g2, info, err := ReadSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graph.Equal(g, g2) {
+		t.Fatal("file round trip not byte-identical")
+	}
+	if info.Bytes != SnapshotSize(g) {
+		t.Fatalf("info.Bytes = %d, want %d", info.Bytes, SnapshotSize(g))
+	}
+}
+
+func TestSnapshotCorruption(t *testing.T) {
+	g := snapshotFixture(t, graph.IC)
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, g, 5); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	corrupt := func(off int, flip byte) []byte {
+		c := append([]byte(nil), valid...)
+		c[off] ^= flip
+		return c
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"bad magic", corrupt(0, 0xff), "bad magic"},
+		{"wrong version", corrupt(8, 0x02), "version"},
+		{"header bit flip", corrupt(24, 0x01), "checksum"}, // n changed → header crc fails first
+		{"table bit flip", corrupt(snapHeaderSize+8, 0x01), "checksum"},
+		{"payload bit flip", corrupt(snapPayloadBase+3, 0x40), "section 0 checksum"},
+		{"last payload bit flip", corrupt(len(valid)-1, 0x40), "checksum"},
+		{"truncated header", valid[:20], "truncated"},
+		{"truncated payload", valid[:len(valid)-100], "truncated"},
+		{"empty", nil, "truncated"},
+	}
+	for _, c := range cases {
+		_, _, err := ReadSnapshot(bytes.NewReader(c.data))
+		if err == nil {
+			t.Errorf("%s: corruption not detected", c.name)
+			continue
+		}
+		if c.want != "" && !bytes.Contains([]byte(err.Error()), []byte(c.want)) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestSnapshotOfIngestedGraph(t *testing.T) {
+	// The full loop the CI datasets job exercises: text → ingest →
+	// snapshot → reload is byte-identical to the ingested graph.
+	g, _, err := Bytes([]byte(messyEdgeList), Options{Workers: 4, Model: graph.LT, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, g, 9); err != nil {
+		t.Fatal(err)
+	}
+	g2, _, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graph.Equal(g, g2) {
+		t.Fatal("ingest→snapshot→reload changed the graph")
+	}
+}
