@@ -20,6 +20,7 @@ import (
 	"repro/internal/imm"
 	"repro/internal/ingest"
 	"repro/internal/numa"
+	"repro/internal/serve"
 )
 
 // benchProfile returns a scale-clamped clone.
@@ -412,4 +413,52 @@ func BenchmarkIngest(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkServeCold measures the per-query cost when every query pays
+// full RRR generation — a fresh server per iteration, the
+// sample-from-scratch baseline the warm-pool service amortizes away.
+func BenchmarkServeCold(b *testing.B) {
+	g := benchProfile(b, "web-Google", 10, graph.IC)
+	req := serve.QueryRequest{Graph: "g", K: 25, Epsilon: 0.5, Seed: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := serve.NewServer(serve.Options{Workers: 4, MaxTheta: 5000})
+		if _, err := s.AddGraph("g", g, 1); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Query(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServeWarm measures the steady-state served query: the pool
+// is warm after the first query, so every iteration is selection-only.
+// Compare against BenchmarkServeCold for the amortization win the
+// serve_sweep.csv rows quantify.
+func BenchmarkServeWarm(b *testing.B) {
+	g := benchProfile(b, "web-Google", 10, graph.IC)
+	s := serve.NewServer(serve.Options{Workers: 4, MaxTheta: 5000})
+	if _, err := s.AddGraph("g", g, 1); err != nil {
+		b.Fatal(err)
+	}
+	req := serve.QueryRequest{Graph: "g", K: 25, Epsilon: 0.5, Seed: 1}
+	if _, err := s.Query(req); err != nil { // warm the pool outside the timer
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var reused int64
+	for i := 0; i < b.N; i++ {
+		res, err := s.Query(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Warm || res.GeneratedSets != 0 {
+			b.Fatalf("warm query regenerated: %+v", res)
+		}
+		reused = res.ReusedSets
+	}
+	b.ReportMetric(float64(reused), "reusedSets")
 }

@@ -24,8 +24,9 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1|fig1|fig2|table2|fig5|table3|fig6|fig7|table4|ablations|dist|mem|ingest|ci|all")
+		exp      = flag.String("exp", "all", "experiment: table1|fig1|fig2|table2|fig5|table3|fig6|fig7|table4|ablations|dist|mem|ingest|serve|ci|all")
 		ingScale = flag.Int("ingest-scale", 0, "ingest experiment: log2 vertices of the generated graph (0 = 17 for ~1M+ edges, or 13 with -quick)")
+		srvScale = flag.Int("serve-scale", 0, "serve experiment: log2 vertices of the generated graph (0 = 16, the CI dataset shape, or 12 with -quick)")
 		out      = flag.String("out", "results", "output directory for CSVs and JSON logs")
 		quick    = flag.Bool("quick", false, "small sizes for a fast smoke run")
 		scale    = flag.Int("scale", 0, "clamp profile scale (0 = config default)")
@@ -211,6 +212,25 @@ func main() {
 		if len(rows) > 0 {
 			fmt.Printf("snapshot: %d bytes, reload %.1fms, identical=%v\n",
 				rows[0].SnapshotBytes, rows[0].SnapshotLoadMS, rows[0].SnapshotIdentical)
+		}
+		return nil
+	})
+
+	run("serve", func() error {
+		scale := *srvScale
+		if scale == 0 && *quick {
+			scale = 12
+		}
+		rows, err := harness.ServeSweep(cfg, scale)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-14s %4s %5s %10s %8s %10s %10s %12s %9s %6s\n",
+			"phase", "k", "eps", "wall_ms", "theta", "reused", "generated", "reusedB", "speedup", "match")
+		for _, r := range rows {
+			fmt.Printf("%-14s %4d %5.2f %10.1f %8d %10d %10d %12d %8.2fx %6v\n",
+				r.Phase, r.K, r.Epsilon, r.WallMS, r.Theta, r.ReusedSets, r.GeneratedSets,
+				r.ReusedBytes, r.SpeedupVsCold, r.SeedsMatch)
 		}
 		return nil
 	})

@@ -17,7 +17,6 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"strings"
 	"time"
 
 	efficientimm "repro"
@@ -65,12 +64,26 @@ func main() {
 	selection, err := efficientimm.ParseSelection(*selName)
 	fatalIf(err)
 
-	modelFlagSet := false
-	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "model" {
-			modelFlagSet = true
+	setFlags := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
+	modelFlagSet := setFlags["model"]
+
+	fmtName := ""
+	if *graphFile != "" {
+		var ferr error
+		if fmtName, ferr = resolveFormat(*graphFile, *format); ferr != nil {
+			fatalIf(ferr)
 		}
-	})
+	}
+	fatalIf(validateFlags(cliFlags{
+		dataset:       *dataset,
+		graphFile:     *graphFile,
+		format:        fmtName,
+		saveSnap:      *saveSnap,
+		ranks:         *ranks,
+		selectionScan: selection == efficientimm.SelectScan,
+		set:           setFlags,
+	}))
 
 	var g *efficientimm.Graph
 	var ingStats *efficientimm.IngestStats
@@ -80,14 +93,6 @@ func main() {
 	weightSeed := *seed
 	switch {
 	case *graphFile != "":
-		fmtName := *format
-		if fmtName == "auto" {
-			if strings.HasSuffix(*graphFile, ".imsnap") {
-				fmtName = "snapshot"
-			} else {
-				fmtName = "edgelist"
-			}
-		}
 		switch fmtName {
 		case "edgelist":
 			var st efficientimm.IngestStats
@@ -107,8 +112,6 @@ func main() {
 			}
 			model = info.Model
 			weightSeed = info.Seed
-		default:
-			fatalIf(fmt.Errorf("unknown -format %q (want auto, edgelist or snapshot)", fmtName))
 		}
 	case *dataset != "":
 		profiles := efficientimm.Profiles()
@@ -150,8 +153,9 @@ func main() {
 	var res *efficientimm.Result
 	var comm *efficientimm.DistResult
 	if *ranks > 0 {
-		// The distributed runtime always selects through the CELF
-		// kernel; report what actually ran rather than the flag.
+		// The distributed runtime selects through the CELF kernel only;
+		// an explicit -selection scan was already rejected by
+		// validateFlags, so the flag can only hold the default here.
 		selection = efficientimm.SelectCELF
 		dopt := efficientimm.DefaultDistOptions()
 		dopt.Options = opt

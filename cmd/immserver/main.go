@@ -1,0 +1,132 @@
+// Command immserver is the warm-pool influence-maximization query
+// service: it loads one or more graphs (binary .imsnap snapshots or
+// edge lists) into an in-memory registry and serves seed-set queries
+// over HTTP/JSON, reusing per-graph RRR pools across queries so repeat
+// and refined queries skip the sample-from-scratch cost.
+//
+// Usage:
+//
+//	immserver -listen :8377 -load social=web-Google.imsnap -load rmat=rmat16.imsnap
+//	immserver -load graph.imsnap                  # name from the file stem
+//	immserver -load edges=graph.txt -model IC     # edge-list ingestion at startup
+//
+// Endpoints:
+//
+//	GET  /healthz                                liveness + graph count
+//	GET  /graphs                                 registered graphs
+//	GET  /stats                                  query/reuse/eviction counters
+//	GET  /query?graph=G&k=K&eps=E&seed=S         one seed-set query
+//	POST /query   {"graph":G,"k":K,"epsilon":E,"seed":S}
+//
+// Served answers are byte-identical to `efficientimm -graph G.imsnap -k
+// K -eps E -seed S` with the same engine settings; the CI smoke job
+// pins exactly that.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	efficientimm "repro"
+)
+
+func main() {
+	var loads []string
+	var (
+		listen    = flag.String("listen", ":8377", "address to serve HTTP on")
+		modelName = flag.String("model", "IC", "diffusion model for edge-list loads (snapshots carry their own)")
+		workers   = flag.Int("workers", runtime.NumCPU(), "parallel workers per query")
+		poolName  = flag.String("pool", "slices", "RRR pool representation: slices or compressed")
+		selName   = flag.String("selection", "celf", "selection kernel: celf or scan")
+		maxTheta  = flag.Int64("max-theta", 0, "cap on RRR sets per query (0 = per-theory)")
+		budgetMB  = flag.Int64("pool-budget-mb", 1024, "resident warm-pool byte budget across graphs, in MiB")
+		seed      = flag.Uint64("ingest-seed", 1, "weight-assignment seed for edge-list loads")
+	)
+	flag.Func("load", "graph to register, as name=path or a bare path (repeatable); .imsnap loads the snapshot, anything else ingests an edge list", func(v string) error {
+		loads = append(loads, v)
+		return nil
+	})
+	flag.Parse()
+
+	if len(loads) == 0 {
+		fatal(fmt.Errorf("at least one -load name=path.imsnap is required"))
+	}
+	model, err := efficientimm.ParseModel(*modelName)
+	fatalIf(err)
+	pool, err := efficientimm.ParsePool(*poolName)
+	fatalIf(err)
+	selection, err := efficientimm.ParseSelection(*selName)
+	fatalIf(err)
+
+	srv := efficientimm.NewServer(efficientimm.ServeOptions{
+		Workers:         *workers,
+		Pool:            pool,
+		Selection:       selection,
+		MaxTheta:        *maxTheta,
+		PoolBudgetBytes: *budgetMB << 20,
+	})
+	for _, spec := range loads {
+		name, path, found := strings.Cut(spec, "=")
+		if !found {
+			path = spec
+			name = strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		}
+		info, err := loadGraph(srv, name, path, model, *seed)
+		fatalIf(err)
+		fmt.Fprintf(os.Stderr, "immserver: registered %q: %d nodes, %d edges, model %s\n",
+			info.Name, info.Nodes, info.Edges, info.Model)
+	}
+
+	httpSrv := &http.Server{Addr: *listen, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "immserver: serving on %s\n", *listen)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	case <-sig:
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(ctx)
+		fmt.Fprintln(os.Stderr, "immserver: shut down")
+	}
+}
+
+// loadGraph registers one -load spec: snapshots through the binary
+// codec, everything else through the parallel edge-list pipeline.
+func loadGraph(srv *efficientimm.Server, name, path string, model efficientimm.Model, seed uint64) (efficientimm.GraphInfo, error) {
+	if strings.HasSuffix(path, efficientimm.SnapshotExt) {
+		return srv.AddSnapshot(name, path)
+	}
+	g, _, err := efficientimm.IngestFile(path, efficientimm.IngestOptions{Model: model, Seed: seed})
+	if err != nil {
+		return efficientimm.GraphInfo{}, err
+	}
+	return srv.AddGraph(name, g, seed)
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "immserver:", err)
+	os.Exit(1)
+}

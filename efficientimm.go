@@ -149,6 +149,10 @@ type (
 	SnapshotInfo = ingest.SnapshotInfo
 )
 
+// SnapshotExt is the conventional file extension of binary graph
+// snapshots (".imsnap"); the CLIs key format autodetection on it.
+const SnapshotExt = ingest.SnapshotExt
+
 // Dedupe policies for IngestOptions.
 const (
 	// DedupeSilent drops self-loops and duplicate edges (the Builder

@@ -3,7 +3,13 @@
 // 64-bit counters updated with fine-grained atomic adds (the paper's
 // `lock incq` discipline — one quadword locked per update, no wider
 // locking), and the two-step parallel argmax reduction (per-worker
-// regional maxima, then a reduction over the regions).
+// regional maxima, then a reduction over the regions). Key types:
+// Counter (the array plus ArgMax/AddFrom for the distributed
+// allreduce), UpdateStrategy with ChooseRebuild (the adaptive
+// decrement-vs-rebuild retirement of §IV.C), and GainHeap/GainLess (the
+// max-heaps behind CELF's lazy selection). The argmax and heap order
+// share one tie-break — gain descending, vertex id ascending — which is
+// the invariant that keeps every selection kernel byte-identical.
 package counter
 
 import (

@@ -1,0 +1,175 @@
+package harness
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/imm"
+	"repro/internal/serve"
+)
+
+// ---------------------------------------------------------------------
+// Serve sweep — warm-pool amortization of the query service.
+// ---------------------------------------------------------------------
+
+// ServeRow is one served query of the sweep.
+type ServeRow struct {
+	Phase   string // what the query exercises: cold, warm-repeat, warm-shrink, warm-extend, cold-evicted
+	K       int
+	Epsilon float64
+	Seed    uint64
+
+	WallMS        float64
+	Theta         int64
+	Warm          bool
+	ReusedSets    int64
+	GeneratedSets int64
+	ReusedBytes   int64
+	PoolBytes     int64
+
+	// SpeedupVsCold is the cold query's wall time over this one.
+	SpeedupVsCold float64
+	// SeedsMatch pins the tentpole guarantee: the served answer equals a
+	// cold imm.Run with the same options.
+	SeedsMatch bool
+	// HitRatio is the serving server's warm-hit ratio as of this row
+	// (the cold-evicted row reports its own tiny-budget server's).
+	HitRatio float64
+}
+
+// ServeSweep measures the warm-pool query service on an R-MAT graph at
+// the given scale (log2 vertices; <= 0 means 16, the CI dataset shape):
+// a cold query pays full generation, an exact repeat and a smaller
+// query are pure pool reuse, a tighter query extends θ incrementally,
+// and every answer is checked byte-identical against a cold imm.Run.
+// The final row re-runs the cold query against a byte-budget so small
+// that the pool was evicted — the regeneration cost the budget trades
+// for memory. Results land in serve_sweep.csv; the summary row reports
+// the service counters (hit ratio, reuse volume).
+func ServeSweep(cfg Config, scale int) ([]ServeRow, error) {
+	if scale <= 0 {
+		scale = 16
+	}
+	g, err := gen.RMAT(gen.DefaultRMAT(scale, 8), graph.IC, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	// Physical parallelism: the sweep measures real warm-vs-cold latency
+	// (not simulated scaling), and seeds are worker-invariant anyway.
+	opt := serve.Options{
+		Workers:  runtime.NumCPU(),
+		MaxTheta: cfg.MaxThetaIC,
+	}
+	s := serve.NewServer(opt)
+	name := fmt.Sprintf("rmat%d", scale)
+	if _, err := s.AddGraph(name, g, cfg.Seed); err != nil {
+		return nil, err
+	}
+
+	base := serve.QueryRequest{Graph: name, K: cfg.K, Epsilon: cfg.Epsilon, Seed: cfg.Seed}
+	smaller := base
+	smaller.K = max(1, cfg.K/2)
+	smaller.Epsilon = min(0.9, cfg.Epsilon*1.4)
+	tighter := base
+	tighter.K = cfg.K * 2
+	tighter.Epsilon = cfg.Epsilon * 0.8
+
+	phases := []struct {
+		phase string
+		req   serve.QueryRequest
+	}{
+		{"cold", base},
+		{"warm-repeat", base},
+		{"warm-shrink", smaller},
+		{"warm-extend", tighter},
+		{"warm-repeat-2", base},
+	}
+
+	// The cold references are memoized per query shape: four of the six
+	// rows share the base request, and a full-scale imm.Run reference is
+	// the expensive part of the sweep.
+	refs := make(map[serve.QueryRequest]*imm.Result)
+
+	var rows []ServeRow
+	var coldMS float64
+	for _, ph := range phases {
+		row, err := runServeQuery(s, g, opt, ph.phase, ph.req, refs)
+		if err != nil {
+			return nil, err
+		}
+		if ph.phase == "cold" {
+			coldMS = row.WallMS
+		}
+		row.SpeedupVsCold = safeDiv(coldMS, row.WallMS)
+		rows = append(rows, row)
+	}
+
+	// Eviction leg: a budget below one pool forces regeneration.
+	tiny := serve.NewServer(serve.Options{Workers: opt.Workers, MaxTheta: opt.MaxTheta, PoolBudgetBytes: 1})
+	if _, err := tiny.AddGraph(name, g, cfg.Seed); err != nil {
+		return nil, err
+	}
+	if _, err := tiny.Query(base); err != nil {
+		return nil, err
+	}
+	row, err := runServeQuery(tiny, g, opt, "cold-evicted", base, refs)
+	if err != nil {
+		return nil, err
+	}
+	row.SpeedupVsCold = safeDiv(coldMS, row.WallMS)
+	rows = append(rows, row)
+
+	csv := [][]string{{"phase", "k", "epsilon", "seed", "wall_ms", "theta", "warm", "reused_sets", "generated_sets", "reused_bytes", "pool_bytes", "speedup_vs_cold", "seeds_match", "hit_ratio"}}
+	for _, r := range rows {
+		csv = append(csv, []string{
+			r.Phase, itoa(r.K), f2(r.Epsilon), fmt.Sprintf("%d", r.Seed),
+			f2(r.WallMS), i64(r.Theta), fmt.Sprintf("%v", r.Warm),
+			i64(r.ReusedSets), i64(r.GeneratedSets), i64(r.ReusedBytes), i64(r.PoolBytes),
+			f2(r.SpeedupVsCold), fmt.Sprintf("%v", r.SeedsMatch), f2(r.HitRatio),
+		})
+	}
+	return rows, cfg.writeCSV("serve_sweep.csv", csv)
+}
+
+// runServeQuery serves one query and verifies it against a cold Run
+// (memoized in refs: identical query shapes share one reference).
+func runServeQuery(s *serve.Server, g *graph.Graph, opt serve.Options, phase string, req serve.QueryRequest, refs map[serve.QueryRequest]*imm.Result) (ServeRow, error) {
+	start := time.Now()
+	res, err := s.Query(req)
+	if err != nil {
+		return ServeRow{}, fmt.Errorf("harness: serve %s: %w", phase, err)
+	}
+	wallMS := float64(time.Since(start)) / float64(time.Millisecond)
+
+	cold := refs[req]
+	if cold == nil {
+		o := opt.EngineOptions()
+		o.K = req.K
+		o.Epsilon = req.Epsilon
+		o.Seed = req.Seed
+		if cold, err = imm.Run(g, o); err != nil {
+			return ServeRow{}, fmt.Errorf("harness: serve %s reference: %w", phase, err)
+		}
+		refs[req] = cold
+	}
+
+	return ServeRow{
+		Phase:         phase,
+		K:             req.K,
+		Epsilon:       req.Epsilon,
+		Seed:          req.Seed,
+		WallMS:        wallMS,
+		Theta:         res.Theta,
+		Warm:          res.Warm,
+		ReusedSets:    res.ReusedSets,
+		GeneratedSets: res.GeneratedSets,
+		ReusedBytes:   res.ReusedBytes,
+		PoolBytes:     res.PoolBytes,
+		SeedsMatch:    reflect.DeepEqual(res.Seeds, cold.Seeds) && res.Theta == cold.Theta,
+		HitRatio:      s.Stats().HitRatio(),
+	}, nil
+}

@@ -1,0 +1,44 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestServeSweep(t *testing.T) {
+	cfg := quick(t, true)
+	rows, err := ServeSweep(cfg, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows, want 6", len(rows))
+	}
+	if rows[0].Phase != "cold" || rows[0].Warm || rows[0].ReusedSets != 0 {
+		t.Fatalf("cold row = %+v", rows[0])
+	}
+	for i, r := range rows {
+		if !r.SeedsMatch {
+			t.Fatalf("row %d (%s): served seeds diverged from cold Run", i, r.Phase)
+		}
+	}
+	for _, r := range rows[1:5] {
+		if !r.Warm {
+			t.Fatalf("%s row not warm: %+v", r.Phase, r)
+		}
+	}
+	if rows[1].ReusedSets != rows[1].Theta || rows[1].GeneratedSets != 0 {
+		t.Fatalf("warm-repeat did not fully reuse the pool: %+v", rows[1])
+	}
+	if last := rows[len(rows)-1]; last.Warm || last.GeneratedSets == 0 {
+		t.Fatalf("cold-evicted row was served warm: %+v", last)
+	}
+	data, err := os.ReadFile(filepath.Join(cfg.OutDir, "serve_sweep.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("serve_sweep.csv is empty")
+	}
+}

@@ -1,10 +1,24 @@
 package imm
 
 import (
+	"sort"
+
 	"repro/internal/counter"
 	"repro/internal/rrr"
 	"repro/internal/sched"
 )
+
+// postPrefix returns how many of post's ascending local entry ids lie
+// below lim — a vertex's occurrence count within a truncated pool view.
+func postPrefix(post []int32, lim int32) int {
+	if len(post) == 0 || post[0] >= lim {
+		return 0
+	}
+	if post[len(post)-1] < lim {
+		return len(post)
+	}
+	return sort.Search(len(post), func(i int) bool { return post[i] >= lim })
+}
 
 // Parallel lazy-greedy (CELF) seed selection over the sharded pool's
 // inverted index.
@@ -27,7 +41,34 @@ import (
 // count. The tests pin this across workers ∈ {1,2,4,8} and both pool
 // representations.
 func (p *shardedPool) selectCELF(base *counter.Counter, workers, k int) (seeds []int32, coverage float64, modeledOps float64) {
-	nsets := p.count
+	return p.selectCELFLimited(base, workers, k, p.count)
+}
+
+// selectCELFLimited is selectCELF restricted to the logically truncated
+// pool view of global set ids below limit — the warm-serving seam. A
+// pool physically grown to θ_max answers a query whose own trajectory
+// stopped at θ = limit ≤ θ_max with exactly the seeds a cold pool of
+// limit sets would have returned: postings are appended in ascending
+// local-id order, so each shard's view is the prefix below
+// localLimit(s, limit), and every gain computation, stale recompute,
+// and coverage retirement stops at that horizon. base is only consulted
+// for the full view; a truncated view derives its gains from posting
+// prefixes (equal to the fused counts a cold run would have passed,
+// because fusion merely pre-aggregates occurrence counts of the same
+// sets).
+func (p *shardedPool) selectCELFLimited(base *counter.Counter, workers, k int, limit int64) (seeds []int32, coverage float64, modeledOps float64) {
+	if limit > p.count {
+		limit = p.count
+	}
+	nsets := limit
+	full := limit == p.count
+	if !full {
+		base = nil
+	}
+	var localLim [poolShards]int32
+	for s := range localLim {
+		localLim[s] = int32(localLimit(s, limit))
+	}
 	n := int(p.n)
 	w := workers
 	if w < 1 {
@@ -66,7 +107,11 @@ func (p *shardedPool) selectCELF(base *counter.Counter, workers, k int) (seeds [
 			for v := lo; v < hi; v++ {
 				var g int64
 				for s := range p.shards {
-					g += int64(len(p.shards[s].post[v]))
+					if full {
+						g += int64(len(p.shards[s].post[v]))
+					} else {
+						g += int64(postPrefix(p.shards[s].post[v], localLim[s]))
+					}
 				}
 				gains[v] = g
 			}
@@ -133,14 +178,18 @@ func (p *shardedPool) selectCELF(base *counter.Counter, workers, k int) (seeds [
 			sched.Static(w, poolShards, func(wk, s0, s1 int) {
 				for s := s0; s < s1; s++ {
 					sh := &p.shards[s]
-					var g int64
+					var g, walked int64
 					for _, j := range sh.post[v] {
+						if j >= localLim[s] {
+							break // beyond the view's horizon
+						}
+						walked++
 						if !sh.covered.Test(int(j)) {
 							g++
 						}
 					}
 					shardWork[s] = g
-					ops[wk] += int64(len(sh.post[v])) + 1
+					ops[wk] += walked + 1
 				}
 			})
 			var g int64
@@ -162,15 +211,19 @@ func (p *shardedPool) selectCELF(base *counter.Counter, workers, k int) (seeds [
 		sched.Static(w, poolShards, func(wk, s0, s1 int) {
 			for s := s0; s < s1; s++ {
 				sh := &p.shards[s]
-				var newly int64
+				var newly, walked int64
 				for _, j := range sh.post[chosen] {
+					if j >= localLim[s] {
+						break
+					}
+					walked++
 					if !sh.covered.Test(int(j)) {
 						sh.covered.Set(int(j))
 						newly++
 					}
 				}
 				shardWork[s] = newly
-				ops[wk] += int64(len(sh.post[chosen])) + 1
+				ops[wk] += walked + 1
 			}
 		})
 		for s := range shardWork {

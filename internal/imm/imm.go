@@ -199,7 +199,7 @@ func (o *Options) normalize(g *graph.Graph) error {
 	if o.K > int(g.N) {
 		o.K = int(g.N)
 	}
-	if o.Epsilon <= 0 || o.Epsilon >= 1 {
+	if !(o.Epsilon > 0 && o.Epsilon < 1) { // also rejects NaN
 		return fmt.Errorf("imm: Epsilon must lie in (0,1), got %v", o.Epsilon)
 	}
 	if o.Ell <= 0 {

@@ -100,12 +100,30 @@ type shardedPool struct {
 	// are write-once, so the cache only ever extends — never
 	// invalidates.
 	flat []rrr.Set
+	// bytePrefix[i] / memberPrefix[i] hold the summed Bytes()/Size() of
+	// sets [0, i), extended lazily like flat. They make the footprint
+	// and truncated-view accounting O(1) per query instead of an
+	// O(pool) rescan — the warm-serving hot path asks for both on every
+	// request. Guarded by the same serialization as selection (the
+	// engine runs one query at a time).
+	bytePrefix   []int64
+	memberPrefix []int64
 }
 
 func newShardedPool(n int32) *shardedPool { return &shardedPool{n: n} }
 
 // shardOf maps a global set id to (shard, local entry id).
 func shardOf(i int64) (int, int) { return int(i % poolShards), int(i / poolShards) }
+
+// localLimit returns how many of shard s's entries hold global ids below
+// limit — the per-shard horizon of a logically truncated pool view. Ids
+// are striped round-robin, so shard s holds ids s, s+poolShards, ...
+func localLimit(s int, limit int64) int {
+	if int64(s) >= limit {
+		return 0
+	}
+	return int((limit-1-int64(s))/poolShards) + 1
+}
 
 func (p *shardedPool) vertexCount() int32 { return p.n }
 func (p *shardedPool) len() int64         { return p.count }
@@ -161,13 +179,55 @@ func (p *shardedPool) ensureIndexed(workers int, ops []int64) {
 }
 
 // stats summarizes the pool in one walk over the shards.
-func (p *shardedPool) stats() rrr.Stats {
+func (p *shardedPool) stats() rrr.Stats { return p.statsUpTo(p.count) }
+
+// statsUpTo summarizes the logically truncated view holding only global
+// set ids below limit — what a pool that had stopped growing at θ=limit
+// would report. The warm-serving engine uses it so a reused pool's
+// result statistics match a cold run's exactly.
+func (p *shardedPool) statsUpTo(limit int64) rrr.Stats {
+	if limit > p.count {
+		limit = p.count
+	}
 	var st rrr.Stats
-	for i := int64(0); i < p.count; i++ {
+	for i := int64(0); i < limit; i++ {
 		st.Add(p.get(i))
 	}
 	st.Finalize(p.n)
 	return st
+}
+
+// extendPrefixes grows the lazy byte/member prefix sums to cover set
+// ids below limit. Amortized O(new sets) across a pool's lifetime.
+func (p *shardedPool) extendPrefixes(limit int64) {
+	if p.bytePrefix == nil {
+		p.bytePrefix = []int64{0}
+		p.memberPrefix = []int64{0}
+	}
+	for int64(len(p.bytePrefix)) <= limit {
+		i := int64(len(p.bytePrefix)) - 1
+		set := p.get(i)
+		p.bytePrefix = append(p.bytePrefix, p.bytePrefix[i]+set.Bytes())
+		p.memberPrefix = append(p.memberPrefix, p.memberPrefix[i]+int64(set.Size()))
+	}
+}
+
+// membersUpTo returns Σ|R| over global set ids below limit.
+func (p *shardedPool) membersUpTo(limit int64) int64 {
+	if limit >= p.count {
+		return p.totalMembers
+	}
+	p.extendPrefixes(limit)
+	return p.memberPrefix[limit]
+}
+
+// bytesUpTo returns the summed set representation bytes below limit.
+func (p *shardedPool) bytesUpTo(limit int64) int64 {
+	if limit > p.count {
+		limit = p.count
+	}
+	p.extendPrefixes(limit)
+	return p.bytePrefix[limit]
 }
 
 // footprint reports resident pool bytes as they stand: set payloads for
@@ -176,10 +236,7 @@ func (p *shardedPool) stats() rrr.Stats {
 // inverted view — which is the memory/selection-speed trade-off the
 // harness sweep measures.
 func (p *shardedPool) footprint() PoolFootprint {
-	var f PoolFootprint
-	for i := int64(0); i < p.count; i++ {
-		f.SetBytes += p.get(i).Bytes()
-	}
+	f := PoolFootprint{SetBytes: p.bytesUpTo(p.count)}
 	for s := range p.shards {
 		// Postings payload: 4 bytes per member, the CSR-equivalent cost
 		// of the inverted view (per-vertex bucket headers are an
@@ -187,6 +244,28 @@ func (p *shardedPool) footprint() PoolFootprint {
 		f.IndexBytes += 4 * p.shards[s].postCount
 	}
 	f.RawBytes = 4 * p.totalMembers
+	return f
+}
+
+// footprintUpTo reports the footprint of the truncated view over global
+// set ids below limit, as a cold pool of that size would have reported
+// it after a CELF selection (index fully built over the view).
+func (p *shardedPool) footprintUpTo(limit int64) PoolFootprint {
+	if limit >= p.count {
+		return p.footprint()
+	}
+	f := PoolFootprint{SetBytes: p.bytesUpTo(limit)}
+	members := p.membersUpTo(limit)
+	// Charge index bytes only when selection actually built the inverted
+	// view (a scan-mode pool never does and reports IndexBytes 0, the
+	// same trade-off the full footprint reports).
+	for s := range p.shards {
+		if p.shards[s].indexed > 0 {
+			f.IndexBytes = 4 * members
+			break
+		}
+	}
+	f.RawBytes = 4 * members
 	return f
 }
 

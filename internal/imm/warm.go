@@ -1,0 +1,142 @@
+package imm
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/counter"
+	"repro/internal/graph"
+	"repro/internal/rrr"
+)
+
+// WarmEngine is the pool-reuse seam around RunEngine that the serving
+// layer (internal/serve) is built on. It wraps the Efficient engine and
+// keeps its sharded RRR pool — and, under kernel fusion, the global
+// occurrence counter — alive across queries, so a query only pays for
+// the sets its θ trajectory needs beyond what earlier queries already
+// generated.
+//
+// Correctness rests on two properties of the underlying engine:
+//
+//   - Pool contents are a pure function of (graph, policy, seed, slot):
+//     set i is drawn from the slot-indexed RNG stream rng.NewStream(seed,
+//     i), so "the first θ sets" are identical whether they were generated
+//     by this query, a previous one, or a cold Run.
+//
+//   - Selection is non-destructive and, through the limited-view seam
+//     (selectCELFLimited / the flattened prefix for the scan kernel),
+//     can be restricted to exactly the first θ sets, ignoring any sets a
+//     previous larger query left behind.
+//
+// Together these make a warm answer byte-identical to a cold Run with
+// the same (graph, Options): the θ-estimation trajectory in RunEngine
+// observes the same coverage at every round, lands on the same final θ,
+// and selects the same seeds. The tests in warm_test.go pin this across
+// models, pool representations, selection kernels, worker counts, and
+// arbitrary query orders.
+//
+// A WarmEngine serves one query at a time: Generate/SelectSeeds share
+// the logical-limit state and the pool's selection scratch. Callers that
+// serve concurrent queries must serialize access (internal/serve holds
+// one mutex per warm engine).
+type WarmEngine struct {
+	g     *graph.Graph
+	inner *efficientEngine
+	// limit is the in-flight query's logical pool length: the largest
+	// Generate target seen since BeginQuery. Selection and all result
+	// statistics are restricted to the first limit sets even when the
+	// physical pool is larger.
+	limit int64
+}
+
+// NewWarmEngine returns a reusable engine for g under opt. Only the
+// Efficient engine supports warm reuse (the Ripples baseline keeps no
+// incremental index); opt's per-query fields (K, Epsilon) are ignored —
+// each query's RunEngine call carries its own. The fields that shape
+// pool bytes (Pool, AdaptiveRep, RepThreshold) and the RNG seed must
+// stay fixed for the engine's lifetime: they define which pool this is.
+func NewWarmEngine(g *graph.Graph, opt Options) (*WarmEngine, error) {
+	if err := opt.normalize(g); err != nil {
+		return nil, err
+	}
+	if opt.Engine != Efficient {
+		return nil, fmt.Errorf("imm: warm reuse requires the Efficient engine, got %v", opt.Engine)
+	}
+	return &WarmEngine{g: g, inner: newEfficientEngine(g, opt)}, nil
+}
+
+// BeginQuery resets the logical pool view for a new query. The physical
+// pool (and the fused counter) are retained — that is the reuse.
+func (w *WarmEngine) BeginQuery() { w.limit = 0 }
+
+// Generate extends the logical view to target sets, physically
+// generating only the slots no earlier query produced.
+func (w *WarmEngine) Generate(target int64) {
+	if target > w.limit {
+		w.limit = target
+	}
+	w.inner.Generate(target) // no-op when target ≤ physical size
+}
+
+// SelectSeeds selects k seeds over the logical view only. When the view
+// covers the whole physical pool and fusion kept the base counter
+// current, the fused counts seed the gains exactly as in a cold run;
+// a truncated view derives the same counts from posting prefixes.
+func (w *WarmEngine) SelectSeeds(k int) ([]int32, float64) {
+	e := w.inner
+	start := time.Now()
+	defer func() { e.bd.SelectionWall += time.Since(start) }()
+
+	var base *counter.Counter
+	if w.limit == e.p.len() && e.baseFresh {
+		base = e.base
+	}
+	var seeds []int32
+	var cov float64
+	var ops float64
+	if e.opt.Selection == SelectScan {
+		sets := e.p.flatten()[:w.limit]
+		seeds, cov, ops = SelectOnSetsScan(e.g.N, sets, e.p.membersUpTo(w.limit), base, e.opt.Workers, e.opt.Update, k)
+	} else {
+		seeds, cov, ops = e.p.selectCELFLimited(base, e.opt.Workers, k, w.limit)
+	}
+	e.bd.SelectionModeled += ops
+	return seeds, cov
+}
+
+// SetCount returns the logical pool length — what a cold run's pool
+// size would be at this point of the query's trajectory.
+func (w *WarmEngine) SetCount() int64 { return w.limit }
+
+// Stats summarizes the set representations of the logical view.
+func (w *WarmEngine) Stats() rrr.Stats { return w.inner.p.statsUpTo(w.limit) }
+
+// PoolFootprint reports the resident bytes of the logical view, matching
+// what a cold run of the same query would report.
+func (w *WarmEngine) PoolFootprint() PoolFootprint { return w.inner.p.footprintUpTo(w.limit) }
+
+// Breakdown returns the accumulated phase costs. Unlike seeds, θ, and
+// coverage, the breakdown is not byte-identical to a cold run's: a warm
+// query charges only the generation it actually performed.
+func (w *WarmEngine) Breakdown() Breakdown { return w.inner.bd }
+
+// PhysicalSets returns the number of sets resident in the underlying
+// pool, across all queries served so far.
+func (w *WarmEngine) PhysicalSets() int64 { return w.inner.p.len() }
+
+// PhysicalFootprint reports the resident bytes of the whole physical
+// pool — the quantity the serving layer's LRU byte budget accounts.
+func (w *WarmEngine) PhysicalFootprint() PoolFootprint { return w.inner.p.footprint() }
+
+// OverheadBytes reports the engine-resident memory outside the pool
+// representation itself: the fused occurrence counter (8 bytes per
+// vertex) and the per-shard coverage scratch (one bit per set). The
+// serving layer adds it to the pool footprint so its byte budget bounds
+// what a warm engine actually keeps resident.
+func (w *WarmEngine) OverheadBytes() int64 {
+	return 8*int64(w.g.N) + w.inner.p.len()/8
+}
+
+// FootprintUpTo reports the resident bytes of the first n sets — the
+// serving layer uses it to meter how many pool bytes a query reused.
+func (w *WarmEngine) FootprintUpTo(n int64) PoolFootprint { return w.inner.p.footprintUpTo(n) }

@@ -1,0 +1,183 @@
+package imm
+
+// Tests of the warm-reuse seam: a WarmEngine serving a sequence of
+// queries must return, for every query, exactly what a cold Run with the
+// same options returns — seeds, θ, rounds, coverage, LB, set stats, and
+// pool footprint — regardless of what earlier queries left in the pool.
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// runWarm serves one query through a warm engine via the same RunEngine
+// driver the serving layer uses.
+func runWarm(t *testing.T, g *graph.Graph, we *WarmEngine, opt Options) *Result {
+	t.Helper()
+	we.BeginQuery()
+	res, err := RunEngine(g, opt, we)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// assertWarmEqualsCold compares every deterministic Result field (the
+// Breakdown is intentionally excluded: warm queries do less work).
+func assertWarmEqualsCold(t *testing.T, label string, warm, cold *Result) {
+	t.Helper()
+	if !reflect.DeepEqual(warm.Seeds, cold.Seeds) {
+		t.Fatalf("%s: warm seeds %v != cold seeds %v", label, warm.Seeds, cold.Seeds)
+	}
+	if warm.Theta != cold.Theta || warm.Rounds != cold.Rounds {
+		t.Fatalf("%s: warm theta/rounds %d/%d != cold %d/%d", label, warm.Theta, warm.Rounds, cold.Theta, cold.Rounds)
+	}
+	if warm.Coverage != cold.Coverage || warm.LB != cold.LB {
+		t.Fatalf("%s: warm coverage/LB %v/%v != cold %v/%v", label, warm.Coverage, warm.LB, cold.Coverage, cold.LB)
+	}
+	if warm.SetStats != cold.SetStats {
+		t.Fatalf("%s: warm set stats %+v != cold %+v", label, warm.SetStats, cold.SetStats)
+	}
+	if warm.Pool != cold.Pool {
+		t.Fatalf("%s: warm pool footprint %+v != cold %+v", label, warm.Pool, cold.Pool)
+	}
+}
+
+// queryShape is one (k, epsilon) point of a served sequence.
+type queryShape struct {
+	k   int
+	eps float64
+}
+
+// TestWarmEngineMatchesColdRun drives a warm engine through query
+// sequences that shrink, grow, and revisit θ, across both models, both
+// pool representations, and both selection kernels, pinning every
+// answer against a cold Run.
+func TestWarmEngineMatchesColdRun(t *testing.T) {
+	shapes := []queryShape{
+		{k: 10, eps: 0.5}, // cold
+		{k: 10, eps: 0.5}, // exact repeat: full reuse
+		{k: 4, eps: 0.7},  // smaller query: truncated view
+		{k: 20, eps: 0.4}, // larger query: θ extension
+		{k: 10, eps: 0.5}, // back to the original: still identical
+	}
+	for _, model := range []graph.Model{graph.IC, graph.LT} {
+		for _, pool := range []PoolKind{PoolSlices, PoolCompressed} {
+			for _, sel := range []SelectionKind{SelectCELF, SelectScan} {
+				g := testGraph(t, 8, model)
+				opt := Defaults()
+				opt.Workers = 2
+				opt.Seed = 7
+				opt.MaxTheta = 8000
+				opt.Pool = pool
+				opt.Selection = sel
+				we, err := NewWarmEngine(g, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, q := range shapes {
+					o := opt
+					o.K = q.k
+					o.Epsilon = q.eps
+					warm := runWarm(t, g, we, o)
+					cold, err := Run(g, o)
+					if err != nil {
+						t.Fatal(err)
+					}
+					label := string(rune('0'+i)) + "/" + model.String() + "/" + pool.String() + "/" + sel.String()
+					assertWarmEqualsCold(t, label, warm, cold)
+				}
+			}
+		}
+	}
+}
+
+// TestWarmEngineMatchesColdAcrossWorkers pins that warm reuse composes
+// with the existing worker-count invariance: the pool may be generated
+// at one worker count and the query served at another.
+func TestWarmEngineMatchesColdAcrossWorkers(t *testing.T) {
+	g := testGraph(t, 8, graph.IC)
+	base := Defaults()
+	base.K = 8
+	base.Seed = 3
+	base.MaxTheta = 6000
+	cold, err := Run(g, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		opt := base
+		opt.Workers = w
+		we, err := NewWarmEngine(g, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Pre-warm with a larger query so the serve is fully truncated.
+		pre := opt
+		pre.K = 30
+		pre.Epsilon = 0.35
+		runWarm(t, g, we, pre)
+		warm := runWarm(t, g, we, opt)
+		if !reflect.DeepEqual(warm.Seeds, cold.Seeds) || warm.Theta != cold.Theta {
+			t.Fatalf("workers=%d: warm %v/θ=%d != cold %v/θ=%d", w, warm.Seeds, warm.Theta, cold.Seeds, cold.Theta)
+		}
+	}
+}
+
+// TestWarmEngineReusesPool pins the amortization itself: an exact repeat
+// generates nothing, a smaller query generates nothing, and a larger
+// query only extends.
+func TestWarmEngineReusesPool(t *testing.T) {
+	g := testGraph(t, 8, graph.IC)
+	opt := Defaults()
+	opt.K = 10
+	opt.Workers = 2
+	opt.Seed = 7
+	opt.MaxTheta = 8000
+	we, err := NewWarmEngine(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWarm(t, g, we, opt)
+	phys := we.PhysicalSets()
+	if phys == 0 {
+		t.Fatal("cold query generated no sets")
+	}
+
+	runWarm(t, g, we, opt)
+	if got := we.PhysicalSets(); got != phys {
+		t.Fatalf("exact repeat grew the pool: %d -> %d", phys, got)
+	}
+
+	small := opt
+	small.K = 3
+	small.Epsilon = 0.8
+	res := runWarm(t, g, we, small)
+	if got := we.PhysicalSets(); got != phys {
+		t.Fatalf("smaller query grew the pool: %d -> %d", phys, got)
+	}
+	if res.Theta > phys {
+		t.Fatalf("smaller query θ=%d exceeds pool %d", res.Theta, phys)
+	}
+
+	large := opt
+	large.K = 25
+	large.Epsilon = 0.35
+	res = runWarm(t, g, we, large)
+	if got := we.PhysicalSets(); got < phys || got != res.Theta && got < res.Theta {
+		t.Fatalf("larger query pool %d vs previous %d, θ=%d", got, phys, res.Theta)
+	}
+}
+
+// TestNewWarmEngineRejectsRipples pins the seam's contract: only the
+// Efficient engine supports warm reuse.
+func TestNewWarmEngineRejectsRipples(t *testing.T) {
+	g := testGraph(t, 7, graph.IC)
+	opt := Defaults()
+	opt.Engine = Ripples
+	if _, err := NewWarmEngine(g, opt); err == nil {
+		t.Fatal("NewWarmEngine accepted the Ripples engine")
+	}
+}

@@ -5,6 +5,14 @@
 // n/8 bytes regardless of occupancy). EFFICIENTIMM switches per set based
 // on a size threshold so that the giant SCC-driven sets get bitmap
 // treatment while the long tail of small sets stays compact.
+//
+// Key types: Set (the representation-agnostic interface: Size, Contains,
+// ForEach, Bytes), ListSet, BitmapSet, and CompressedSet (delta-varint
+// member lists for the compressed pool), with Policy/BuildScratch as the
+// single representation-choice dispatch every generation path shares.
+// Whatever the representation, a Set's member sequence is the sorted
+// unique vertex list — the invariant that makes pools interchangeable
+// without affecting selection.
 package rrr
 
 import (

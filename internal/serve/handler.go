@@ -1,0 +1,138 @@
+package serve
+
+// HTTP/JSON front-end over Server: four endpoints, one handler each,
+// mounted by Handler. cmd/immserver is a thin flag-parsing shell around
+// this so the protocol is testable with net/http/httptest.
+//
+//	GET  /healthz          liveness + registered graph count
+//	GET  /graphs           the GraphInfo list
+//	GET  /stats            the Stats counters
+//	GET  /query?graph=&k=&eps=&seed=[&model=]   one seed-set query
+//	POST /query            the same query as a QueryRequest JSON body
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// Handler returns the HTTP front-end for s.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/graphs", s.handleGraphs)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/query", s.handleQuery)
+	return mux
+}
+
+// healthResponse is the /healthz payload.
+type healthResponse struct {
+	Status string `json:"status"`
+	Graphs int    `json:"graphs"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, healthResponse{Status: "ok", Graphs: s.GraphCount()})
+}
+
+func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Graphs())
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	switch r.Method {
+	case http.MethodGet:
+		var err error
+		if req, err = queryFromURL(r); err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	case http.MethodPost:
+		// Same defaults as the GET form: fields absent from the JSON
+		// body keep the pre-seeded values (the decoder only overwrites
+		// what the body names).
+		req = QueryRequest{Epsilon: 0.5, Seed: 1}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("invalid JSON body: %v", err))
+			return
+		}
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "GET or POST only")
+		return
+	}
+	res, err := s.Query(req)
+	if err != nil {
+		// Validation and unknown-graph errors are the client's; there is
+		// no server-side failure mode distinct from them at this layer.
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// queryFromURL parses the GET form of a query. k is required; epsilon
+// defaults to the paper's 0.5 and seed to 1, matching imm.Defaults.
+func queryFromURL(r *http.Request) (QueryRequest, error) {
+	q := r.URL.Query()
+	req := QueryRequest{
+		Graph:   q.Get("graph"),
+		Model:   q.Get("model"),
+		Epsilon: 0.5,
+		Seed:    1,
+	}
+	if req.Graph == "" {
+		return req, fmt.Errorf("missing graph parameter")
+	}
+	k, err := strconv.Atoi(q.Get("k"))
+	if err != nil {
+		return req, fmt.Errorf("invalid k parameter %q", q.Get("k"))
+	}
+	req.K = k
+	if v := q.Get("eps"); v != "" {
+		if req.Epsilon, err = strconv.ParseFloat(v, 64); err != nil {
+			return req, fmt.Errorf("invalid eps parameter %q", v)
+		}
+	}
+	if v := q.Get("seed"); v != "" {
+		if req.Seed, err = strconv.ParseUint(v, 10, 64); err != nil {
+			return req, fmt.Errorf("invalid seed parameter %q", v)
+		}
+	}
+	return req, nil
+}
+
+// errorResponse is the JSON error payload every endpoint uses.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorResponse{Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is already out; nothing to recover
+}

@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func testHTTP(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	g := testGraph(t, 8, graph.IC)
+	s := testServer(t, Options{Workers: 2, MaxTheta: 4000}, map[string]*graph.Graph{"g": g})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func getJSON(t *testing.T, url string, wantCode int, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantCode {
+		t.Fatalf("GET %s: status %d, want %d", url, resp.StatusCode, wantCode)
+	}
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("GET %s: decode: %v", url, err)
+		}
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	_, ts := testHTTP(t)
+
+	var health healthResponse
+	getJSON(t, ts.URL+"/healthz", http.StatusOK, &health)
+	if health.Status != "ok" || health.Graphs != 1 {
+		t.Fatalf("health = %+v", health)
+	}
+
+	var graphs []GraphInfo
+	getJSON(t, ts.URL+"/graphs", http.StatusOK, &graphs)
+	if len(graphs) != 1 || graphs[0].Name != "g" || graphs[0].Model != "IC" {
+		t.Fatalf("graphs = %+v", graphs)
+	}
+
+	var cold QueryResult
+	getJSON(t, ts.URL+"/query?graph=g&k=8&eps=0.5&seed=1", http.StatusOK, &cold)
+	if len(cold.Seeds) != 8 || cold.Warm {
+		t.Fatalf("cold query = %+v", cold)
+	}
+
+	// POST form of the identical query: warm, same seeds.
+	body, _ := json.Marshal(QueryRequest{Graph: "g", K: 8, Epsilon: 0.5, Seed: 1})
+	resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /query: status %d", resp.StatusCode)
+	}
+	var warm QueryResult
+	if err := json.NewDecoder(resp.Body).Decode(&warm); err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Warm || !reflect.DeepEqual(warm.Seeds, cold.Seeds) {
+		t.Fatalf("warm POST = %+v, cold seeds %v", warm, cold.Seeds)
+	}
+
+	// A POST body omitting epsilon and seed gets the same defaults as
+	// the GET form (eps=0.5, seed=1): identical query, identical seeds.
+	resp, err = http.Post(ts.URL+"/query", "application/json", bytes.NewReader([]byte(`{"graph":"g","k":8}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /query without eps/seed: status %d", resp.StatusCode)
+	}
+	var defaulted QueryResult
+	if err := json.NewDecoder(resp.Body).Decode(&defaulted); err != nil {
+		t.Fatal(err)
+	}
+	if defaulted.Epsilon != 0.5 || defaulted.Seed != 1 || !reflect.DeepEqual(defaulted.Seeds, cold.Seeds) {
+		t.Fatalf("POST defaults diverged from GET: %+v", defaulted)
+	}
+
+	var stats Stats
+	getJSON(t, ts.URL+"/stats", http.StatusOK, &stats)
+	if stats.Queries != 3 || stats.WarmHits != 2 || stats.Pools != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	_, ts := testHTTP(t)
+	for _, url := range []string{
+		"/query?graph=missing&k=5",    // unknown graph
+		"/query?graph=g",              // missing k
+		"/query?graph=g&k=nope",       // bad k
+		"/query?graph=g&k=5&eps=2",    // bad epsilon
+		"/query?graph=g&k=5&seed=x",   // bad seed
+		"/query?k=5",                  // missing graph
+		"/query?graph=g&k=5&model=LT", // model mismatch
+	} {
+		var e errorResponse
+		getJSON(t, ts.URL+url, http.StatusBadRequest, &e)
+		if e.Error == "" {
+			t.Fatalf("GET %s: empty error payload", url)
+		}
+	}
+
+	// Wrong methods.
+	resp, err := http.Post(ts.URL+"/healthz", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /healthz: status %d", resp.StatusCode)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/query", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("DELETE /query: status %d", resp.StatusCode)
+	}
+}

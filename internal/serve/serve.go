@@ -1,0 +1,489 @@
+// Package serve is the warm-pool query service: a long-running engine
+// that holds a registry of ingested graphs and answers (graph, k, ε,
+// seed) seed-set queries by reusing per-graph sharded RRR pools across
+// queries instead of sampling from scratch per invocation.
+//
+// Key types: Server (the registry plus the warm-pool cache), Options
+// (engine configuration shared by every query), QueryRequest/QueryResult
+// (the query protocol, also the HTTP JSON schema), and Stats (the
+// service counters the /stats endpoint reports).
+//
+// Invariants:
+//
+//   - Served answers are byte-identical to a cold imm.Run with the same
+//     (graph, model, k, epsilon, rngSeed): pools are reused through
+//     imm.WarmEngine, whose limited-view selection replays exactly the
+//     cold θ trajectory (see internal/imm/warm.go for the argument).
+//   - One warm engine exists per (graph, rngSeed) pair, serving one
+//     query at a time under its own mutex; queries against different
+//     pools run concurrently.
+//   - Identical concurrent queries are deduplicated single-flight: one
+//     leader computes, followers receive a copy of its result.
+//   - Resident pool bytes across all warm engines are bounded by
+//     Options.PoolBudgetBytes with least-recently-used eviction;
+//     in-flight pools are never evicted.
+package serve
+
+import (
+	"container/list"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/imm"
+	"repro/internal/ingest"
+)
+
+// DefaultPoolBudgetBytes bounds resident warm-pool bytes when
+// Options.PoolBudgetBytes is zero: 1 GiB, roomy for dozens of
+// laptop-scale pools while still exercising eviction under load.
+const DefaultPoolBudgetBytes = 1 << 30
+
+// Options configures a Server. The engine-shaping fields apply to every
+// query; per-query parameters (k, ε, RNG seed) arrive in QueryRequest.
+type Options struct {
+	// Workers is the per-query parallelism. <= 0 means 1 (matching
+	// imm.Options normalization).
+	Workers int
+	// Pool selects the RRR pool representation for every warm pool.
+	Pool imm.PoolKind
+	// Selection selects the seed-selection kernel.
+	Selection imm.SelectionKind
+	// MaxTheta caps sampling per query (0 = per-theory). It participates
+	// in the cold-equivalence contract: a cold run must use the same cap.
+	MaxTheta int64
+	// PoolBudgetBytes bounds the summed resident footprint of all warm
+	// pools; least-recently-used pools are dropped when a query pushes
+	// past it. 0 means DefaultPoolBudgetBytes.
+	PoolBudgetBytes int64
+}
+
+// EngineOptions returns the imm options a server configured by o runs
+// every query with (the per-query K, Epsilon, and Seed still to be
+// filled in). It is the one place the serve→imm mapping lives: cold
+// reference runs that must match served answers byte-for-byte should
+// derive their options here rather than re-deriving them from
+// imm.Defaults.
+func (o Options) EngineOptions() imm.Options {
+	b := imm.Defaults()
+	b.Engine = imm.Efficient // warm reuse requires the Efficient engine
+	b.Workers = o.Workers
+	b.Pool = o.Pool
+	b.Selection = o.Selection
+	b.MaxTheta = o.MaxTheta
+	return b
+}
+
+// GraphInfo describes one registered graph.
+type GraphInfo struct {
+	Name  string `json:"name"`
+	Nodes int32  `json:"nodes"`
+	Edges int64  `json:"edges"`
+	Model string `json:"model"`
+	// WeightSeed is the diffusion-weight provenance (the ingestion seed,
+	// recorded in .imsnap headers). It is distinct from a query's RNG
+	// seed, which seeds RRR sampling only.
+	WeightSeed uint64 `json:"weight_seed"`
+}
+
+// QueryRequest identifies one seed-set query. Graph, K, Epsilon and
+// Seed form the query key; Model, when non-empty, is validated against
+// the registered graph's model (a mismatch is an error, never a silent
+// reweighting).
+type QueryRequest struct {
+	Graph   string  `json:"graph"`
+	Model   string  `json:"model,omitempty"`
+	K       int     `json:"k"`
+	Epsilon float64 `json:"epsilon"`
+	Seed    uint64  `json:"seed"`
+}
+
+// QueryResult is a served answer plus its reuse accounting.
+type QueryResult struct {
+	Graph   string  `json:"graph"`
+	Model   string  `json:"model"`
+	K       int     `json:"k"`
+	Epsilon float64 `json:"epsilon"`
+	Seed    uint64  `json:"seed"`
+
+	Seeds    []int32 `json:"seeds"`
+	Theta    int64   `json:"theta"`
+	Rounds   int     `json:"rounds"`
+	Coverage float64 `json:"coverage"`
+
+	// Warm reports whether the query found an already-built warm engine
+	// for its (graph, seed) — a query that races another cold miss onto
+	// the same fresh registry entry and ends up building the engine
+	// itself is cold; Coalesced reports the query was answered by an
+	// identical in-flight query's result rather than its own engine run.
+	Warm      bool `json:"warm"`
+	Coalesced bool `json:"coalesced"`
+	// ReusedSets counts the RRR sets the query consumed without
+	// generating them (min(θ, pool size at query start)); GeneratedSets
+	// the sets it added; ReusedBytes the resident bytes of the reused
+	// prefix.
+	ReusedSets    int64 `json:"reused_sets"`
+	GeneratedSets int64 `json:"generated_sets"`
+	ReusedBytes   int64 `json:"reused_bytes"`
+	// PoolBytes is the pool's full resident footprint after the query —
+	// set payloads, inverted-index postings, and the engine overhead
+	// (fused counter, coverage scratch). This is the quantity the byte
+	// budget accounts.
+	PoolBytes int64 `json:"pool_bytes"`
+
+	WallMS float64 `json:"wall_ms"`
+}
+
+// Stats are the service counters, all cumulative since construction
+// except the gauges Graphs/Pools/PoolBytes.
+type Stats struct {
+	Graphs      int   `json:"graphs"`
+	Pools       int   `json:"pools"`
+	PoolBytes   int64 `json:"pool_bytes"`
+	BudgetBytes int64 `json:"budget_bytes"`
+
+	Queries       int64 `json:"queries"`
+	WarmHits      int64 `json:"warm_hits"`
+	ColdMisses    int64 `json:"cold_misses"`
+	Coalesced     int64 `json:"coalesced"`
+	Evictions     int64 `json:"evictions"`
+	ReusedSets    int64 `json:"reused_sets"`
+	GeneratedSets int64 `json:"generated_sets"`
+	ReusedBytes   int64 `json:"reused_bytes"`
+}
+
+// HitRatio is the fraction of executed (non-coalesced) queries that
+// found a warm pool.
+func (s Stats) HitRatio() float64 {
+	if s.Queries == 0 {
+		return 0
+	}
+	return float64(s.WarmHits) / float64(s.Queries)
+}
+
+// poolKey identifies one warm pool: pool contents are a pure function
+// of (graph, engine policy, RNG seed), and the policy is fixed
+// server-wide, so (graph, seed) is the whole key.
+type poolKey struct {
+	graph string
+	seed  uint64
+}
+
+// flightKey identifies one query for single-flight deduplication.
+// Epsilon participates via its IEEE-754 bits: exact equality is the
+// contract (nearby epsilons are different queries).
+type flightKey struct {
+	graph   string
+	k       int
+	epsBits uint64
+	seed    uint64
+}
+
+// inflight is one in-progress query leaders publish their result on.
+type inflight struct {
+	done chan struct{}
+	res  *QueryResult
+	err  error
+}
+
+// poolEntry is one warm pool plus its cache bookkeeping. The engine
+// mutex serializes queries; the registry fields (bytes, elem, pinned)
+// are guarded by the server mutex.
+type poolEntry struct {
+	key poolKey
+
+	mu  sync.Mutex // serializes engine use
+	eng *imm.WarmEngine
+
+	bytes  int64         // footprint last accounted into Server.usedBytes
+	elem   *list.Element // position in the LRU list
+	pinned int           // queries currently using the entry; > 0 blocks eviction
+}
+
+// graphEntry is one registered graph.
+type graphEntry struct {
+	g    *graph.Graph
+	info GraphInfo
+}
+
+// Server is the warm-pool query service. Construct with NewServer,
+// register graphs with AddGraph/AddSnapshot, then call Query from any
+// number of goroutines.
+type Server struct {
+	opt  Options
+	base imm.Options // per-query template; K/Epsilon/Seed overwritten
+
+	mu        sync.Mutex
+	graphs    map[string]*graphEntry
+	pools     map[poolKey]*poolEntry
+	lru       *list.List // front = most recently used *poolEntry
+	usedBytes int64
+	flight    map[flightKey]*inflight
+	stats     Stats
+}
+
+// NewServer returns an empty Server configured by opt.
+func NewServer(opt Options) *Server {
+	if opt.PoolBudgetBytes <= 0 {
+		opt.PoolBudgetBytes = DefaultPoolBudgetBytes
+	}
+	base := opt.EngineOptions()
+	return &Server{
+		opt:    opt,
+		base:   base,
+		graphs: make(map[string]*graphEntry),
+		pools:  make(map[poolKey]*poolEntry),
+		lru:    list.New(),
+		flight: make(map[flightKey]*inflight),
+	}
+}
+
+// AddGraph registers g under name. Names are unique; re-registering is
+// an error (drop-and-replace would silently invalidate warm pools).
+func (s *Server) AddGraph(name string, g *graph.Graph, weightSeed uint64) (GraphInfo, error) {
+	if name == "" {
+		return GraphInfo{}, fmt.Errorf("serve: empty graph name")
+	}
+	if g == nil || g.N == 0 {
+		return GraphInfo{}, fmt.Errorf("serve: graph %q is empty", name)
+	}
+	info := GraphInfo{Name: name, Nodes: g.N, Edges: g.M, Model: g.Model().String(), WeightSeed: weightSeed}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.graphs[name]; ok {
+		return GraphInfo{}, fmt.Errorf("serve: graph %q already registered", name)
+	}
+	s.graphs[name] = &graphEntry{g: g, info: info}
+	s.stats.Graphs = len(s.graphs)
+	return info, nil
+}
+
+// AddSnapshot loads a .imsnap snapshot from path and registers it under
+// name — the production ingestion path: parse once offline, serve from
+// the binary snapshot thereafter.
+func (s *Server) AddSnapshot(name, path string) (GraphInfo, error) {
+	g, info, err := ingest.ReadSnapshotFile(path)
+	if err != nil {
+		return GraphInfo{}, fmt.Errorf("serve: snapshot %s: %w", path, err)
+	}
+	return s.AddGraph(name, g, info.Seed)
+}
+
+// GraphCount returns the number of registered graphs — the cheap count
+// accessor liveness probes want (Graphs copies and sorts the registry).
+func (s *Server) GraphCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.graphs)
+}
+
+// Graphs lists the registered graphs, sorted by name.
+func (s *Server) Graphs() []GraphInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]GraphInfo, 0, len(s.graphs))
+	for _, ge := range s.graphs {
+		out = append(out, ge.info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Stats returns a snapshot of the service counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Graphs = len(s.graphs)
+	st.Pools = len(s.pools)
+	st.PoolBytes = s.usedBytes
+	st.BudgetBytes = s.opt.PoolBudgetBytes
+	return st
+}
+
+// Query answers one seed-set query, reusing the (graph, seed) warm pool
+// when one exists and creating it otherwise. Identical concurrent
+// queries coalesce onto a single engine run. Safe for concurrent use.
+func (s *Server) Query(req QueryRequest) (*QueryResult, error) {
+	if req.K <= 0 {
+		return nil, fmt.Errorf("serve: k must be positive, got %d", req.K)
+	}
+	if !(req.Epsilon > 0 && req.Epsilon < 1) { // also rejects NaN
+		return nil, fmt.Errorf("serve: epsilon must lie in (0,1), got %v", req.Epsilon)
+	}
+	fkey := flightKey{graph: req.Graph, k: req.K, epsBits: math.Float64bits(req.Epsilon), seed: req.Seed}
+
+	s.mu.Lock()
+	ge, ok := s.graphs[req.Graph]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("serve: unknown graph %q", req.Graph)
+	}
+	if req.Model != "" && req.Model != ge.info.Model {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("serve: graph %q holds a %s graph but the query requested %s", req.Graph, ge.info.Model, req.Model)
+	}
+	if fl, ok := s.flight[fkey]; ok {
+		// Coalesce onto the identical in-flight query.
+		s.stats.Coalesced++
+		s.mu.Unlock()
+		<-fl.done
+		if fl.err != nil {
+			return nil, fl.err
+		}
+		res := *fl.res
+		res.Coalesced = true
+		return &res, nil
+	}
+	fl := &inflight{done: make(chan struct{})}
+	s.flight[fkey] = fl
+
+	pkey := poolKey{graph: req.Graph, seed: req.Seed}
+	pe, ok := s.pools[pkey]
+	if !ok {
+		// Register a placeholder only; the engine itself is built in
+		// runQuery under the entry's own mutex — construction allocates
+		// O(N) (the fused counter), which must not stall the registry.
+		// Warm/cold is decided there too: a query that races another
+		// cold miss onto the same placeholder may still be the one that
+		// builds the engine, and must not report a warm hit.
+		pe = &poolEntry{key: pkey}
+		s.pools[pkey] = pe
+		pe.elem = s.lru.PushFront(pe)
+	} else {
+		s.lru.MoveToFront(pe.elem)
+	}
+	s.stats.Queries++
+	pe.pinned++
+	s.mu.Unlock()
+
+	res, err := s.runQuery(ge, pe, req)
+
+	s.mu.Lock()
+	pe.pinned--
+	if err == nil {
+		if res.Warm {
+			s.stats.WarmHits++
+		} else {
+			s.stats.ColdMisses++
+		}
+		// Re-account the pool's footprint and enforce the byte budget.
+		// res.PoolBytes was measured inside runQuery under the engine
+		// mutex; re-reading the engine here would race with a concurrent
+		// query on the same pool. The pool only ever grows, so take the
+		// monotonic max — two queries finishing out of order must not let
+		// the smaller, staler measurement overwrite the larger one.
+		if res.PoolBytes > pe.bytes {
+			s.usedBytes += res.PoolBytes - pe.bytes
+			pe.bytes = res.PoolBytes
+		}
+		s.stats.ReusedSets += res.ReusedSets
+		s.stats.GeneratedSets += res.GeneratedSets
+		s.stats.ReusedBytes += res.ReusedBytes
+		s.evictLocked()
+	} else if pe.pinned == 0 && pe.bytes == 0 {
+		// The query failed, no query ever succeeded on this entry
+		// (successful queries always account a positive footprint), and
+		// nobody else is using it: drop the placeholder so later queries
+		// start clean instead of inheriting a dead entry.
+		s.removeEntryLocked(pe)
+	}
+	delete(s.flight, fkey)
+	s.mu.Unlock()
+
+	fl.res, fl.err = res, err
+	close(fl.done)
+	return res, err
+}
+
+// queryOptions builds the imm options for one query from the server
+// template.
+func (s *Server) queryOptions(req QueryRequest) imm.Options {
+	o := s.base
+	o.K = req.K
+	o.Epsilon = req.Epsilon
+	o.Seed = req.Seed
+	return o
+}
+
+// runQuery executes the query on its (serialized) warm engine, building
+// the engine first if this entry has never run one (the cold-miss path,
+// or a retry after a failed construction). Warm means the engine — not
+// just the registry entry — already existed when this query got the
+// pool.
+func (s *Server) runQuery(ge *graphEntry, pe *poolEntry, req QueryRequest) (*QueryResult, error) {
+	pe.mu.Lock()
+	defer pe.mu.Unlock()
+	start := time.Now()
+	warm := pe.eng != nil
+	if !warm {
+		eng, err := imm.NewWarmEngine(ge.g, s.queryOptions(req))
+		if err != nil {
+			return nil, err
+		}
+		pe.eng = eng
+	}
+	physBefore := pe.eng.PhysicalSets()
+	pe.eng.BeginQuery()
+	res, err := imm.RunEngine(ge.g, s.queryOptions(req), pe.eng)
+	if err != nil {
+		return nil, err
+	}
+	reused := res.Theta
+	if physBefore < reused {
+		reused = physBefore
+	}
+	return &QueryResult{
+		Graph:   req.Graph,
+		Model:   ge.info.Model,
+		K:       req.K,
+		Epsilon: req.Epsilon,
+		Seed:    req.Seed,
+
+		Seeds:    res.Seeds,
+		Theta:    res.Theta,
+		Rounds:   res.Rounds,
+		Coverage: res.Coverage,
+
+		Warm:          warm,
+		ReusedSets:    reused,
+		GeneratedSets: pe.eng.PhysicalSets() - physBefore,
+		ReusedBytes:   pe.eng.FootprintUpTo(reused).TotalBytes(),
+		PoolBytes:     pe.eng.PhysicalFootprint().TotalBytes() + pe.eng.OverheadBytes(),
+
+		WallMS: float64(time.Since(start)) / float64(time.Millisecond),
+	}, nil
+}
+
+// removeEntryLocked unregisters a pool entry and returns its bytes to
+// the budget.
+func (s *Server) removeEntryLocked(pe *poolEntry) {
+	s.lru.Remove(pe.elem)
+	delete(s.pools, pe.key)
+	s.usedBytes -= pe.bytes
+}
+
+// evictLocked drops least-recently-used pools until resident bytes fit
+// the budget. Pinned (in-flight) pools are skipped; at least one pool
+// may therefore remain over budget, which is the correct behavior when
+// a single pool exceeds the budget on its own.
+func (s *Server) evictLocked() {
+	for s.usedBytes > s.opt.PoolBudgetBytes {
+		victim := (*poolEntry)(nil)
+		for e := s.lru.Back(); e != nil; e = e.Prev() {
+			pe := e.Value.(*poolEntry)
+			if pe.pinned == 0 {
+				victim = pe
+				break
+			}
+		}
+		if victim == nil {
+			return // everything resident is in flight
+		}
+		s.removeEntryLocked(victim)
+		s.stats.Evictions++
+	}
+}

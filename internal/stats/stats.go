@@ -1,5 +1,10 @@
 // Package stats provides the combinatorial and statistical helpers used
-// by the IMM martingale bounds and by the benchmark harness.
+// by the IMM martingale bounds and by the benchmark harness: LogCNK
+// (log-gamma-stable ln C(n,k), the binomial term in λ' and λ*) and
+// small descriptive summaries (mean, max, percentiles) for the Table I
+// coverage characterization. Everything here is pure and deterministic;
+// no function holds state or consumes randomness, which is what lets
+// every engine and front-end share the same θ arithmetic bit for bit.
 package stats
 
 import (

@@ -1,0 +1,44 @@
+package efficientimm
+
+// The warm-pool query service (internal/serve), re-exported. A Server
+// amortizes RRR-set generation across queries: it keeps one sharded
+// pool warm per (graph, RNG seed), extends θ incrementally when a query
+// needs more samples, deduplicates identical concurrent queries, and
+// bounds resident pool bytes with LRU eviction — while every answer
+// stays byte-identical to a cold Run with the same options. See
+// DESIGN.md "Serving architecture" and cmd/immserver for the HTTP
+// front-end.
+
+import (
+	"repro/internal/serve"
+)
+
+type (
+	// Server is the warm-pool query service: a registry of graphs plus
+	// a byte-budgeted cache of warm RRR pools. Safe for concurrent use.
+	Server = serve.Server
+	// ServeOptions configures NewServer; per-query parameters travel in
+	// QueryRequest.
+	ServeOptions = serve.Options
+	// QueryRequest identifies one (graph, model, k, epsilon, rngSeed)
+	// seed-set query.
+	QueryRequest = serve.QueryRequest
+	// QueryResult is a served answer plus its reuse accounting (warm or
+	// cold, sets reused versus generated, pool bytes).
+	QueryResult = serve.QueryResult
+	// ServeStats are the service counters (queries, warm hits, cold
+	// misses, coalesced queries, evictions, reuse volume).
+	ServeStats = serve.Stats
+	// GraphInfo describes one graph registered with a Server.
+	GraphInfo = serve.GraphInfo
+)
+
+// DefaultPoolBudgetBytes is the resident warm-pool byte budget applied
+// when ServeOptions.PoolBudgetBytes is zero.
+const DefaultPoolBudgetBytes = serve.DefaultPoolBudgetBytes
+
+// NewServer returns an empty warm-pool query service. Register graphs
+// with Server.AddGraph or Server.AddSnapshot, then answer queries with
+// Server.Query (or serve Server.Handler over HTTP — that is what
+// cmd/immserver does).
+func NewServer(opt ServeOptions) *Server { return serve.NewServer(opt) }
