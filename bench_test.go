@@ -12,7 +12,9 @@ package efficientimm
 import (
 	"bytes"
 	"fmt"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/counter"
 	"repro/internal/gen"
@@ -431,6 +433,51 @@ func BenchmarkServeCold(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkServeBatch measures a concurrent mixed-k burst on one warm
+// pool through the batched planner: the whole burst shares at most one
+// θ-extension (here zero — the pool is pre-warmed past every member),
+// so per-burst cost is pure prefix selection. sharedSets reports the
+// same-batch sample reuse the planner's gather window buys.
+func BenchmarkServeBatch(b *testing.B) {
+	g := benchProfile(b, "web-Google", 10, graph.IC)
+	ks := []int{5, 10, 15, 20, 25}
+	s := serve.NewServer(serve.Options{
+		Workers: 4, MaxTheta: 5000,
+		QueryWorkers: len(ks), GatherWindow: 2 * time.Millisecond,
+	})
+	if _, err := s.AddGraph("g", g, 1); err != nil {
+		b.Fatal(err)
+	}
+	// Pre-warm with the largest member so every burst is extension-free.
+	if _, err := s.Query(serve.QueryRequest{Graph: "g", K: 25, Epsilon: 0.5, Seed: 1}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for _, k := range ks {
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				res, err := s.Query(serve.QueryRequest{Graph: "g", K: k, Epsilon: 0.5, Seed: 1})
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				if res.GeneratedSets != 0 {
+					b.Errorf("warm burst member k=%d regenerated %d sets", k, res.GeneratedSets)
+				}
+			}(k)
+		}
+		wg.Wait()
+	}
+	b.StopTimer()
+	st := s.Stats()
+	b.ReportMetric(float64(st.BatchedQueries)/float64(b.N), "batchedQ/burst")
+	b.ReportMetric(float64(st.MaxBatchSize), "maxBatch")
 }
 
 // BenchmarkServeWarm measures the steady-state served query: the pool

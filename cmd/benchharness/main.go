@@ -24,15 +24,16 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1|fig1|fig2|table2|fig5|table3|fig6|fig7|table4|ablations|dist|mem|ingest|serve|ci|all")
-		ingScale = flag.Int("ingest-scale", 0, "ingest experiment: log2 vertices of the generated graph (0 = 17 for ~1M+ edges, or 13 with -quick)")
-		srvScale = flag.Int("serve-scale", 0, "serve experiment: log2 vertices of the generated graph (0 = 16, the CI dataset shape, or 12 with -quick)")
-		out      = flag.String("out", "results", "output directory for CSVs and JSON logs")
-		quick    = flag.Bool("quick", false, "small sizes for a fast smoke run")
-		scale    = flag.Int("scale", 0, "clamp profile scale (0 = config default)")
-		dataset  = flag.String("datasets", "", "comma-separated dataset filter")
-		baseline = flag.String("baseline", "", "BENCH_baseline.json to gate the ci experiment against (fail on >tolerance regressions)")
-		tol      = flag.Float64("tolerance", 0.10, "allowed fractional drift for the ci gate")
+		exp       = flag.String("exp", "all", "experiment: table1|fig1|fig2|table2|fig5|table3|fig6|fig7|table4|ablations|dist|mem|ingest|serve|load|ci|all")
+		ingScale  = flag.Int("ingest-scale", 0, "ingest experiment: log2 vertices of the generated graph (0 = 17 for ~1M+ edges, or 13 with -quick)")
+		srvScale  = flag.Int("serve-scale", 0, "serve experiment: log2 vertices of the generated graph (0 = 16, the CI dataset shape, or 12 with -quick)")
+		loadScale = flag.Int("load-scale", 0, "load experiment: log2 vertices of the generated graph (0 = 13, or 10 with -quick)")
+		out       = flag.String("out", "results", "output directory for CSVs and JSON logs")
+		quick     = flag.Bool("quick", false, "small sizes for a fast smoke run")
+		scale     = flag.Int("scale", 0, "clamp profile scale (0 = config default)")
+		dataset   = flag.String("datasets", "", "comma-separated dataset filter")
+		baseline  = flag.String("baseline", "", "BENCH_baseline.json to gate the ci experiment against (fail on >tolerance regressions)")
+		tol       = flag.Float64("tolerance", 0.10, "allowed fractional drift for the ci gate")
 	)
 	flag.Parse()
 
@@ -231,6 +232,25 @@ func main() {
 			fmt.Printf("%-14s %4d %5.2f %10.1f %8d %10d %10d %12d %8.2fx %6v\n",
 				r.Phase, r.K, r.Epsilon, r.WallMS, r.Theta, r.ReusedSets, r.GeneratedSets,
 				r.ReusedBytes, r.SpeedupVsCold, r.SeedsMatch)
+		}
+		return nil
+	})
+
+	run("load", func() error {
+		scale := *loadScale
+		if scale == 0 && *quick {
+			scale = 10
+		}
+		rows, err := harness.LoadSweep(cfg, scale)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8s %7s %5s %10s %8s %8s %9s %8s %8s %11s %10s %6s\n",
+			"config", "queries", "pools", "wall_ms", "qps", "batches", "maxBatch", "shExt", "shSets", "generated", "coalesced", "match")
+		for _, r := range rows {
+			fmt.Printf("%-8s %7d %5d %10.1f %8.1f %8d %9d %8d %8d %11d %10d %6v\n",
+				r.Config, r.Queries, r.Pools, r.WallMS, r.QPS, r.Batches, r.MaxBatchSize,
+				r.SharedExtensions, r.SharedSets, r.GeneratedSets, r.Coalesced, r.SeedsMatch)
 		}
 		return nil
 	})

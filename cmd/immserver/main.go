@@ -2,25 +2,37 @@
 // service: it loads one or more graphs (binary .imsnap snapshots or
 // edge lists) into an in-memory registry and serves seed-set queries
 // over HTTP/JSON, reusing per-graph RRR pools across queries so repeat
-// and refined queries skip the sample-from-scratch cost.
+// and refined queries skip the sample-from-scratch cost. Concurrent
+// queries on the same pool are gathered into batches that share a
+// single θ-extension, and a bounded admission queue sheds overload
+// with 429 + Retry-After instead of collapsing.
 //
 // Usage:
 //
 //	immserver -listen :8377 -load social=web-Google.imsnap -load rmat=rmat16.imsnap
 //	immserver -load graph.imsnap                  # name from the file stem
 //	immserver -load edges=graph.txt -model IC     # edge-list ingestion at startup
+//	immserver -load g.imsnap -query-workers 8 -queue-depth 512 -gather-window 5ms
 //
 // Endpoints:
 //
 //	GET  /healthz                                liveness + graph count
 //	GET  /graphs                                 registered graphs
-//	GET  /stats                                  query/reuse/eviction counters
+//	GET  /stats                                  query/reuse/batch/eviction counters
 //	GET  /query?graph=G&k=K&eps=E&seed=S         one seed-set query
 //	POST /query   {"graph":G,"k":K,"epsilon":E,"seed":S}
+//	POST /batch   {"queries":[...]}              many queries, one round-trip
+//	POST /jobs    {"graph":G,"k":K,...}          async query → job id (202)
+//	GET  /jobs/{id}                              job state + result when done
+//
+// Failures map to 404 (unknown graph/job), 400 (validation), 429 with
+// Retry-After (admission queue full), 503 (shutting down); 500 is
+// reserved for genuine engine failures.
 //
 // Served answers are byte-identical to `efficientimm -graph G.imsnap -k
 // K -eps E -seed S` with the same engine settings; the CI smoke job
-// pins exactly that.
+// pins exactly that, including a concurrent mixed-k burst sharing one
+// θ-extension.
 package main
 
 import (
@@ -43,14 +55,18 @@ import (
 func main() {
 	var loads []string
 	var (
-		listen    = flag.String("listen", ":8377", "address to serve HTTP on")
-		modelName = flag.String("model", "IC", "diffusion model for edge-list loads (snapshots carry their own)")
-		workers   = flag.Int("workers", runtime.NumCPU(), "parallel workers per query")
-		poolName  = flag.String("pool", "slices", "RRR pool representation: slices or compressed")
-		selName   = flag.String("selection", "celf", "selection kernel: celf or scan")
-		maxTheta  = flag.Int64("max-theta", 0, "cap on RRR sets per query (0 = per-theory)")
-		budgetMB  = flag.Int64("pool-budget-mb", 1024, "resident warm-pool byte budget across graphs, in MiB")
-		seed      = flag.Uint64("ingest-seed", 1, "weight-assignment seed for edge-list loads")
+		listen       = flag.String("listen", ":8377", "address to serve HTTP on")
+		modelName    = flag.String("model", "IC", "diffusion model for edge-list loads (snapshots carry their own)")
+		workers      = flag.Int("workers", runtime.NumCPU(), "parallel workers per query")
+		poolName     = flag.String("pool", "slices", "RRR pool representation: slices or compressed")
+		selName      = flag.String("selection", "celf", "selection kernel: celf or scan")
+		maxTheta     = flag.Int64("max-theta", 0, "cap on RRR sets per query (0 = per-theory)")
+		budgetMB     = flag.Int64("pool-budget-mb", 1024, "resident warm-pool byte budget across graphs, in MiB")
+		seed         = flag.Uint64("ingest-seed", 1, "weight-assignment seed for edge-list loads")
+		queryWorkers = flag.Int("query-workers", 0, "max concurrently executing queries (0 = 4x GOMAXPROCS)")
+		queueDepth   = flag.Int("queue-depth", 0, "max queries waiting for a worker before 429 (0 = default 256, negative = reject immediately)")
+		gatherWindow = flag.Duration("gather-window", 0, "how long a query waits to batch with concurrent queries on its pool (0 = default 2ms, negative = off)")
+		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "how long shutdown waits for in-flight and queued work")
 	)
 	flag.Func("load", "graph to register, as name=path or a bare path (repeatable); .imsnap loads the snapshot, anything else ingests an edge list", func(v string) error {
 		loads = append(loads, v)
@@ -74,6 +90,9 @@ func main() {
 		Selection:       selection,
 		MaxTheta:        *maxTheta,
 		PoolBudgetBytes: *budgetMB << 20,
+		QueryWorkers:    *queryWorkers,
+		QueueDepth:      *queueDepth,
+		GatherWindow:    *gatherWindow,
 	})
 	for _, spec := range loads {
 		name, path, found := strings.Cut(spec, "=")
@@ -100,10 +119,19 @@ func main() {
 			fatal(err)
 		}
 	case <-sig:
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
+		// Two-stage drain: stop the listener (in-flight HTTP requests —
+		// and the planner batches answering them — finish), then drain
+		// the planner itself so queued admission waiters are rejected
+		// cleanly and async jobs run to completion; finished /jobs
+		// results stay readable until the listener closes.
 		_ = httpSrv.Shutdown(ctx)
-		fmt.Fprintln(os.Stderr, "immserver: shut down")
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "immserver: drain incomplete: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "immserver: drained and shut down")
 	}
 }
 

@@ -1,0 +1,195 @@
+package harness
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/imm"
+	"repro/internal/serve"
+)
+
+// ---------------------------------------------------------------------
+// Load sweep — mixed-traffic behavior of the batched query planner.
+// ---------------------------------------------------------------------
+
+// LoadRow is one traffic configuration of the mixed-traffic load sweep.
+type LoadRow struct {
+	// Config names the planner shape: "serial" answers the burst one
+	// query at a time (one worker, no gather window — the pre-planner
+	// convoy), "batched" gathers it into shared-extension batches.
+	Config  string
+	Queries int
+	Pools   int
+
+	WallMS float64
+	QPS    float64
+
+	// Planner counters after the burst (see serve.Stats).
+	Batches          int64
+	MaxBatchSize     int
+	BatchedQueries   int64
+	SharedExtensions int64
+	SharedSets       int64
+	GeneratedSets    int64
+	ReusedSets       int64
+	Coalesced        int64
+
+	// SeedsMatch pins the tentpole guarantee under concurrency: every
+	// answer of the burst equals a cold imm.Run with the same options.
+	SeedsMatch bool
+}
+
+// loadMix builds the mixed burst: distinct (k, ε) shapes across two
+// RRR pools plus exact repeats (which coalesce or warm-hit), the
+// traffic shape the batched planner exists for.
+func loadMix(cfg Config, name string) []serve.QueryRequest {
+	base := serve.QueryRequest{Graph: name, K: cfg.K, Epsilon: cfg.Epsilon, Seed: cfg.Seed}
+	var mix []serve.QueryRequest
+	for _, seed := range []uint64{cfg.Seed, cfg.Seed + 1} {
+		for _, shape := range []struct {
+			k   int
+			eps float64
+		}{
+			{max(1, cfg.K/2), min(0.9, cfg.Epsilon*1.4)},
+			{cfg.K, cfg.Epsilon},
+			{cfg.K * 2, cfg.Epsilon * 0.8},
+		} {
+			req := base
+			req.Seed = seed
+			req.K = shape.k
+			req.Epsilon = shape.eps
+			mix = append(mix, req)
+		}
+		// Exact repeat: exercises single-flight coalescing inside the
+		// burst (or a warm hit when it lands after its twin finished).
+		req := base
+		req.Seed = seed
+		mix = append(mix, req)
+	}
+	return mix
+}
+
+// LoadSweep fires the same concurrent mixed-k/mixed-ε burst at two
+// planner configurations on an R-MAT graph at the given scale (log2
+// vertices; <= 0 means 13) and reports wall clock plus the planner's
+// batch/shared-extension counters: the "serial" row is the convoy the
+// pre-planner server degraded to, the "batched" row shows the burst
+// gathered onto shared θ-extensions. Every answer is verified
+// byte-identical against a cold imm.Run. Results land in
+// load_sweep.csv.
+func LoadSweep(cfg Config, scale int) ([]LoadRow, error) {
+	if scale <= 0 {
+		scale = 13
+	}
+	g, err := gen.RMAT(gen.DefaultRMAT(scale, 8), graph.IC, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	name := fmt.Sprintf("rmat%d", scale)
+	engineOpt := serve.Options{Workers: runtime.NumCPU(), MaxTheta: cfg.MaxThetaIC}
+	mix := loadMix(cfg, name)
+
+	// Cold references, one per distinct query shape.
+	refs := make(map[serve.QueryRequest]*imm.Result)
+	for _, req := range mix {
+		if refs[req] != nil {
+			continue
+		}
+		o := engineOpt.EngineOptions()
+		o.K = req.K
+		o.Epsilon = req.Epsilon
+		o.Seed = req.Seed
+		ref, err := imm.Run(g, o)
+		if err != nil {
+			return nil, fmt.Errorf("harness: load reference: %w", err)
+		}
+		refs[req] = ref
+	}
+
+	configs := []struct {
+		name string
+		opt  serve.Options
+	}{
+		{"serial", serve.Options{
+			Workers: engineOpt.Workers, MaxTheta: engineOpt.MaxTheta,
+			QueryWorkers: 1, GatherWindow: -1,
+		}},
+		{"batched", serve.Options{
+			Workers: engineOpt.Workers, MaxTheta: engineOpt.MaxTheta,
+			QueryWorkers: len(mix), GatherWindow: 50 * time.Millisecond,
+		}},
+	}
+
+	var rows []LoadRow
+	for _, c := range configs {
+		s := serve.NewServer(c.opt)
+		if _, err := s.AddGraph(name, g, cfg.Seed); err != nil {
+			return nil, err
+		}
+		results := make([]*serve.QueryResult, len(mix))
+		errs := make([]error, len(mix))
+		var wg sync.WaitGroup
+		start := time.Now()
+		for i := range mix {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				results[i], errs[i] = s.Query(mix[i])
+			}(i)
+		}
+		wg.Wait()
+		wall := time.Since(start)
+
+		match := true
+		for i, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("harness: load %s query %d: %w", c.name, i, err)
+			}
+			ref := refs[mix[i]]
+			if !reflect.DeepEqual(results[i].Seeds, ref.Seeds) || results[i].Theta != ref.Theta {
+				match = false
+			}
+		}
+		st := s.Stats()
+		wallMS := float64(wall) / float64(time.Millisecond)
+		rows = append(rows, LoadRow{
+			Config:  c.name,
+			Queries: len(mix),
+			Pools:   st.Pools,
+			WallMS:  wallMS,
+			QPS:     safeDiv(float64(len(mix)), float64(wall)/float64(time.Second)),
+
+			Batches:          st.Batches,
+			MaxBatchSize:     st.MaxBatchSize,
+			BatchedQueries:   st.BatchedQueries,
+			SharedExtensions: st.SharedExtensions,
+			SharedSets:       st.SharedSets,
+			GeneratedSets:    st.GeneratedSets,
+			ReusedSets:       st.ReusedSets,
+			Coalesced:        st.Coalesced,
+
+			SeedsMatch: match,
+		})
+	}
+
+	csv := [][]string{{
+		"config", "queries", "pools", "wall_ms", "qps",
+		"batches", "max_batch_size", "batched_queries",
+		"shared_extensions", "shared_sets", "generated_sets", "reused_sets",
+		"coalesced", "seeds_match",
+	}}
+	for _, r := range rows {
+		csv = append(csv, []string{
+			r.Config, itoa(r.Queries), itoa(r.Pools), f2(r.WallMS), f2(r.QPS),
+			i64(r.Batches), itoa(r.MaxBatchSize), i64(r.BatchedQueries),
+			i64(r.SharedExtensions), i64(r.SharedSets), i64(r.GeneratedSets), i64(r.ReusedSets),
+			i64(r.Coalesced), fmt.Sprintf("%v", r.SeedsMatch),
+		})
+	}
+	return rows, cfg.writeCSV("load_sweep.csv", csv)
+}

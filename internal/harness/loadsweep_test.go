@@ -1,0 +1,52 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadSweep(t *testing.T) {
+	cfg := quick(t, true)
+	rows, err := LoadSweep(cfg, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2 (serial, batched)", len(rows))
+	}
+	for _, r := range rows {
+		if !r.SeedsMatch {
+			t.Fatalf("%s config: served seeds diverged from cold Run", r.Config)
+		}
+		if r.Queries == 0 || r.Pools != 2 {
+			t.Fatalf("%s row = %+v", r.Config, r)
+		}
+	}
+	serial, batched := rows[0], rows[1]
+	if serial.Config != "serial" || batched.Config != "batched" {
+		t.Fatalf("unexpected config order: %q, %q", serial.Config, batched.Config)
+	}
+	// The serial convoy answers one query per drain: no multi-member
+	// batches, no shared extensions.
+	if serial.MaxBatchSize != 1 || serial.BatchedQueries != 0 || serial.SharedExtensions != 0 {
+		t.Fatalf("serial config formed batches: %+v", serial)
+	}
+	// The batched config must actually gather the burst.
+	if batched.MaxBatchSize < 2 || batched.BatchedQueries == 0 {
+		t.Fatalf("batched config gathered nothing: %+v", batched)
+	}
+	// Both configs answer the same traffic from the same cold state, so
+	// total generation is bounded by the same per-pool maxima.
+	if batched.GeneratedSets == 0 || serial.GeneratedSets == 0 {
+		t.Fatalf("cold bursts generated nothing: serial=%+v batched=%+v", serial, batched)
+	}
+
+	data, err := os.ReadFile(filepath.Join(cfg.OutDir, "load_sweep.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("load_sweep.csv is empty")
+	}
+}

@@ -108,7 +108,11 @@ func ServeSweep(cfg Config, scale int) ([]ServeRow, error) {
 		rows = append(rows, row)
 	}
 
-	// Eviction leg: a budget below one pool forces regeneration.
+	// Eviction leg: a budget below one pool forces regeneration. The
+	// budget never evicts the pool its own query just populated (that
+	// was the self-eviction churn bug — see the serve package's
+	// regression test), so a query against a second pool provides the
+	// LRU pressure that actually drops the first one.
 	tiny := serve.NewServer(serve.Options{Workers: opt.Workers, MaxTheta: opt.MaxTheta, PoolBudgetBytes: 1})
 	if _, err := tiny.AddGraph(name, g, cfg.Seed); err != nil {
 		return nil, err
@@ -116,9 +120,20 @@ func ServeSweep(cfg Config, scale int) ([]ServeRow, error) {
 	if _, err := tiny.Query(base); err != nil {
 		return nil, err
 	}
+	evictor := smaller
+	evictor.Seed = cfg.Seed + 1
+	if _, err := tiny.Query(evictor); err != nil {
+		return nil, err
+	}
+	if st := tiny.Stats(); st.Evictions == 0 {
+		return nil, fmt.Errorf("harness: serve eviction leg: LRU pressure evicted nothing (%+v)", st)
+	}
 	row, err := runServeQuery(tiny, g, opt, "cold-evicted", base, refs)
 	if err != nil {
 		return nil, err
+	}
+	if row.Warm {
+		return nil, fmt.Errorf("harness: serve cold-evicted row was served warm")
 	}
 	row.SpeedupVsCold = safeDiv(coldMS, row.WallMS)
 	rows = append(rows, row)

@@ -94,8 +94,12 @@ func (p *shardedPool) selectCELFLimited(base *counter.Counter, workers, k int, l
 
 	// Initial gains: the fused base counter when it is fresh (a
 	// streaming copy), else a posting-length sum — both equal each
-	// vertex's occurrence count over the whole pool.
-	gains := make([]int64, n)
+	// vertex's occurrence count over the whole pool. Both branches
+	// overwrite every slot, so the scratch needs no clearing.
+	if cap(p.gainScratch) < n {
+		p.gainScratch = make([]int64, n)
+	}
+	gains := p.gainScratch[:n]
 	if base != nil {
 		src := base.Raw()
 		sched.Static(w, n, func(wk, lo, hi int) {
@@ -140,8 +144,12 @@ func (p *shardedPool) selectCELFLimited(base *counter.Counter, workers, k int, l
 
 	// version[v] is the selection round v's cached gain was computed at;
 	// a cached gain is exact iff nothing has been covered since. Round 0
-	// gains are exact by construction.
-	version := make([]int32, n)
+	// gains are exact by construction, so the scratch must start zeroed.
+	if cap(p.versionScratch) < n {
+		p.versionScratch = make([]int32, n)
+	}
+	version := p.versionScratch[:n]
+	clear(version)
 	shardWork := make([]int64, poolShards)
 	seeds = make([]int32, 0, k)
 	var coveredCount int64

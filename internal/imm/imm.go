@@ -312,6 +312,55 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 	return RunEngine(g, opt, eng)
 }
 
+// thetaParams bundles the (n, k, ε, ℓ)-derived constants of the
+// martingale θ estimation. They are extracted from RunEngine so the
+// batched serving planner can rank queries by their sampling
+// requirement (λ′ scales every estimation round's sample target, and —
+// modulo the adaptive lower bound — the final θ) without duplicating
+// the formulas. The arithmetic must stay expression-identical to the
+// historical inline version: the CI bench gate pins θ exactly.
+type thetaParams struct {
+	n        float64
+	l        float64 // union-bound-adjusted failure exponent (Tang et al., §4.2)
+	logCNK   float64
+	epsPrime float64
+	// lambdaPrime is the numerator of every estimation round's target:
+	// round i samples ceil(λ′ / x_i) sets with x_i = n/2^i.
+	lambdaPrime float64
+}
+
+func newThetaParams(nodes int32, k int, ell, eps float64) thetaParams {
+	tp := thetaParams{n: float64(nodes)}
+	// Union-bound adjustment so the final guarantee holds across the
+	// estimation iterations (Tang et al., §4.2).
+	tp.l = ell * (1 + math.Ln2/math.Log(tp.n))
+	tp.logCNK = stats.LogCNK(int64(nodes), int64(k))
+	tp.epsPrime = math.Sqrt2 * eps
+	term := tp.logCNK + tp.l*math.Log(tp.n) + math.Log(math.Max(math.Log2(tp.n), 1))
+	tp.lambdaPrime = (2 + 2.0/3.0*tp.epsPrime) * term * tp.n / (tp.epsPrime * tp.epsPrime)
+	return tp
+}
+
+// lambdaStar is the final sampling bound: θ = ceil(λ* / LB).
+func (tp thetaParams) lambdaStar(eps float64) float64 {
+	alpha := math.Sqrt(tp.l*math.Log(tp.n) + math.Ln2)
+	beta := math.Sqrt((1 - 1/math.E) * (tp.logCNK + tp.l*math.Log(tp.n) + math.Ln2))
+	return 2 * tp.n * math.Pow((1-1/math.E)*alpha+beta, 2) / (eps * eps)
+}
+
+// samplingRequirement ranks a (k, ε) query by how many RRR sets its
+// trajectory asks for relative to other queries on the same graph: λ′
+// is monotone in the per-round targets, and in practice orders the
+// final θ too (smaller ε and larger k both demand more samples). The
+// batch planner executes members in descending requirement so the
+// largest member's extension covers the rest.
+func samplingRequirement(g *graph.Graph, k int, ell, eps float64) float64 {
+	if k > int(g.N) {
+		k = int(g.N) // mirror Options.normalize's clamp
+	}
+	return newThetaParams(g.N, k, ell, eps).lambdaPrime
+}
+
 // RunEngine executes the IMM driver — iterative-doubling θ estimation
 // followed by the final λ*-sized sampling and selection — against a
 // caller-supplied Engine. Run delegates here; internal/dist supplies its
@@ -322,20 +371,16 @@ func RunEngine(g *graph.Graph, opt Options, eng Engine) (*Result, error) {
 	}
 	t0 := time.Now()
 
-	n := float64(g.N)
+	tp := newThetaParams(g.N, opt.K, opt.Ell, opt.Epsilon)
+	n := tp.n
 	k := opt.K
-	// Union-bound adjustment so the final guarantee holds across the
-	// estimation iterations (Tang et al., §4.2).
-	l := opt.Ell * (1 + math.Ln2/math.Log(n))
-	logCNK := stats.LogCNK(int64(g.N), int64(k))
-	epsPrime := math.Sqrt2 * opt.Epsilon
+	epsPrime := tp.epsPrime
 
 	// Sampling phase: iterative doubling to bound OPT from below.
 	lb := 1.0
 	rounds := 0
 	if g.N > 1 {
-		term := logCNK + l*math.Log(n) + math.Log(math.Max(math.Log2(n), 1))
-		lambdaPrime := (2 + 2.0/3.0*epsPrime) * term * n / (epsPrime * epsPrime)
+		lambdaPrime := tp.lambdaPrime
 		maxIter := int(math.Log2(n))
 		for i := 1; i < maxIter; i++ {
 			x := n / math.Pow(2, float64(i))
@@ -373,10 +418,7 @@ func RunEngine(g *graph.Graph, opt Options, eng Engine) (*Result, error) {
 	}
 
 	// Final θ from the martingale bound λ*.
-	alpha := math.Sqrt(l*math.Log(n) + math.Ln2)
-	beta := math.Sqrt((1 - 1/math.E) * (logCNK + l*math.Log(n) + math.Ln2))
-	lambdaStar := 2 * n * math.Pow((1-1/math.E)*alpha+beta, 2) / (opt.Epsilon * opt.Epsilon)
-	theta := int64(math.Ceil(lambdaStar / lb))
+	theta := int64(math.Ceil(tp.lambdaStar(opt.Epsilon) / lb))
 	if theta < 1 {
 		theta = 1
 	}

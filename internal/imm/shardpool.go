@@ -108,6 +108,13 @@ type shardedPool struct {
 	// engine runs one query at a time).
 	bytePrefix   []int64
 	memberPrefix []int64
+	// gainScratch/versionScratch are the CELF kernel's per-call vertex
+	// arrays, retained across selections so a batch of prefix answers
+	// on a warm pool (many selections per round trip) does not
+	// re-allocate 12 bytes per vertex per estimation round. Guarded by
+	// the same one-query-at-a-time serialization as selection.
+	gainScratch    []int64
+	versionScratch []int32
 }
 
 func newShardedPool(n int32) *shardedPool { return &shardedPool{n: n} }

@@ -2,6 +2,8 @@ package imm
 
 import (
 	"fmt"
+	"math"
+	"sort"
 	"time"
 
 	"repro/internal/counter"
@@ -140,3 +142,119 @@ func (w *WarmEngine) OverheadBytes() int64 {
 // FootprintUpTo reports the resident bytes of the first n sets — the
 // serving layer uses it to meter how many pool bytes a query reused.
 func (w *WarmEngine) FootprintUpTo(n int64) PoolFootprint { return w.inner.p.footprintUpTo(n) }
+
+// BatchQuery is one member of a shared-extension batch: the per-query
+// parameters that vary across members. Everything else — graph, RNG
+// seed, pool policy, MaxTheta — comes from the batch's base Options and
+// is shared by construction (members of one batch serve one pool).
+type BatchQuery struct {
+	K       int
+	Epsilon float64
+}
+
+// BatchAnswer is one member's answer plus its reuse accounting.
+type BatchAnswer struct {
+	Res *Result
+	// ReusedSets counts the sets the member consumed without generating
+	// them (min(θ, pool size when the member ran)); GeneratedSets the
+	// sets its own trajectory added; SharedSets the reused sets that did
+	// not exist when the batch started — samples another member of the
+	// same batch generated on this member's behalf, the quantity the
+	// serving layer reports as shared-extension savings.
+	ReusedSets    int64
+	GeneratedSets int64
+	SharedSets    int64
+	// ReusedBytes is the resident footprint of the reused prefix.
+	ReusedBytes int64
+}
+
+// BatchReport is the outcome of AnswerBatch.
+type BatchReport struct {
+	// Answers holds one entry per query, in input order.
+	Answers []BatchAnswer
+	// Extensions counts the members whose trajectory physically grew the
+	// pool. Members execute in descending sampling requirement, so on a
+	// pool that is either cold or uniformly smaller than the largest
+	// member's needs this is 1 (0 when the pool already covers everyone)
+	// — the "one shared θ-extension" the batched planner advertises. A
+	// smaller-requirement member can still extend when the adaptive
+	// lower bound turns the λ′ ordering around; correctness never
+	// depends on the count.
+	Extensions int
+	// PoolBytes is the engine's full resident footprint after the batch
+	// (physical pool plus engine overhead) — the byte-budget quantity.
+	PoolBytes int64
+}
+
+// AnswerBatch answers every query of a batch over the shared pool in
+// one engine pass. Members run in descending sampling-requirement
+// order (λ′ of their (k, ε), ties broken toward larger k, then smaller
+// ε, then input order), so the most demanding member performs the one
+// physical θ-extension and every other member is answered from its own
+// θ-prefix of the grown pool via the logical-view seam. Each member's
+// answer is byte-identical to a cold Run with the same (graph, Options,
+// k, ε): the limited view replays exactly the cold trajectory, and pool
+// contents are slot-deterministic, so execution order cannot leak into
+// any member's result.
+//
+// base carries the engine-shaping options (its K and Epsilon are
+// overridden per member). Like the rest of WarmEngine, AnswerBatch
+// serves one batch at a time: callers must serialize.
+func (w *WarmEngine) AnswerBatch(base Options, queries []BatchQuery) (*BatchReport, error) {
+	rep := &BatchReport{Answers: make([]BatchAnswer, len(queries))}
+	if len(queries) == 0 {
+		rep.PoolBytes = w.PhysicalFootprint().TotalBytes() + w.OverheadBytes()
+		return rep, nil
+	}
+
+	order := make([]int, len(queries))
+	req := make([]float64, len(queries))
+	for i, q := range queries {
+		order[i] = i
+		req[i] = samplingRequirement(w.g, q.K, base.Ell, q.Epsilon)
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		qa, qb := queries[ia], queries[ib]
+		if req[ia] != req[ib] && !math.IsNaN(req[ia]) && !math.IsNaN(req[ib]) {
+			return req[ia] > req[ib]
+		}
+		if qa.K != qb.K {
+			return qa.K > qb.K
+		}
+		return qa.Epsilon < qb.Epsilon
+	})
+
+	physStart := w.PhysicalSets()
+	for _, i := range order {
+		o := base
+		o.K = queries[i].K
+		o.Epsilon = queries[i].Epsilon
+		physBefore := w.PhysicalSets()
+		w.BeginQuery()
+		res, err := RunEngine(w.g, o, w)
+		if err != nil {
+			return nil, err
+		}
+		if w.PhysicalSets() > physBefore {
+			rep.Extensions++
+		}
+		reused := res.Theta
+		if physBefore < reused {
+			reused = physBefore
+		}
+		shared := reused - physStart
+		if shared < 0 {
+			shared = 0
+		}
+		rep.Answers[i] = BatchAnswer{
+			Res:           res,
+			ReusedSets:    reused,
+			GeneratedSets: w.PhysicalSets() - physBefore,
+			SharedSets:    shared,
+			ReusedBytes:   w.FootprintUpTo(reused).TotalBytes(),
+		}
+	}
+	rep.PoolBytes = w.PhysicalFootprint().TotalBytes() + w.OverheadBytes()
+	return rep, nil
+}

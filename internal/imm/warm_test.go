@@ -6,6 +6,7 @@ package imm
 // pool footprint — regardless of what earlier queries left in the pool.
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 
@@ -168,6 +169,132 @@ func TestWarmEngineReusesPool(t *testing.T) {
 	res = runWarm(t, g, we, large)
 	if got := we.PhysicalSets(); got < phys || got != res.Theta && got < res.Theta {
 		t.Fatalf("larger query pool %d vs previous %d, θ=%d", got, phys, res.Theta)
+	}
+}
+
+// TestAnswerBatchMatchesColdRun pins the batched multi-answer seam:
+// every member of a mixed-(k, ε) batch must be byte-identical to a cold
+// Run with the same options — across models, pool representations,
+// selection kernels, and worker counts, and regardless of what an
+// earlier batch left in the pool.
+func TestAnswerBatchMatchesColdRun(t *testing.T) {
+	batch := []BatchQuery{
+		{K: 10, Epsilon: 0.5},
+		{K: 4, Epsilon: 0.7},
+		{K: 20, Epsilon: 0.4},
+		{K: 7, Epsilon: 0.6},
+	}
+	for _, model := range []graph.Model{graph.IC, graph.LT} {
+		for _, pool := range []PoolKind{PoolSlices, PoolCompressed} {
+			for _, sel := range []SelectionKind{SelectCELF, SelectScan} {
+				for _, workers := range []int{1, 4} {
+					g := testGraph(t, 8, model)
+					opt := Defaults()
+					opt.Workers = workers
+					opt.Seed = 7
+					opt.MaxTheta = 8000
+					opt.Pool = pool
+					opt.Selection = sel
+					we, err := NewWarmEngine(g, opt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					label := model.String() + "/" + pool.String() + "/" + sel.String()
+					// Round 1 runs on a cold pool, round 2 on the pool
+					// round 1 left behind: both must match cold runs.
+					for round := 0; round < 2; round++ {
+						rep, err := we.AnswerBatch(opt, batch)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if len(rep.Answers) != len(batch) {
+							t.Fatalf("%s: %d answers for %d queries", label, len(rep.Answers), len(batch))
+						}
+						var generated int64
+						for i, q := range batch {
+							o := opt
+							o.K = q.K
+							o.Epsilon = q.Epsilon
+							cold, err := Run(g, o)
+							if err != nil {
+								t.Fatal(err)
+							}
+							assertWarmEqualsCold(t, fmt.Sprintf("%s round %d member %d w%d", label, round, i, workers), rep.Answers[i].Res, cold)
+							generated += rep.Answers[i].GeneratedSets
+						}
+						if round == 0 && (rep.Extensions == 0 || generated == 0) {
+							t.Fatalf("%s: cold batch performed no extension (%d ext, %d generated)", label, rep.Extensions, generated)
+						}
+						if round == 1 && (rep.Extensions != 0 || generated != 0) {
+							t.Fatalf("%s: repeat batch re-extended the pool (%d ext, %d generated)", label, rep.Extensions, generated)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAnswerBatchSharedExtension pins the amortization the planner
+// advertises: on a warm pool, a batch of distinct-k queries performs
+// exactly one physical extension — the largest member generates, every
+// other member is a pure prefix read that consumes the shared samples.
+func TestAnswerBatchSharedExtension(t *testing.T) {
+	g := testGraph(t, 8, graph.IC)
+	opt := Defaults()
+	opt.Workers = 2
+	opt.Seed = 7
+	opt.MaxTheta = 8000
+	we, err := NewWarmEngine(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the pool with a small query.
+	small := opt
+	small.K = 3
+	small.Epsilon = 0.8
+	runWarm(t, g, we, small)
+	physStart := we.PhysicalSets()
+	if physStart == 0 {
+		t.Fatal("warm-up generated nothing")
+	}
+
+	batch := []BatchQuery{
+		{K: 4, Epsilon: 0.6},
+		{K: 20, Epsilon: 0.4}, // largest requirement: the one extender
+		{K: 8, Epsilon: 0.5},
+		{K: 12, Epsilon: 0.5},
+	}
+	rep, err := we.AnswerBatch(opt, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Extensions != 1 {
+		t.Fatalf("batch performed %d extensions, want exactly 1", rep.Extensions)
+	}
+	var generators, shared int
+	for i, a := range rep.Answers {
+		if a.GeneratedSets > 0 {
+			generators++
+			if batch[i].K != 20 {
+				t.Fatalf("member %d (k=%d) generated %d sets; want only k=20 to extend", i, batch[i].K, a.GeneratedSets)
+			}
+		}
+		if a.SharedSets > 0 {
+			shared++
+			if a.ReusedSets <= physStart && a.GeneratedSets == 0 {
+				t.Fatalf("member %d reports shared sets %d but reused only %d of %d pre-batch sets", i, a.SharedSets, a.ReusedSets, physStart)
+			}
+		}
+	}
+	if generators != 1 {
+		t.Fatalf("%d members generated sets, want exactly 1", generators)
+	}
+	if shared == 0 {
+		t.Fatal("no member consumed shared (same-batch) samples")
+	}
+	if rep.PoolBytes <= 0 {
+		t.Fatalf("batch reports non-positive pool bytes %d", rep.PoolBytes)
 	}
 }
 

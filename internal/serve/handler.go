@@ -1,21 +1,38 @@
 package serve
 
-// HTTP/JSON front-end over Server: four endpoints, one handler each,
-// mounted by Handler. cmd/immserver is a thin flag-parsing shell around
-// this so the protocol is testable with net/http/httptest.
+// HTTP/JSON front-end over Server, mounted by Handler. cmd/immserver is
+// a thin flag-parsing shell around this so the protocol is testable
+// with net/http/httptest.
 //
 //	GET  /healthz          liveness + registered graph count
 //	GET  /graphs           the GraphInfo list
 //	GET  /stats            the Stats counters
-//	GET  /query?graph=&k=&eps=&seed=[&model=]   one seed-set query
+//	GET  /query?graph=&k=[&eps=&seed=&model=]    one seed-set query
 //	POST /query            the same query as a QueryRequest JSON body
+//	POST /batch            {"queries":[...]} → per-member results
+//	POST /jobs             async query: QueryRequest body → Job (202)
+//	GET  /jobs             every retained job, oldest first
+//	GET  /jobs/{id}        one job's state and, once done, its result
+//
+// Failures map through the serve sentinels: unknown graph or job 404,
+// validation 400, admission overflow 429 (with Retry-After), shutdown
+// 503 — and only a genuine engine failure reports 500.
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
+	"strings"
 )
+
+// maxBatchQueries bounds one POST /batch body: enough for any sensible
+// round-trip amortization, small enough that a single request cannot
+// monopolize the planner.
+const maxBatchQueries = 1024
 
 // Handler returns the HTTP front-end for s.
 func (s *Server) Handler() http.Handler {
@@ -24,6 +41,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/graphs", s.handleGraphs)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/batch", s.handleBatch)
+	mux.HandleFunc("/jobs", s.handleJobs)
+	mux.HandleFunc("/jobs/", s.handleJobByID)
 	return mux
 }
 
@@ -63,16 +83,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	case http.MethodGet:
 		var err error
 		if req, err = queryFromURL(r); err != nil {
-			httpError(w, http.StatusBadRequest, err.Error())
+			writeError(w, err)
 			return
 		}
 	case http.MethodPost:
-		// Same defaults as the GET form: fields absent from the JSON
-		// body keep the pre-seeded values (the decoder only overwrites
-		// what the body names).
-		req = QueryRequest{Epsilon: 0.5, Seed: 1}
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Sprintf("invalid JSON body: %v", err))
+		var err error
+		if req, err = decodeQueryBody(r); err != nil {
+			writeError(w, err)
 			return
 		}
 	default:
@@ -81,43 +98,186 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.Query(req)
 	if err != nil {
-		// Validation and unknown-graph errors are the client's; there is
-		// no server-side failure mode distinct from them at this layer.
-		httpError(w, http.StatusBadRequest, err.Error())
+		writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
 }
 
+// BatchRequest is the POST /batch body. Members take the same defaults
+// as a POST /query body (eps=0.5, seed=1 when absent) and the same
+// unknown-field rejection.
+type BatchRequest struct {
+	Queries []json.RawMessage `json:"queries"`
+}
+
+// BatchResponse is the POST /batch answer: one item per query, in
+// request order. Member failures are reported inline so one bad member
+// does not fail its neighbors; the HTTP status is 200 whenever the
+// batch itself was well-formed.
+type BatchResponse struct {
+	Results []BatchItem `json:"results"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var body BatchRequest
+	if err := dec.Decode(&body); err != nil {
+		writeError(w, fmt.Errorf("serve: %w: invalid JSON body: %v", ErrInvalidQuery, err))
+		return
+	}
+	if len(body.Queries) == 0 {
+		writeError(w, fmt.Errorf("serve: %w: batch holds no queries", ErrInvalidQuery))
+		return
+	}
+	if len(body.Queries) > maxBatchQueries {
+		writeError(w, fmt.Errorf("serve: %w: batch holds %d queries, max %d", ErrInvalidQuery, len(body.Queries), maxBatchQueries))
+		return
+	}
+	reqs := make([]QueryRequest, len(body.Queries))
+	for i, raw := range body.Queries {
+		mdec := json.NewDecoder(bytes.NewReader(raw))
+		mdec.DisallowUnknownFields()
+		req := defaultQueryRequest()
+		if err := mdec.Decode(&req); err != nil {
+			writeError(w, fmt.Errorf("serve: %w: query %d: %v", ErrInvalidQuery, i, err))
+			return
+		}
+		reqs[i] = req
+	}
+	writeJSON(w, http.StatusOK, BatchResponse{Results: s.QueryBatch(reqs)})
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		req, err := decodeQueryBody(r)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		job, err := s.SubmitJob(req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, job)
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, s.Jobs())
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "GET or POST only")
+	}
+}
+
+func (s *Server) handleJobByID(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/jobs/")
+	job, ok := s.Job(id)
+	if !ok {
+		writeError(w, fmt.Errorf("serve: %w %q", ErrUnknownJob, id))
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+// defaultQueryRequest pre-seeds the fields a request body may omit:
+// epsilon defaults to the paper's 0.5 and seed to 1, matching
+// imm.Defaults.
+func defaultQueryRequest() QueryRequest {
+	return QueryRequest{Epsilon: 0.5, Seed: 1}
+}
+
+// decodeQueryBody parses a POST JSON body into a QueryRequest. Fields
+// absent from the body keep the pre-seeded defaults (the decoder only
+// overwrites what the body names); unknown fields are rejected for the
+// same reason the GET parser rejects unknown parameters — a misspelled
+// "eps" for "epsilon" must fail loudly, not silently run with the
+// default.
+func decodeQueryBody(r *http.Request) (QueryRequest, error) {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	req := defaultQueryRequest()
+	if err := dec.Decode(&req); err != nil {
+		return req, fmt.Errorf("serve: %w: invalid JSON body: %v", ErrInvalidQuery, err)
+	}
+	return req, nil
+}
+
 // queryFromURL parses the GET form of a query. k is required; epsilon
-// defaults to the paper's 0.5 and seed to 1, matching imm.Defaults.
+// and seed default as in defaultQueryRequest. Unknown parameters are
+// rejected outright — a misspelled key (epsilon= for eps=) must fail
+// loudly, not silently run with the default — and eps must be a finite
+// number at parse time, not merely range-checked later.
 func queryFromURL(r *http.Request) (QueryRequest, error) {
 	q := r.URL.Query()
-	req := QueryRequest{
-		Graph:   q.Get("graph"),
-		Model:   q.Get("model"),
-		Epsilon: 0.5,
-		Seed:    1,
+	for key := range q {
+		switch key {
+		case "graph", "model", "k", "eps", "seed":
+		default:
+			return QueryRequest{}, fmt.Errorf("serve: %w: unknown query parameter %q (accepted: graph, model, k, eps, seed)", ErrInvalidQuery, key)
+		}
 	}
+	req := defaultQueryRequest()
+	req.Graph = q.Get("graph")
+	req.Model = q.Get("model")
 	if req.Graph == "" {
-		return req, fmt.Errorf("missing graph parameter")
+		return req, fmt.Errorf("serve: %w: missing graph parameter", ErrInvalidQuery)
 	}
 	k, err := strconv.Atoi(q.Get("k"))
 	if err != nil {
-		return req, fmt.Errorf("invalid k parameter %q", q.Get("k"))
+		return req, fmt.Errorf("serve: %w: invalid k parameter %q", ErrInvalidQuery, q.Get("k"))
 	}
 	req.K = k
 	if v := q.Get("eps"); v != "" {
-		if req.Epsilon, err = strconv.ParseFloat(v, 64); err != nil {
-			return req, fmt.Errorf("invalid eps parameter %q", v)
+		eps, err := strconv.ParseFloat(v, 64)
+		if err != nil || math.IsNaN(eps) || math.IsInf(eps, 0) {
+			return req, fmt.Errorf("serve: %w: eps parameter %q is not a finite number", ErrInvalidQuery, v)
 		}
+		req.Epsilon = eps
 	}
 	if v := q.Get("seed"); v != "" {
 		if req.Seed, err = strconv.ParseUint(v, 10, 64); err != nil {
-			return req, fmt.Errorf("invalid seed parameter %q", v)
+			return req, fmt.Errorf("serve: %w: invalid seed parameter %q", ErrInvalidQuery, v)
 		}
 	}
 	return req, nil
+}
+
+// statusForError maps a Server error to its HTTP status through the
+// serve sentinels. Anything that wraps no sentinel is a genuine
+// server-side failure: 500.
+func statusForError(err error) int {
+	switch {
+	case errors.Is(err, ErrUnknownGraph), errors.Is(err, ErrUnknownJob):
+		return http.StatusNotFound
+	case errors.Is(err, ErrInvalidQuery):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrShuttingDown):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// writeError reports err with its mapped status. Backpressure rejections
+// carry Retry-After so well-behaved clients pace themselves instead of
+// hammering the admission queue.
+func writeError(w http.ResponseWriter, err error) {
+	code := statusForError(err)
+	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	httpError(w, code, err.Error())
 }
 
 // errorResponse is the JSON error payload every endpoint uses.

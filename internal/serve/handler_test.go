@@ -3,10 +3,14 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/graph"
 )
@@ -33,6 +37,23 @@ func getJSON(t *testing.T, url string, wantCode int, v any) {
 	if v != nil {
 		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
 			t.Fatalf("GET %s: decode: %v", url, err)
+		}
+	}
+}
+
+func postJSON(t *testing.T, url string, body string, wantCode int, v any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantCode {
+		t.Fatalf("POST %s: status %d, want %d", url, resp.StatusCode, wantCode)
+	}
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("POST %s: decode: %v", url, err)
 		}
 	}
 }
@@ -78,18 +99,8 @@ func TestHTTPEndpoints(t *testing.T) {
 
 	// A POST body omitting epsilon and seed gets the same defaults as
 	// the GET form (eps=0.5, seed=1): identical query, identical seeds.
-	resp, err = http.Post(ts.URL+"/query", "application/json", bytes.NewReader([]byte(`{"graph":"g","k":8}`)))
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("POST /query without eps/seed: status %d", resp.StatusCode)
-	}
 	var defaulted QueryResult
-	if err := json.NewDecoder(resp.Body).Decode(&defaulted); err != nil {
-		t.Fatal(err)
-	}
+	postJSON(t, ts.URL+"/query", `{"graph":"g","k":8}`, http.StatusOK, &defaulted)
 	if defaulted.Epsilon != 0.5 || defaulted.Seed != 1 || !reflect.DeepEqual(defaulted.Seeds, cold.Seeds) {
 		t.Fatalf("POST defaults diverged from GET: %+v", defaulted)
 	}
@@ -99,25 +110,64 @@ func TestHTTPEndpoints(t *testing.T) {
 	if stats.Queries != 3 || stats.WarmHits != 2 || stats.Pools != 1 {
 		t.Fatalf("stats = %+v", stats)
 	}
+	if stats.Batches != 3 || stats.MaxBatchSize != 1 {
+		t.Fatalf("sequential queries miscounted as batches: %+v", stats)
+	}
 }
 
-func TestHTTPErrors(t *testing.T) {
+// TestHTTPStatusCodes pins the error → status mapping of every parse
+// and validation branch: unknown graph 404, client mistakes 400, and
+// nothing collapsing into a blanket code.
+func TestHTTPStatusCodes(t *testing.T) {
 	_, ts := testHTTP(t)
-	for _, url := range []string{
-		"/query?graph=missing&k=5",    // unknown graph
-		"/query?graph=g",              // missing k
-		"/query?graph=g&k=nope",       // bad k
-		"/query?graph=g&k=5&eps=2",    // bad epsilon
-		"/query?graph=g&k=5&seed=x",   // bad seed
-		"/query?k=5",                  // missing graph
-		"/query?graph=g&k=5&model=LT", // model mismatch
-	} {
+	cases := []struct {
+		url      string
+		want     int
+		contains string // required substring of the error payload
+	}{
+		{"/query?graph=missing&k=5", http.StatusNotFound, "unknown graph"},
+		{"/query?graph=g", http.StatusBadRequest, "invalid k"},
+		{"/query?graph=g&k=nope", http.StatusBadRequest, "invalid k"},
+		{"/query?graph=g&k=0", http.StatusBadRequest, "k must be positive"},
+		{"/query?graph=g&k=-3", http.StatusBadRequest, "k must be positive"},
+		{"/query?graph=g&k=5&eps=2", http.StatusBadRequest, "epsilon must lie in (0,1)"},
+		{"/query?graph=g&k=5&eps=NaN", http.StatusBadRequest, "not a finite number"},
+		{"/query?graph=g&k=5&eps=Inf", http.StatusBadRequest, "not a finite number"},
+		{"/query?graph=g&k=5&eps=-Inf", http.StatusBadRequest, "not a finite number"},
+		{"/query?graph=g&k=5&seed=x", http.StatusBadRequest, "invalid seed"},
+		{"/query?k=5", http.StatusBadRequest, "missing graph"},
+		{"/query?graph=g&k=5&model=LT", http.StatusBadRequest, "requested LT"},
+		// Misspelled/unknown keys must fail loudly, listing the accepted
+		// ones — not silently run with defaults.
+		{"/query?graph=g&k=5&epsilon=0.3", http.StatusBadRequest, "graph, model, k, eps, seed"},
+		{"/query?graph=g&k=5&sead=9", http.StatusBadRequest, "unknown query parameter"},
+	}
+	for _, c := range cases {
 		var e errorResponse
-		getJSON(t, ts.URL+url, http.StatusBadRequest, &e)
-		if e.Error == "" {
-			t.Fatalf("GET %s: empty error payload", url)
+		getJSON(t, ts.URL+c.url, c.want, &e)
+		if !strings.Contains(e.Error, c.contains) {
+			t.Fatalf("GET %s: error %q does not mention %q", c.url, e.Error, c.contains)
 		}
 	}
+
+	// The POST form maps through the same sentinels.
+	var e errorResponse
+	postJSON(t, ts.URL+"/query", `{"graph":"missing","k":5}`, http.StatusNotFound, &e)
+	if !strings.Contains(e.Error, "unknown graph") {
+		t.Fatalf("POST unknown graph: %q", e.Error)
+	}
+	postJSON(t, ts.URL+"/query", `{"graph":"g","k":5,"epsilon":7}`, http.StatusBadRequest, nil)
+	postJSON(t, ts.URL+"/query", `not json`, http.StatusBadRequest, nil)
+	// The POST form also rejects misspelled fields instead of silently
+	// running with defaults — the same contract as the GET parser.
+	e = errorResponse{}
+	postJSON(t, ts.URL+"/query", `{"graph":"g","k":5,"eps":0.3}`, http.StatusBadRequest, &e)
+	if !strings.Contains(e.Error, "eps") {
+		t.Fatalf("POST misspelled field: %q", e.Error)
+	}
+	postJSON(t, ts.URL+"/jobs", `{"graph":"g","k":5,"sead":9}`, http.StatusBadRequest, nil)
+	postJSON(t, ts.URL+"/batch", `{"queries":[{"graph":"g","k":5,"eps":0.3}]}`, http.StatusBadRequest, nil)
+	postJSON(t, ts.URL+"/batch", `{"querys":[{"graph":"g","k":5}]}`, http.StatusBadRequest, nil)
 
 	// Wrong methods.
 	resp, err := http.Post(ts.URL+"/healthz", "application/json", nil)
@@ -128,13 +178,118 @@ func TestHTTPErrors(t *testing.T) {
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Fatalf("POST /healthz: status %d", resp.StatusCode)
 	}
-	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/query", nil)
-	resp, err = http.DefaultClient.Do(req)
-	if err != nil {
-		t.Fatal(err)
+	for _, target := range []string{"/query", "/batch", "/jobs"} {
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+target, nil)
+		resp, err = http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("DELETE %s: status %d", target, resp.StatusCode)
+		}
 	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusMethodNotAllowed {
-		t.Fatalf("DELETE /query: status %d", resp.StatusCode)
+}
+
+// TestStatusForError pins the sentinel → status table, including the
+// default: an error wrapping no sentinel is a genuine engine failure
+// and must surface as 500, never as a client error.
+func TestStatusForError(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{fmt.Errorf("serve: %w %q", ErrUnknownGraph, "g"), http.StatusNotFound},
+		{fmt.Errorf("serve: %w %q", ErrUnknownJob, "job-9"), http.StatusNotFound},
+		{fmt.Errorf("serve: %w: k", ErrInvalidQuery), http.StatusBadRequest},
+		{fmt.Errorf("serve: %w", ErrOverloaded), http.StatusTooManyRequests},
+		{fmt.Errorf("serve: %w", ErrShuttingDown), http.StatusServiceUnavailable},
+		{errors.New("rrr generation blew up"), http.StatusInternalServerError},
 	}
+	for _, c := range cases {
+		if got := statusForError(c.err); got != c.want {
+			t.Fatalf("statusForError(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}
+
+func TestHTTPBatch(t *testing.T) {
+	_, ts := testHTTP(t)
+
+	// Reference answers, one query at a time.
+	var ref5, ref8 QueryResult
+	getJSON(t, ts.URL+"/query?graph=g&k=5&eps=0.6&seed=2", http.StatusOK, &ref5)
+	getJSON(t, ts.URL+"/query?graph=g&k=8&eps=0.5&seed=2", http.StatusOK, &ref8)
+
+	// The same two queries in one round-trip, plus a bad member whose
+	// failure must stay inline. Defaults apply per member (the k=8
+	// member omits eps).
+	var br BatchResponse
+	postJSON(t, ts.URL+"/batch",
+		`{"queries":[
+			{"graph":"g","k":5,"epsilon":0.6,"seed":2},
+			{"graph":"g","k":8,"seed":2},
+			{"graph":"missing","k":3}
+		]}`,
+		http.StatusOK, &br)
+	if len(br.Results) != 3 {
+		t.Fatalf("batch returned %d results, want 3", len(br.Results))
+	}
+	if br.Results[0].Result == nil || !reflect.DeepEqual(br.Results[0].Result.Seeds, ref5.Seeds) {
+		t.Fatalf("batch member 0 = %+v, want seeds %v", br.Results[0], ref5.Seeds)
+	}
+	if br.Results[1].Result == nil || !reflect.DeepEqual(br.Results[1].Result.Seeds, ref8.Seeds) {
+		t.Fatalf("batch member 1 = %+v, want seeds %v", br.Results[1], ref8.Seeds)
+	}
+	if br.Results[2].Result != nil || !strings.Contains(br.Results[2].Error, "unknown graph") {
+		t.Fatalf("batch member 2 = %+v, want inline unknown-graph error", br.Results[2])
+	}
+
+	// Malformed batches are rejected as a whole.
+	postJSON(t, ts.URL+"/batch", `{"queries":[]}`, http.StatusBadRequest, nil)
+	postJSON(t, ts.URL+"/batch", `{"queries":"nope"}`, http.StatusBadRequest, nil)
+	postJSON(t, ts.URL+"/batch", `garbage`, http.StatusBadRequest, nil)
+}
+
+func TestHTTPJobs(t *testing.T) {
+	_, ts := testHTTP(t)
+
+	var ref QueryResult
+	getJSON(t, ts.URL+"/query?graph=g&k=6&eps=0.5&seed=3", http.StatusOK, &ref)
+
+	var job Job
+	postJSON(t, ts.URL+"/jobs", `{"graph":"g","k":6,"epsilon":0.5,"seed":3}`, http.StatusAccepted, &job)
+	if job.ID == "" || (job.State != JobQueued && job.State != JobRunning) {
+		t.Fatalf("submitted job = %+v", job)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		getJSON(t, ts.URL+"/jobs/"+job.ID, http.StatusOK, &job)
+		if job.State == JobDone || job.State == JobFailed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s did not finish: %+v", job.ID, job)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if job.State != JobDone || job.Result == nil {
+		t.Fatalf("job finished badly: %+v", job)
+	}
+	if !reflect.DeepEqual(job.Result.Seeds, ref.Seeds) || job.Result.Theta != ref.Theta {
+		t.Fatalf("job result %v/θ=%d != sync result %v/θ=%d", job.Result.Seeds, job.Result.Theta, ref.Seeds, ref.Theta)
+	}
+
+	var jobs []Job
+	getJSON(t, ts.URL+"/jobs", http.StatusOK, &jobs)
+	if len(jobs) != 1 || jobs[0].ID != job.ID {
+		t.Fatalf("jobs list = %+v", jobs)
+	}
+
+	// Bad submissions fail at submit time with the mapped status.
+	postJSON(t, ts.URL+"/jobs", `{"graph":"missing","k":3}`, http.StatusNotFound, nil)
+	postJSON(t, ts.URL+"/jobs", `{"graph":"g","k":0}`, http.StatusBadRequest, nil)
+	// Unknown job ids are 404.
+	getJSON(t, ts.URL+"/jobs/job-999", http.StatusNotFound, nil)
 }

@@ -1,0 +1,350 @@
+package serve
+
+// Tests of the batched query planner, admission control, and shutdown
+// draining. The concurrency tests use generous gather windows so that
+// scheduling jitter cannot split a deliberate burst across drains.
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// TestBatchSharedExtension is the tentpole regression: N concurrent
+// distinct-k queries on one warm pool must gather into one batch,
+// perform exactly one shared θ-extension (exactly one member generates,
+// everyone else reads its own θ-prefix), and still answer every member
+// byte-identically to a cold run. Run under -race in CI.
+func TestBatchSharedExtension(t *testing.T) {
+	g := testGraph(t, 8, graph.IC)
+	opt := Options{
+		Workers:      2,
+		MaxTheta:     8000,
+		QueryWorkers: 16,
+		GatherWindow: 300 * time.Millisecond,
+	}
+	s := testServer(t, opt, map[string]*graph.Graph{"g": g})
+
+	// Warm the pool so the burst extends instead of building.
+	warmup := QueryRequest{Graph: "g", K: 3, Epsilon: 0.8, Seed: 1}
+	if _, err := s.Query(warmup); err != nil {
+		t.Fatal(err)
+	}
+
+	reqs := []QueryRequest{
+		{Graph: "g", K: 4, Epsilon: 0.6, Seed: 1},
+		{Graph: "g", K: 20, Epsilon: 0.4, Seed: 1}, // largest requirement: the one extender
+		{Graph: "g", K: 8, Epsilon: 0.5, Seed: 1},
+		{Graph: "g", K: 12, Epsilon: 0.5, Seed: 1},
+		{Graph: "g", K: 16, Epsilon: 0.5, Seed: 1},
+	}
+	results := make([]*QueryResult, len(reqs))
+	var wg sync.WaitGroup
+	for i, req := range reqs {
+		wg.Add(1)
+		go func(i int, req QueryRequest) {
+			defer wg.Done()
+			res, err := s.Query(req)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = res
+		}(i, req)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	generators := 0
+	for i, res := range results {
+		cold := coldRun(t, g, opt, reqs[i])
+		if !reflect.DeepEqual(res.Seeds, cold.Seeds) || res.Theta != cold.Theta {
+			t.Fatalf("member %d (k=%d): served %v/θ=%d != cold %v/θ=%d",
+				i, reqs[i].K, res.Seeds, res.Theta, cold.Seeds, cold.Theta)
+		}
+		if !res.Warm {
+			t.Fatalf("member %d not served warm: %+v", i, res)
+		}
+		if res.BatchSize != len(reqs) {
+			t.Fatalf("member %d answered in a batch of %d, want %d (burst split)", i, res.BatchSize, len(reqs))
+		}
+		if res.GeneratedSets > 0 {
+			generators++
+			if reqs[i].K != 20 {
+				t.Fatalf("member %d (k=%d) generated %d sets; only k=20 should extend", i, reqs[i].K, res.GeneratedSets)
+			}
+		}
+	}
+	if generators != 1 {
+		t.Fatalf("%d members generated sets, want exactly 1 shared extension", generators)
+	}
+
+	st := s.Stats()
+	if st.SharedExtensions != 1 {
+		t.Fatalf("stats report %d shared extensions, want 1: %+v", st.SharedExtensions, st)
+	}
+	if st.BatchedQueries != int64(len(reqs)) || st.MaxBatchSize != len(reqs) {
+		t.Fatalf("batch accounting off: %+v", st)
+	}
+	if st.SharedSets == 0 {
+		t.Fatalf("no shared-extension savings recorded: %+v", st)
+	}
+	if st.Batches < 2 { // warm-up drain + the burst drain
+		t.Fatalf("batches = %d, want >= 2", st.Batches)
+	}
+}
+
+// TestAdmissionBackpressure pins the 429 path: with one worker, no wait
+// queue, and a slow in-flight query, the overflow query is rejected
+// with ErrOverloaded — and over HTTP that is a 429 with Retry-After.
+func TestAdmissionBackpressure(t *testing.T) {
+	g := testGraph(t, 8, graph.IC)
+	opt := Options{
+		Workers:      2,
+		MaxTheta:     4000,
+		QueryWorkers: 1,
+		QueueDepth:   -1, // no waiting: reject when the worker is busy
+		GatherWindow: 400 * time.Millisecond,
+	}
+	s := testServer(t, opt, map[string]*graph.Graph{"g": g})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	release := make(chan struct{})
+	go func() {
+		defer close(release)
+		if _, err := s.Query(QueryRequest{Graph: "g", K: 5, Epsilon: 0.5, Seed: 1}); err != nil {
+			t.Error(err)
+		}
+	}()
+	time.Sleep(100 * time.Millisecond) // let the slow query take the slot
+
+	if _, err := s.Query(QueryRequest{Graph: "g", K: 7, Epsilon: 0.5, Seed: 2}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("overflow query returned %v, want ErrOverloaded", err)
+	}
+	resp, err := http.Get(ts.URL + "/query?graph=g&k=7&eps=0.5&seed=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow over HTTP: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 response missing Retry-After")
+	}
+	<-release
+	if st := s.Stats(); st.Rejected != 2 {
+		t.Fatalf("rejected = %d, want 2: %+v", st.Rejected, st)
+	}
+
+	// With the slot free again, the same query succeeds.
+	if _, err := s.Query(QueryRequest{Graph: "g", K: 7, Epsilon: 0.5, Seed: 2}); err != nil {
+		t.Fatalf("post-backpressure query failed: %v", err)
+	}
+}
+
+// TestQueryBatchExceedsAdmission pins the batch admission contract: a
+// well-formed batch larger than the admission capacity executes in
+// waves instead of partially failing with inline overload errors (the
+// batch body is its queue, not the bounded admission queue).
+func TestQueryBatchExceedsAdmission(t *testing.T) {
+	g := testGraph(t, 8, graph.IC)
+	opt := Options{
+		Workers:      2,
+		MaxTheta:     4000,
+		QueryWorkers: 1,
+		QueueDepth:   -1, // a bounded query would be rejected outright
+		GatherWindow: -1,
+	}
+	s := testServer(t, opt, map[string]*graph.Graph{"g": g})
+	reqs := []QueryRequest{
+		{Graph: "g", K: 4, Epsilon: 0.6, Seed: 1},
+		{Graph: "g", K: 8, Epsilon: 0.5, Seed: 1},
+		{Graph: "g", K: 6, Epsilon: 0.5, Seed: 2},
+		{Graph: "g", K: 10, Epsilon: 0.5, Seed: 2},
+	}
+	items := s.QueryBatch(reqs)
+	for i, item := range items {
+		if item.Error != "" || item.Result == nil {
+			t.Fatalf("member %d of an over-capacity batch failed: %+v", i, item)
+		}
+		cold := coldRun(t, g, opt, reqs[i])
+		if !reflect.DeepEqual(item.Result.Seeds, cold.Seeds) {
+			t.Fatalf("member %d: %v != cold %v", i, item.Result.Seeds, cold.Seeds)
+		}
+	}
+	if st := s.Stats(); st.Rejected != 0 {
+		t.Fatalf("batch members were rejected by admission: %+v", st)
+	}
+}
+
+// TestShutdownDrains pins the drain contract: in-flight work finishes,
+// work queued at admission is rejected cleanly, new work is refused,
+// and finished job results stay readable.
+func TestShutdownDrains(t *testing.T) {
+	g := testGraph(t, 8, graph.IC)
+	opt := Options{
+		Workers:      2,
+		MaxTheta:     4000,
+		QueryWorkers: 1,
+		GatherWindow: 400 * time.Millisecond, // keeps the in-flight query slow
+	}
+	s := testServer(t, opt, map[string]*graph.Graph{"g": g})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	// A job that finishes before shutdown: its result must survive.
+	done, err := s.SubmitJob(QueryRequest{Graph: "g", K: 4, Epsilon: 0.6, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, s, done.ID)
+
+	var inflightErr, queuedErr error
+	var inflightRes *QueryResult
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // in-flight: holds the only worker slot through the gather window
+		defer wg.Done()
+		inflightRes, inflightErr = s.Query(QueryRequest{Graph: "g", K: 5, Epsilon: 0.5, Seed: 1})
+	}()
+	time.Sleep(100 * time.Millisecond)
+	go func() { // queued at admission behind the in-flight query
+		defer wg.Done()
+		_, queuedErr = s.Query(QueryRequest{Graph: "g", K: 6, Epsilon: 0.5, Seed: 2})
+	}()
+	// A job submitted during the burst: it waits for a slot behind the
+	// in-flight query, and shutdown must drain it to completion rather
+	// than fail it.
+	queuedJob, err := s.SubmitJob(QueryRequest{Graph: "g", K: 7, Epsilon: 0.6, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown did not drain: %v", err)
+	}
+	wg.Wait()
+
+	if inflightErr != nil || inflightRes == nil {
+		t.Fatalf("in-flight query did not finish cleanly: %v", inflightErr)
+	}
+	cold := coldRun(t, g, opt, QueryRequest{Graph: "g", K: 5, Epsilon: 0.5, Seed: 1})
+	if !reflect.DeepEqual(inflightRes.Seeds, cold.Seeds) {
+		t.Fatalf("drained in-flight answer diverged: %v != %v", inflightRes.Seeds, cold.Seeds)
+	}
+	if !errors.Is(queuedErr, ErrShuttingDown) {
+		t.Fatalf("queued query returned %v, want ErrShuttingDown", queuedErr)
+	}
+	// The queued job drained: Shutdown returned only after it ran.
+	if job, ok := s.Job(queuedJob.ID); !ok || job.State != JobDone || job.Result == nil {
+		t.Fatalf("job queued at shutdown did not drain to completion: %+v (ok=%v)", job, ok)
+	}
+
+	// New work is refused — as 503 over HTTP — and submissions too.
+	if _, err := s.Query(QueryRequest{Graph: "g", K: 5, Epsilon: 0.5, Seed: 1}); !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("post-shutdown query returned %v, want ErrShuttingDown", err)
+	}
+	if _, err := s.SubmitJob(QueryRequest{Graph: "g", K: 5, Epsilon: 0.5, Seed: 1}); !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("post-shutdown job returned %v, want ErrShuttingDown", err)
+	}
+	resp, err := http.Get(ts.URL + "/query?graph=g&k=5&eps=0.5&seed=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-shutdown HTTP query: status %d, want 503", resp.StatusCode)
+	}
+
+	// Finished results remain readable during and after drain.
+	job, ok := s.Job(done.ID)
+	if !ok || job.State != JobDone || job.Result == nil {
+		t.Fatalf("finished job unreadable after shutdown: %+v (ok=%v)", job, ok)
+	}
+	resp, err = http.Get(ts.URL + "/jobs/" + done.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /jobs/%s after shutdown: status %d", done.ID, resp.StatusCode)
+	}
+	// Shutdown is idempotent.
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("second shutdown: %v", err)
+	}
+}
+
+// TestJobLifecycle pins the async API at the Go level: a job's answer
+// is byte-identical to the synchronous one, and validation failures are
+// rejected at submit time with the right sentinel.
+func TestJobLifecycle(t *testing.T) {
+	g := testGraph(t, 8, graph.IC)
+	s := testServer(t, Options{Workers: 2, MaxTheta: 4000}, map[string]*graph.Graph{"g": g})
+	req := QueryRequest{Graph: "g", K: 6, Epsilon: 0.5, Seed: 4}
+
+	sync1, err := s.Query(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := s.SubmitJob(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job = waitJob(t, s, job.ID)
+	if job.State != JobDone || job.Result == nil {
+		t.Fatalf("job = %+v", job)
+	}
+	if !reflect.DeepEqual(job.Result.Seeds, sync1.Seeds) || job.Result.Theta != sync1.Theta {
+		t.Fatalf("async answer %v/θ=%d != sync %v/θ=%d", job.Result.Seeds, job.Result.Theta, sync1.Seeds, sync1.Theta)
+	}
+	if !job.Result.Warm {
+		t.Fatal("repeat job did not hit the warm pool")
+	}
+
+	if _, err := s.SubmitJob(QueryRequest{Graph: "nope", K: 3, Epsilon: 0.5}); !errors.Is(err, ErrUnknownGraph) {
+		t.Fatalf("unknown-graph job returned %v", err)
+	}
+	if _, err := s.SubmitJob(QueryRequest{Graph: "g", K: 0, Epsilon: 0.5}); !errors.Is(err, ErrInvalidQuery) {
+		t.Fatalf("invalid job returned %v", err)
+	}
+	if _, ok := s.Job("job-12345"); ok {
+		t.Fatal("unknown job id resolved")
+	}
+	st := s.Stats()
+	if st.JobsSubmitted != 1 || st.JobsDone != 1 || st.JobsFailed != 0 {
+		t.Fatalf("job stats = %+v", st)
+	}
+}
+
+func waitJob(t *testing.T, s *Server, id string) Job {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		job, ok := s.Job(id)
+		if !ok {
+			t.Fatalf("job %s vanished", id)
+		}
+		if job.State == JobDone || job.State == JobFailed {
+			return job
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", id, job.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

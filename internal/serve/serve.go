@@ -5,8 +5,9 @@
 //
 // Key types: Server (the registry plus the warm-pool cache), Options
 // (engine configuration shared by every query), QueryRequest/QueryResult
-// (the query protocol, also the HTTP JSON schema), and Stats (the
-// service counters the /stats endpoint reports).
+// (the query protocol, also the HTTP JSON schema), Job (the async query
+// protocol), and Stats (the service counters the /stats endpoint
+// reports).
 //
 // Invariants:
 //
@@ -14,20 +15,26 @@
 //     (graph, model, k, epsilon, rngSeed): pools are reused through
 //     imm.WarmEngine, whose limited-view selection replays exactly the
 //     cold θ trajectory (see internal/imm/warm.go for the argument).
-//   - One warm engine exists per (graph, rngSeed) pair, serving one
-//     query at a time under its own mutex; queries against different
-//     pools run concurrently.
+//   - One warm engine exists per (graph, rngSeed) pair. Concurrent
+//     queries against the same pool are gathered into a batch and
+//     answered by one shared θ-extension (imm.WarmEngine.AnswerBatch);
+//     queries against different pools run concurrently.
 //   - Identical concurrent queries are deduplicated single-flight: one
 //     leader computes, followers receive a copy of its result.
+//   - Execution is bounded: at most QueryWorkers queries run at once,
+//     at most QueueDepth wait for a slot, and the overflow is rejected
+//     with ErrOverloaded (backpressure, not collapse).
 //   - Resident pool bytes across all warm engines are bounded by
 //     Options.PoolBudgetBytes with least-recently-used eviction;
-//     in-flight pools are never evicted.
+//     in-flight pools — and the pool the finishing query just used —
+//     are never evicted.
 package serve
 
 import (
 	"container/list"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -41,6 +48,18 @@ import (
 // Options.PoolBudgetBytes is zero: 1 GiB, roomy for dozens of
 // laptop-scale pools while still exercising eviction under load.
 const DefaultPoolBudgetBytes = 1 << 30
+
+// DefaultQueueDepth is the admission wait-queue bound applied when
+// Options.QueueDepth is zero: generous enough that ordinary bursts
+// queue rather than bounce, small enough that a stampede sheds load
+// instead of accumulating unbounded latency.
+const DefaultQueueDepth = 256
+
+// DefaultGatherWindow is the batch gather window applied when
+// Options.GatherWindow is zero: long enough for a concurrent burst to
+// coalesce into one shared extension, short enough to be noise against
+// any real query's selection cost.
+const DefaultGatherWindow = 2 * time.Millisecond
 
 // Options configures a Server. The engine-shaping fields apply to every
 // query; per-query parameters (k, ε, RNG seed) arrive in QueryRequest.
@@ -59,6 +78,28 @@ type Options struct {
 	// pools; least-recently-used pools are dropped when a query pushes
 	// past it. 0 means DefaultPoolBudgetBytes.
 	PoolBudgetBytes int64
+
+	// QueryWorkers bounds how many queries execute (or wait inside a
+	// pool batch) at once. <= 0 means 4 × runtime.GOMAXPROCS(0):
+	// members hold a worker slot while they gather but idle doing so,
+	// and same-pool engine runs serialize anyway, so admission
+	// oversubscribes the cores to let bursts batch. Batching across a
+	// concurrent burst needs QueryWorkers at least as large as the
+	// burst.
+	QueryWorkers int
+	// QueueDepth bounds how many queries may wait for a worker slot
+	// beyond the ones executing; the overflow fails fast with
+	// ErrOverloaded. 0 means DefaultQueueDepth; negative disables
+	// waiting entirely (no slot free → immediate rejection). Async jobs
+	// wait for a slot regardless of the bound — their queue is the jobs
+	// table itself.
+	QueueDepth int
+	// GatherWindow is how long the first query to reach an idle pool
+	// waits for concurrent queries on the same pool to join its batch
+	// before draining. 0 means DefaultGatherWindow; negative disables
+	// gathering (the leader drains immediately, batching only what
+	// arrived while a previous drain held the pool).
+	GatherWindow time.Duration
 }
 
 // EngineOptions returns the imm options a server configured by o runs
@@ -115,18 +156,23 @@ type QueryResult struct {
 	Coverage float64 `json:"coverage"`
 
 	// Warm reports whether the query found an already-built warm engine
-	// for its (graph, seed) — a query that races another cold miss onto
-	// the same fresh registry entry and ends up building the engine
-	// itself is cold; Coalesced reports the query was answered by an
-	// identical in-flight query's result rather than its own engine run.
+	// for its (graph, seed) — every member of the batch that builds the
+	// engine (however many gathered) is cold; Coalesced reports the
+	// query was answered by an identical in-flight query's result
+	// rather than its own engine run.
 	Warm      bool `json:"warm"`
 	Coalesced bool `json:"coalesced"`
+	// BatchSize is how many queries the answering batch held (1 when
+	// the query had the pool to itself).
+	BatchSize int `json:"batch_size"`
 	// ReusedSets counts the RRR sets the query consumed without
-	// generating them (min(θ, pool size at query start)); GeneratedSets
-	// the sets it added; ReusedBytes the resident bytes of the reused
-	// prefix.
+	// generating them (min(θ, pool size when the query ran)); Generated-
+	// Sets the sets its own trajectory added; SharedSets the reused sets
+	// that another member of the same batch generated on this query's
+	// behalf; ReusedBytes the resident bytes of the reused prefix.
 	ReusedSets    int64 `json:"reused_sets"`
 	GeneratedSets int64 `json:"generated_sets"`
+	SharedSets    int64 `json:"shared_sets"`
 	ReusedBytes   int64 `json:"reused_bytes"`
 	// PoolBytes is the pool's full resident footprint after the query —
 	// set payloads, inverted-index postings, and the engine overhead
@@ -134,25 +180,49 @@ type QueryResult struct {
 	// budget accounts.
 	PoolBytes int64 `json:"pool_bytes"`
 
+	// WallMS is the query's full service latency: admission wait,
+	// gather window, and the (possibly shared) engine run.
 	WallMS float64 `json:"wall_ms"`
 }
 
 // Stats are the service counters, all cumulative since construction
-// except the gauges Graphs/Pools/PoolBytes.
+// except the gauges Graphs/Pools/PoolBytes/InFlight/QueueDepth.
 type Stats struct {
 	Graphs      int   `json:"graphs"`
 	Pools       int   `json:"pools"`
 	PoolBytes   int64 `json:"pool_bytes"`
 	BudgetBytes int64 `json:"budget_bytes"`
 
+	// InFlight counts queries holding a worker slot right now;
+	// QueueDepth the queries waiting for one.
+	InFlight   int `json:"in_flight"`
+	QueueDepth int `json:"queue_depth"`
+
 	Queries       int64 `json:"queries"`
 	WarmHits      int64 `json:"warm_hits"`
 	ColdMisses    int64 `json:"cold_misses"`
 	Coalesced     int64 `json:"coalesced"`
+	Rejected      int64 `json:"rejected"`
 	Evictions     int64 `json:"evictions"`
 	ReusedSets    int64 `json:"reused_sets"`
 	GeneratedSets int64 `json:"generated_sets"`
 	ReusedBytes   int64 `json:"reused_bytes"`
+
+	// Batches counts planner drains of any size; BatchedQueries the
+	// queries answered in drains of two or more; SharedExtensions the
+	// physical pool extensions performed inside such multi-member drains
+	// (the "one shared θ-extension" the planner amortizes a burst onto);
+	// SharedSets the samples members consumed that a same-batch peer
+	// generated for them — the shared-extension savings.
+	Batches          int64 `json:"batches"`
+	BatchedQueries   int64 `json:"batched_queries"`
+	MaxBatchSize     int   `json:"max_batch_size"`
+	SharedExtensions int64 `json:"shared_extensions"`
+	SharedSets       int64 `json:"shared_sets"`
+
+	JobsSubmitted int64 `json:"jobs_submitted"`
+	JobsDone      int64 `json:"jobs_done"`
+	JobsFailed    int64 `json:"jobs_failed"`
 }
 
 // HitRatio is the fraction of executed (non-coalesced) queries that
@@ -190,17 +260,37 @@ type inflight struct {
 }
 
 // poolEntry is one warm pool plus its cache bookkeeping. The engine
-// mutex serializes queries; the registry fields (bytes, elem, pinned)
-// are guarded by the server mutex.
+// mutex serializes batch drains; the wait queue (qmu, waiters,
+// draining) hands concurrent queries to whichever member drains; the
+// registry fields (bytes, elem, pinned) are guarded by the server
+// mutex.
 type poolEntry struct {
 	key poolKey
 
-	mu  sync.Mutex // serializes engine use
+	mu  sync.Mutex // serializes engine use (held by the draining member)
 	eng *imm.WarmEngine
+
+	qmu      sync.Mutex
+	waiters  []*batchWaiter
+	draining bool
 
 	bytes  int64         // footprint last accounted into Server.usedBytes
 	elem   *list.Element // position in the LRU list
 	pinned int           // queries currently using the entry; > 0 blocks eviction
+}
+
+// enqueue appends w to the entry's wait queue and reports whether the
+// caller became the drainer (the first waiter on an idle pool; everyone
+// else is answered by an existing drainer's next sweep).
+func (pe *poolEntry) enqueue(w *batchWaiter) (leader bool) {
+	pe.qmu.Lock()
+	defer pe.qmu.Unlock()
+	pe.waiters = append(pe.waiters, w)
+	if !pe.draining {
+		pe.draining = true
+		return true
+	}
+	return false
 }
 
 // graphEntry is one registered graph.
@@ -210,18 +300,25 @@ type graphEntry struct {
 }
 
 // Server is the warm-pool query service. Construct with NewServer,
-// register graphs with AddGraph/AddSnapshot, then call Query from any
-// number of goroutines.
+// register graphs with AddGraph/AddSnapshot, then call Query, QueryBatch
+// or SubmitJob from any number of goroutines. Shutdown drains it.
 type Server struct {
 	opt  Options
 	base imm.Options // per-query template; K/Epsilon/Seed overwritten
 
+	adm *admission
+	wg  sync.WaitGroup // accepted work: queries, jobs
+
 	mu        sync.Mutex
+	closed    bool
+	closedCh  chan struct{}
 	graphs    map[string]*graphEntry
 	pools     map[poolKey]*poolEntry
 	lru       *list.List // front = most recently used *poolEntry
 	usedBytes int64
 	flight    map[flightKey]*inflight
+	jobs      map[string]*jobEntry
+	jobSeq    int64
 	stats     Stats
 }
 
@@ -230,14 +327,32 @@ func NewServer(opt Options) *Server {
 	if opt.PoolBudgetBytes <= 0 {
 		opt.PoolBudgetBytes = DefaultPoolBudgetBytes
 	}
+	if opt.QueryWorkers <= 0 {
+		opt.QueryWorkers = 4 * runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case opt.QueueDepth == 0:
+		opt.QueueDepth = DefaultQueueDepth
+	case opt.QueueDepth < 0:
+		opt.QueueDepth = 0 // no waiting: reject when every worker is busy
+	}
+	switch {
+	case opt.GatherWindow == 0:
+		opt.GatherWindow = DefaultGatherWindow
+	case opt.GatherWindow < 0:
+		opt.GatherWindow = 0 // drain immediately
+	}
 	base := opt.EngineOptions()
 	return &Server{
-		opt:    opt,
-		base:   base,
-		graphs: make(map[string]*graphEntry),
-		pools:  make(map[poolKey]*poolEntry),
-		lru:    list.New(),
-		flight: make(map[flightKey]*inflight),
+		opt:      opt,
+		base:     base,
+		adm:      newAdmission(opt.QueryWorkers, opt.QueueDepth),
+		closedCh: make(chan struct{}),
+		graphs:   make(map[string]*graphEntry),
+		pools:    make(map[poolKey]*poolEntry),
+		lru:      list.New(),
+		flight:   make(map[flightKey]*inflight),
+		jobs:     make(map[string]*jobEntry),
 	}
 }
 
@@ -301,30 +416,56 @@ func (s *Server) Stats() Stats {
 	st.Pools = len(s.pools)
 	st.PoolBytes = s.usedBytes
 	st.BudgetBytes = s.opt.PoolBudgetBytes
+	st.InFlight, st.QueueDepth = s.adm.gauges()
 	return st
 }
 
-// Query answers one seed-set query, reusing the (graph, seed) warm pool
-// when one exists and creating it otherwise. Identical concurrent
-// queries coalesce onto a single engine run. Safe for concurrent use.
-func (s *Server) Query(req QueryRequest) (*QueryResult, error) {
+// checkRequestLocked validates req against the registry. Callers hold
+// s.mu. Every failure wraps a sentinel so front-ends can map it.
+func (s *Server) checkRequestLocked(req QueryRequest) (*graphEntry, error) {
 	if req.K <= 0 {
-		return nil, fmt.Errorf("serve: k must be positive, got %d", req.K)
+		return nil, fmt.Errorf("serve: %w: k must be positive, got %d", ErrInvalidQuery, req.K)
 	}
 	if !(req.Epsilon > 0 && req.Epsilon < 1) { // also rejects NaN
-		return nil, fmt.Errorf("serve: epsilon must lie in (0,1), got %v", req.Epsilon)
+		return nil, fmt.Errorf("serve: %w: epsilon must lie in (0,1), got %v", ErrInvalidQuery, req.Epsilon)
 	}
-	fkey := flightKey{graph: req.Graph, k: req.K, epsBits: math.Float64bits(req.Epsilon), seed: req.Seed}
-
-	s.mu.Lock()
 	ge, ok := s.graphs[req.Graph]
 	if !ok {
-		s.mu.Unlock()
-		return nil, fmt.Errorf("serve: unknown graph %q", req.Graph)
+		return nil, fmt.Errorf("serve: %w %q", ErrUnknownGraph, req.Graph)
 	}
 	if req.Model != "" && req.Model != ge.info.Model {
+		return nil, fmt.Errorf("serve: %w: graph %q holds a %s graph but the query requested %s", ErrInvalidQuery, req.Graph, ge.info.Model, req.Model)
+	}
+	return ge, nil
+}
+
+// Query answers one seed-set query, reusing the (graph, seed) warm pool
+// when one exists and creating it otherwise. Concurrent queries on the
+// same pool are gathered into one batch and share a single θ-extension;
+// identical concurrent queries coalesce onto a single engine run. Safe
+// for concurrent use.
+func (s *Server) Query(req QueryRequest) (*QueryResult, error) {
+	return s.query(req, admitBounded)
+}
+
+// query is Query with the admission mode explicit (see admitMode).
+// admitJob callers were accepted — and registered with the shutdown
+// WaitGroup — at submit time, so they bypass begin() and drain to
+// completion even after shutdown starts.
+func (s *Server) query(req QueryRequest, mode admitMode) (*QueryResult, error) {
+	if mode != admitJob {
+		if err := s.begin(); err != nil {
+			return nil, err
+		}
+		defer s.end()
+	}
+
+	fkey := flightKey{graph: req.Graph, k: req.K, epsBits: math.Float64bits(req.Epsilon), seed: req.Seed}
+	s.mu.Lock()
+	ge, err := s.checkRequestLocked(req)
+	if err != nil {
 		s.mu.Unlock()
-		return nil, fmt.Errorf("serve: graph %q holds a %s graph but the query requested %s", req.Graph, ge.info.Model, req.Model)
+		return nil, err
 	}
 	if fl, ok := s.flight[fkey]; ok {
 		// Coalesce onto the identical in-flight query.
@@ -340,16 +481,39 @@ func (s *Server) Query(req QueryRequest) (*QueryResult, error) {
 	}
 	fl := &inflight{done: make(chan struct{})}
 	s.flight[fkey] = fl
+	s.mu.Unlock()
 
+	res, err := s.execute(ge, req, mode)
+
+	s.mu.Lock()
+	delete(s.flight, fkey)
+	s.mu.Unlock()
+	fl.res, fl.err = res, err
+	close(fl.done)
+	return res, err
+}
+
+// execute runs one admitted, non-coalesced query through the pool
+// planner and accounts the outcome.
+func (s *Server) execute(ge *graphEntry, req QueryRequest, mode admitMode) (*QueryResult, error) {
+	start := time.Now()
+	if err := s.adm.acquire(mode, s.closedCh); err != nil {
+		s.mu.Lock()
+		s.stats.Rejected++
+		s.mu.Unlock()
+		return nil, err
+	}
+	defer s.adm.release()
+
+	s.mu.Lock()
 	pkey := poolKey{graph: req.Graph, seed: req.Seed}
 	pe, ok := s.pools[pkey]
 	if !ok {
-		// Register a placeholder only; the engine itself is built in
-		// runQuery under the entry's own mutex — construction allocates
-		// O(N) (the fused counter), which must not stall the registry.
-		// Warm/cold is decided there too: a query that races another
-		// cold miss onto the same placeholder may still be the one that
-		// builds the engine, and must not report a warm hit.
+		// Register a placeholder only; the engine itself is built by the
+		// draining member under the entry's own mutex — construction
+		// allocates O(N) (the fused counter), which must not stall the
+		// registry. Warm/cold is decided there too: every member of the
+		// batch that builds the engine is cold.
 		pe = &poolEntry{key: pkey}
 		s.pools[pkey] = pe
 		pe.elem = s.lru.PushFront(pe)
@@ -360,20 +524,27 @@ func (s *Server) Query(req QueryRequest) (*QueryResult, error) {
 	pe.pinned++
 	s.mu.Unlock()
 
-	res, err := s.runQuery(ge, pe, req)
+	w := &batchWaiter{req: req, done: make(chan struct{})}
+	if pe.enqueue(w) {
+		s.drainPool(ge, pe)
+	} else {
+		<-w.done
+	}
+	res, err := w.res, w.err
 
 	s.mu.Lock()
 	pe.pinned--
 	if err == nil {
+		res.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
 		if res.Warm {
 			s.stats.WarmHits++
 		} else {
 			s.stats.ColdMisses++
 		}
 		// Re-account the pool's footprint and enforce the byte budget.
-		// res.PoolBytes was measured inside runQuery under the engine
+		// res.PoolBytes was measured inside the drain under the engine
 		// mutex; re-reading the engine here would race with a concurrent
-		// query on the same pool. The pool only ever grows, so take the
+		// batch on the same pool. The pool only ever grows, so take the
 		// monotonic max — two queries finishing out of order must not let
 		// the smaller, staler measurement overwrite the larger one.
 		if res.PoolBytes > pe.bytes {
@@ -383,7 +554,7 @@ func (s *Server) Query(req QueryRequest) (*QueryResult, error) {
 		s.stats.ReusedSets += res.ReusedSets
 		s.stats.GeneratedSets += res.GeneratedSets
 		s.stats.ReusedBytes += res.ReusedBytes
-		s.evictLocked()
+		s.evictLocked(pe)
 	} else if pe.pinned == 0 && pe.bytes == 0 {
 		// The query failed, no query ever succeeded on this entry
 		// (successful queries always account a positive footprint), and
@@ -391,11 +562,7 @@ func (s *Server) Query(req QueryRequest) (*QueryResult, error) {
 		// start clean instead of inheriting a dead entry.
 		s.removeEntryLocked(pe)
 	}
-	delete(s.flight, fkey)
 	s.mu.Unlock()
-
-	fl.res, fl.err = res, err
-	close(fl.done)
 	return res, err
 }
 
@@ -409,55 +576,6 @@ func (s *Server) queryOptions(req QueryRequest) imm.Options {
 	return o
 }
 
-// runQuery executes the query on its (serialized) warm engine, building
-// the engine first if this entry has never run one (the cold-miss path,
-// or a retry after a failed construction). Warm means the engine — not
-// just the registry entry — already existed when this query got the
-// pool.
-func (s *Server) runQuery(ge *graphEntry, pe *poolEntry, req QueryRequest) (*QueryResult, error) {
-	pe.mu.Lock()
-	defer pe.mu.Unlock()
-	start := time.Now()
-	warm := pe.eng != nil
-	if !warm {
-		eng, err := imm.NewWarmEngine(ge.g, s.queryOptions(req))
-		if err != nil {
-			return nil, err
-		}
-		pe.eng = eng
-	}
-	physBefore := pe.eng.PhysicalSets()
-	pe.eng.BeginQuery()
-	res, err := imm.RunEngine(ge.g, s.queryOptions(req), pe.eng)
-	if err != nil {
-		return nil, err
-	}
-	reused := res.Theta
-	if physBefore < reused {
-		reused = physBefore
-	}
-	return &QueryResult{
-		Graph:   req.Graph,
-		Model:   ge.info.Model,
-		K:       req.K,
-		Epsilon: req.Epsilon,
-		Seed:    req.Seed,
-
-		Seeds:    res.Seeds,
-		Theta:    res.Theta,
-		Rounds:   res.Rounds,
-		Coverage: res.Coverage,
-
-		Warm:          warm,
-		ReusedSets:    reused,
-		GeneratedSets: pe.eng.PhysicalSets() - physBefore,
-		ReusedBytes:   pe.eng.FootprintUpTo(reused).TotalBytes(),
-		PoolBytes:     pe.eng.PhysicalFootprint().TotalBytes() + pe.eng.OverheadBytes(),
-
-		WallMS: float64(time.Since(start)) / float64(time.Millisecond),
-	}, nil
-}
-
 // removeEntryLocked unregisters a pool entry and returns its bytes to
 // the budget.
 func (s *Server) removeEntryLocked(pe *poolEntry) {
@@ -467,21 +585,25 @@ func (s *Server) removeEntryLocked(pe *poolEntry) {
 }
 
 // evictLocked drops least-recently-used pools until resident bytes fit
-// the budget. Pinned (in-flight) pools are skipped; at least one pool
-// may therefore remain over budget, which is the correct behavior when
-// a single pool exceeds the budget on its own.
-func (s *Server) evictLocked() {
+// the budget. Pinned (in-flight) pools are skipped, and so is keep —
+// the pool the finishing query just used: evicting it would make a
+// single over-budget pool its own victim and turn every repeat query
+// into a cold regeneration (the budget may transiently overshoot
+// instead, exactly as it already does for pinned pools). At least one
+// pool may therefore remain over budget, which is the correct behavior
+// when a single pool exceeds the budget on its own.
+func (s *Server) evictLocked(keep *poolEntry) {
 	for s.usedBytes > s.opt.PoolBudgetBytes {
 		victim := (*poolEntry)(nil)
 		for e := s.lru.Back(); e != nil; e = e.Prev() {
 			pe := e.Value.(*poolEntry)
-			if pe.pinned == 0 {
+			if pe.pinned == 0 && pe != keep {
 				victim = pe
 				break
 			}
 		}
 		if victim == nil {
-			return // everything resident is in flight
+			return // everything resident is in flight or just-used
 		}
 		s.removeEntryLocked(victim)
 		s.stats.Evictions++

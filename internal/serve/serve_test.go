@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"errors"
 	"math"
 	"path/filepath"
 	"reflect"
@@ -219,19 +220,75 @@ func TestEvictionUnderBytePressure(t *testing.T) {
 	}
 }
 
+// TestOverBudgetPoolNotSelfEvicted is the regression test for the
+// eviction defect: a pool whose footprint alone exceeds the byte budget
+// must not be evicted by the very query that just populated it (the
+// budget transiently overshoots instead, as for pinned pools) — the bug
+// made every repeat query on such a pool regenerate from scratch
+// forever. LRU pressure from *other* pools must still evict it.
+func TestOverBudgetPoolNotSelfEvicted(t *testing.T) {
+	g := testGraph(t, 8, graph.IC)
+	s := testServer(t, Options{Workers: 2, MaxTheta: 4000, PoolBudgetBytes: 1},
+		map[string]*graph.Graph{"g": g})
+	req := QueryRequest{Graph: "g", K: 8, Epsilon: 0.5, Seed: 1}
+
+	first, err := s.Query(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Warm || first.PoolBytes <= 1 {
+		t.Fatalf("cold probe = %+v", first)
+	}
+	second, err := s.Query(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Warm || second.GeneratedSets != 0 {
+		t.Fatalf("repeat on the over-budget pool went cold (the self-eviction bug): %+v", second)
+	}
+	if !reflect.DeepEqual(second.Seeds, first.Seeds) {
+		t.Fatalf("warm seeds diverged: %v vs %v", second.Seeds, first.Seeds)
+	}
+	if st := s.Stats(); st.Evictions != 0 {
+		t.Fatalf("the resident pool was evicted %d times with no competitor: %+v", st.Evictions, st)
+	}
+
+	// A query on a different pool makes the first pool the LRU victim:
+	// the budget still works, it just never evicts the in-use entry.
+	if _, err := s.Query(QueryRequest{Graph: "g", K: 8, Epsilon: 0.5, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Evictions != 1 || st.Pools != 1 {
+		t.Fatalf("LRU pressure did not evict the idle pool: %+v", st)
+	}
+	third, err := s.Query(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Warm {
+		t.Fatal("evicted pool reported a warm hit")
+	}
+	if !reflect.DeepEqual(third.Seeds, first.Seeds) {
+		t.Fatalf("post-eviction seeds %v != original %v", third.Seeds, first.Seeds)
+	}
+}
+
 func TestQueryValidation(t *testing.T) {
 	g := testGraph(t, 7, graph.IC)
 	s := testServer(t, Options{Workers: 1, MaxTheta: 2000}, map[string]*graph.Graph{"g": g})
-	cases := []QueryRequest{
-		{Graph: "missing", K: 5, Epsilon: 0.5, Seed: 1},  // unknown graph
-		{Graph: "g", K: 0, Epsilon: 0.5, Seed: 1},        // k
-		{Graph: "g", K: 5, Epsilon: 1.5, Seed: 1},        // epsilon
-		{Graph: "g", K: 5, Epsilon: math.NaN(), Seed: 1}, // NaN epsilon
-		{Graph: "g", K: 5, Epsilon: 0.5, Model: "LT"},    // model mismatch (graph is IC)
+	cases := []struct {
+		req  QueryRequest
+		want error
+	}{
+		{QueryRequest{Graph: "missing", K: 5, Epsilon: 0.5, Seed: 1}, ErrUnknownGraph},
+		{QueryRequest{Graph: "g", K: 0, Epsilon: 0.5, Seed: 1}, ErrInvalidQuery},
+		{QueryRequest{Graph: "g", K: 5, Epsilon: 1.5, Seed: 1}, ErrInvalidQuery},
+		{QueryRequest{Graph: "g", K: 5, Epsilon: math.NaN(), Seed: 1}, ErrInvalidQuery},
+		{QueryRequest{Graph: "g", K: 5, Epsilon: 0.5, Model: "LT"}, ErrInvalidQuery}, // mismatch (graph is IC)
 	}
-	for i, req := range cases {
-		if _, err := s.Query(req); err == nil {
-			t.Fatalf("case %d: invalid query %+v accepted", i, req)
+	for i, c := range cases {
+		if _, err := s.Query(c.req); !errors.Is(err, c.want) {
+			t.Fatalf("case %d: query %+v returned %v, want %v", i, c.req, err, c.want)
 		}
 	}
 	if _, err := s.Query(QueryRequest{Graph: "g", K: 5, Epsilon: 0.5, Seed: 1, Model: "IC"}); err != nil {

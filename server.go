@@ -2,12 +2,14 @@ package efficientimm
 
 // The warm-pool query service (internal/serve), re-exported. A Server
 // amortizes RRR-set generation across queries: it keeps one sharded
-// pool warm per (graph, RNG seed), extends θ incrementally when a query
-// needs more samples, deduplicates identical concurrent queries, and
+// pool warm per (graph, RNG seed), gathers concurrent queries on the
+// same pool into batches that share a single θ-extension, extends θ
+// incrementally otherwise (never regenerating), deduplicates identical
+// concurrent queries, sheds overload with bounded admission queues, and
 // bounds resident pool bytes with LRU eviction — while every answer
 // stays byte-identical to a cold Run with the same options. See
-// DESIGN.md "Serving architecture" and cmd/immserver for the HTTP
-// front-end.
+// DESIGN.md "Serving architecture" and "Batched planning & admission
+// control", and cmd/immserver for the HTTP front-end.
 
 import (
 	"repro/internal/serve"
@@ -15,22 +17,44 @@ import (
 
 type (
 	// Server is the warm-pool query service: a registry of graphs plus
-	// a byte-budgeted cache of warm RRR pools. Safe for concurrent use.
+	// a byte-budgeted cache of warm RRR pools behind a batched query
+	// planner with admission control. Safe for concurrent use; drain
+	// with Server.Shutdown.
 	Server = serve.Server
 	// ServeOptions configures NewServer; per-query parameters travel in
-	// QueryRequest.
+	// QueryRequest. QueryWorkers/QueueDepth bound concurrent execution
+	// (overflow is rejected with ErrServerOverloaded), GatherWindow
+	// tunes how long concurrent queries wait to share one θ-extension.
 	ServeOptions = serve.Options
 	// QueryRequest identifies one (graph, model, k, epsilon, rngSeed)
 	// seed-set query.
 	QueryRequest = serve.QueryRequest
 	// QueryResult is a served answer plus its reuse accounting (warm or
-	// cold, sets reused versus generated, pool bytes).
+	// cold, batch size, sets reused/generated/shared, pool bytes).
 	QueryResult = serve.QueryResult
-	// ServeStats are the service counters (queries, warm hits, cold
-	// misses, coalesced queries, evictions, reuse volume).
+	// ServeStats are the service counters (queries, warm hits, batches,
+	// shared extensions, admission rejections, evictions, job counts).
 	ServeStats = serve.Stats
 	// GraphInfo describes one graph registered with a Server.
 	GraphInfo = serve.GraphInfo
+	// BatchItem is one member's outcome in a Server.QueryBatch answer.
+	BatchItem = serve.BatchItem
+	// ServeJob is the public view of one async query submitted with
+	// Server.SubmitJob and polled with Server.Job.
+	ServeJob = serve.Job
+	// ServeJobState is a ServeJob lifecycle state (queued, running,
+	// done, failed).
+	ServeJobState = serve.JobState
+)
+
+// The Server error sentinels, re-exported for errors.Is dispatch; the
+// HTTP front-end maps them to 404/400/429/503.
+var (
+	ErrUnknownGraph       = serve.ErrUnknownGraph
+	ErrInvalidQuery       = serve.ErrInvalidQuery
+	ErrServerOverloaded   = serve.ErrOverloaded
+	ErrServerShuttingDown = serve.ErrShuttingDown
+	ErrUnknownJob         = serve.ErrUnknownJob
 )
 
 // DefaultPoolBudgetBytes is the resident warm-pool byte budget applied
@@ -39,6 +63,6 @@ const DefaultPoolBudgetBytes = serve.DefaultPoolBudgetBytes
 
 // NewServer returns an empty warm-pool query service. Register graphs
 // with Server.AddGraph or Server.AddSnapshot, then answer queries with
-// Server.Query (or serve Server.Handler over HTTP — that is what
-// cmd/immserver does).
+// Server.Query / Server.QueryBatch / Server.SubmitJob (or serve
+// Server.Handler over HTTP — that is what cmd/immserver does).
 func NewServer(opt ServeOptions) *Server { return serve.NewServer(opt) }
