@@ -22,6 +22,7 @@ import (
 	"repro/internal/imm"
 	"repro/internal/ingest"
 	"repro/internal/numa"
+	"repro/internal/rrr"
 	"repro/internal/serve"
 )
 
@@ -305,19 +306,69 @@ func BenchmarkDistributed(b *testing.B) {
 }
 
 // BenchmarkEndToEnd measures real wall-clock of a complete Run on this
-// machine for both engines — the sanity check that the optimized engine
-// also wins in practice at the physical core count.
+// machine — the sanity check that the optimized engine also wins in
+// practice at the physical core count. The Efficient engine runs under
+// both generation kernels, so the fused/materialized wall-clock and
+// allocation gap is visible in the same table as the engine gap.
 func BenchmarkEndToEnd(b *testing.B) {
 	g := benchProfile(b, "web-Google", 10, graph.IC)
-	for _, engine := range []imm.EngineKind{imm.Ripples, imm.Efficient} {
-		b.Run(engine.String(), func(b *testing.B) {
+	variants := []struct {
+		name   string
+		engine imm.EngineKind
+		kernel imm.KernelKind
+	}{
+		{"ripples", imm.Ripples, imm.KernelFused}, // kernel ignored by the baseline
+		{"efficientimm/fused", imm.Efficient, imm.KernelFused},
+		{"efficientimm/materialized", imm.Efficient, imm.KernelMaterialized},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := imm.Run(g, benchOpts(engine, graph.IC, 2)); err != nil {
+				opt := benchOpts(v.engine, graph.IC, 2)
+				opt.Kernel = v.kernel
+				if _, err := imm.Run(g, opt); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
 	}
+}
+
+// BenchmarkGenerationKernel isolates the generation path: filling the
+// same pool slots through the materialized GenerateSlots (per-set copy +
+// header) versus the fused GenerateSlotsFused (arena storage, counter
+// folded into the emit). allocs/op is the headline: the fused path's
+// per-set allocation rate is amortized zero, ≥10x below materialized.
+// The list policy is pinned because bitmap-represented sets allocate
+// identically under both kernels.
+func BenchmarkGenerationKernel(b *testing.B) {
+	g := benchProfile(b, "web-Google", 10, graph.IC)
+	opt := benchOpts(imm.Efficient, graph.IC, 1)
+	opt.AdaptiveRep = false
+	policy := imm.PolicyFromOptions(opt)
+	const slots = 4096
+	out := make([]rrr.Set, slots)
+
+	b.Run("materialized", func(b *testing.B) {
+		b.ReportAllocs()
+		cnt := counter.New(g.N)
+		for i := 0; i < b.N; i++ {
+			imm.GenerateSlots(g, policy, opt.Seed, 0, out)
+			for _, s := range out {
+				s.ForEach(func(v int32) { cnt.Inc(v) })
+			}
+		}
+	})
+	b.Run("fused", func(b *testing.B) {
+		b.ReportAllocs()
+		arena := rrr.NewArena()
+		cnt := counter.New(g.N)
+		for i := 0; i < b.N; i++ {
+			arena.Reset() // steady state: storage reused across rounds
+			imm.GenerateSlotsFused(g, policy, opt.Seed, 0, out, arena, cnt)
+		}
+	})
 }
 
 // BenchmarkCompressedPool measures the PR-2 compressed pool: resident

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	efficientimm "repro"
+	"repro/internal/profiling"
 )
 
 func main() {
@@ -34,6 +35,7 @@ func main() {
 		engineName = flag.String("engine", "efficientimm", "engine: efficientimm or ripples")
 		poolName   = flag.String("pool", "slices", "RRR pool representation: slices or compressed")
 		selName    = flag.String("selection", "celf", "selection kernel: celf or scan")
+		kernName   = flag.String("kernel", "fused", "generation kernel: fused (streaming) or materialized (legacy reference)")
 		k          = flag.Int("k", 50, "seed set size")
 		eps        = flag.Float64("eps", 0.5, "approximation parameter epsilon")
 		workers    = flag.Int("workers", runtime.NumCPU(), "parallel workers")
@@ -45,6 +47,7 @@ func main() {
 		outPath    = flag.String("out", "", "write the JSON result to this file instead of stdout")
 		list       = flag.Bool("list", false, "list available dataset profiles and exit")
 	)
+	prof := profiling.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -63,6 +66,12 @@ func main() {
 	fatalIf(err)
 	selection, err := efficientimm.ParseSelection(*selName)
 	fatalIf(err)
+	kernel, err := efficientimm.ParseKernel(*kernName)
+	fatalIf(err)
+
+	stopProf, err := prof.Start()
+	fatalIf(err)
+	defer stopProf()
 
 	setFlags := make(map[string]bool)
 	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
@@ -143,6 +152,7 @@ func main() {
 	opt.Engine = engine
 	opt.Pool = pool
 	opt.Selection = selection
+	opt.Kernel = kernel
 	opt.K = *k
 	opt.Epsilon = *eps
 	opt.Workers = *workers
@@ -193,6 +203,7 @@ func main() {
 		"rrr_compressed":    res.SetStats.Compressed,
 		"pool":              pool.String(),
 		"selection":         selection.String(),
+		"kernel":            kernel.String(),
 		// Peak pool footprint: resident set bytes, the inverted-index
 		// bytes CELF selection adds, and the raw []int32-slice cost the
 		// compression ratio is measured against.

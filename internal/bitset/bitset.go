@@ -92,6 +92,42 @@ func (b *Bitset) ClearList(idx []int32) {
 	}
 }
 
+// SetMany sets every listed bit. Runs of indices that fall in the same
+// word are folded into a single OR, so the common case — a sorted or
+// locality-friendly list, such as an RRR member list or BFS discovery
+// order — is set word-at-a-time instead of bit-at-a-time. Duplicates are
+// harmless (OR is idempotent); callers tracking cardinality must pass a
+// unique list.
+func (b *Bitset) SetMany(idx []int32) {
+	for i := 0; i < len(idx); {
+		wi := int(idx[i]) / wordBits
+		mask := uint64(1) << uint(int(idx[i])%wordBits)
+		i++
+		for i < len(idx) && int(idx[i])/wordBits == wi {
+			mask |= 1 << uint(int(idx[i])%wordBits)
+			i++
+		}
+		b.words[wi] |= mask
+	}
+}
+
+// ClearMany clears every listed bit, folding same-word runs into a single
+// AND-NOT the way SetMany folds sets. The fused sampling kernel uses it
+// to wipe the visited bitmap from the traversal's discovery list, whose
+// word locality (CSR neighbor order) makes the fold effective.
+func (b *Bitset) ClearMany(idx []int32) {
+	for i := 0; i < len(idx); {
+		wi := int(idx[i]) / wordBits
+		mask := uint64(1) << uint(int(idx[i])%wordBits)
+		i++
+		for i < len(idx) && int(idx[i])/wordBits == wi {
+			mask |= 1 << uint(int(idx[i])%wordBits)
+			i++
+		}
+		b.words[wi] &^= mask
+	}
+}
+
 // Count returns the number of set bits.
 func (b *Bitset) Count() int {
 	c := 0

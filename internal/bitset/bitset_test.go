@@ -290,3 +290,48 @@ func TestGrowPreservesBits(t *testing.T) {
 		t.Fatal("same-word grow lost bits")
 	}
 }
+
+func TestSetManyClearMany(t *testing.T) {
+	const n = 300
+	b := New(n)
+	ref := New(n)
+	// Mixed run lengths: consecutive indices inside one word (the
+	// folded fast path), word-boundary crossings, and isolated bits.
+	idx := []int32{0, 1, 2, 3, 62, 63, 64, 65, 100, 130, 131, 255, 299}
+	b.SetMany(idx)
+	for _, v := range idx {
+		ref.Set(int(v))
+	}
+	for v := 0; v < n; v++ {
+		if b.Test(v) != ref.Test(v) {
+			t.Fatalf("SetMany bit %d = %v, want %v", v, b.Test(v), ref.Test(v))
+		}
+	}
+	if b.Count() != len(idx) {
+		t.Fatalf("Count = %d, want %d", b.Count(), len(idx))
+	}
+	// Clearing a subset leaves exactly the rest.
+	sub := idx[:7]
+	b.ClearMany(sub)
+	for _, v := range sub {
+		if b.Test(int(v)) {
+			t.Fatalf("ClearMany left bit %d set", v)
+		}
+	}
+	if b.Count() != len(idx)-len(sub) {
+		t.Fatalf("post-clear Count = %d, want %d", b.Count(), len(idx)-len(sub))
+	}
+	b.ClearMany(idx) // clearing already-clear bits is a no-op
+	if b.Any() {
+		t.Fatal("bits survived full ClearMany")
+	}
+}
+
+func TestSetManyEmpty(t *testing.T) {
+	b := New(64)
+	b.SetMany(nil)
+	b.ClearMany(nil)
+	if b.Any() {
+		t.Fatal("empty batch mutated the set")
+	}
+}

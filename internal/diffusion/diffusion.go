@@ -38,12 +38,26 @@ type Probe interface {
 // visited bitmap and a BFS queue, reused across millions of samples.
 // Each worker owns one Sampler; none of its methods are safe for
 // concurrent use.
+//
+// The traversals are written emit-style (SampleEmit): each discovered
+// member is handed to a visitor callback instead of being appended to a
+// materialized slice. This is the visitor seam of the fused generation
+// kernel — consumers fold arena writes, counter increments, and index
+// updates into the traversal itself. Sample/SampleUniformRoot remain as
+// materializing wrappers over the same cores, so both paths consume RNG
+// draws identically and produce byte-identical sets.
 type Sampler struct {
 	G     *graph.Graph
 	Probe Probe
 
 	visited *bitset.Bitset
 	queue   []int32
+
+	// out and appendOut implement the materializing wrapper: appendOut is
+	// built once per sampler so Sample adds no per-call closure
+	// allocation.
+	out       []int32
+	appendOut func(v int32)
 
 	// EdgesVisited counts in-edges examined, the sampling-phase work
 	// metric used by the modeled runtime.
@@ -52,17 +66,25 @@ type Sampler struct {
 
 // NewSampler returns a sampler with scratch sized for g.
 func NewSampler(g *graph.Graph) *Sampler {
-	return &Sampler{G: g, visited: bitset.New(int(g.N)), queue: make([]int32, 0, 1024)}
+	s := &Sampler{G: g, visited: bitset.New(int(g.N)), queue: make([]int32, 0, 1024)}
+	s.appendOut = func(v int32) {
+		s.out = append(s.out, v)
+		if s.Probe != nil {
+			s.Probe.TouchOutput(int64(len(s.out) - 1))
+		}
+	}
+	return s
 }
 
 // Sample generates one RRR set rooted at root, appending the members to
 // out (BFS/walk discovery order, root first) and returning the extended
 // slice. The graph's model selects the traversal.
 func (s *Sampler) Sample(r *rng.Xoshiro256, root int32, out []int32) []int32 {
-	if s.G.Model() == graph.LT {
-		return s.sampleLT(r, root, out)
-	}
-	return s.sampleIC(r, root, out)
+	s.out = out
+	s.SampleEmit(r, root, s.appendOut)
+	out = s.out
+	s.out = nil
+	return out
 }
 
 // SampleUniformRoot draws a uniform root and delegates to Sample.
@@ -70,18 +92,36 @@ func (s *Sampler) SampleUniformRoot(r *rng.Xoshiro256, out []int32) []int32 {
 	return s.Sample(r, int32(r.Uint32n(uint32(s.G.N))), out)
 }
 
-// sampleIC runs a probabilistic BFS over incoming edges: an in-neighbor
-// u of an activated vertex w joins with probability p(u,w), matching
-// Algorithm 3 of the paper (lines 1-13).
-func (s *Sampler) sampleIC(r *rng.Xoshiro256, root int32, out []int32) []int32 {
+// SampleEmit generates one RRR set rooted at root, calling emit(v) for
+// each member in discovery order (root first, each vertex exactly once).
+// RNG consumption is identical to Sample, so slot-indexed streams yield
+// byte-identical member sets on either path. emit must not re-enter the
+// sampler.
+func (s *Sampler) SampleEmit(r *rng.Xoshiro256, root int32, emit func(v int32)) {
+	if s.G.Model() == graph.LT {
+		s.sampleLTEmit(r, root, emit)
+	} else {
+		s.sampleICEmit(r, root, emit)
+	}
+}
+
+// SampleUniformRootEmit draws a uniform root (the same draw
+// SampleUniformRoot makes) and delegates to SampleEmit.
+func (s *Sampler) SampleUniformRootEmit(r *rng.Xoshiro256, emit func(v int32)) {
+	s.SampleEmit(r, int32(r.Uint32n(uint32(s.G.N))), emit)
+}
+
+// sampleICEmit runs a probabilistic BFS over incoming edges: an
+// in-neighbor u of an activated vertex w joins with probability p(u,w),
+// matching Algorithm 3 of the paper (lines 1-13). The queue doubles as
+// the visited list, cleared word-at-a-time on exit.
+func (s *Sampler) sampleICEmit(r *rng.Xoshiro256, root int32, emit func(v int32)) {
 	g := s.G
-	base := len(out)
-	out = append(out, root)
 	s.visited.Set(int(root))
 	if s.Probe != nil {
 		s.Probe.TouchVisited(int64(root) / 64)
-		s.Probe.TouchOutput(int64(len(out) - 1))
 	}
+	emit(root)
 	s.queue = append(s.queue[:0], root)
 	for qi := 0; qi < len(s.queue); qi++ {
 		w := s.queue[qi]
@@ -98,31 +138,27 @@ func (s *Sampler) sampleIC(r *rng.Xoshiro256, root int32, out []int32) []int32 {
 			}
 			if r.Float32() < g.InProb[k] {
 				s.visited.Set(int(u))
-				out = append(out, u)
+				emit(u)
 				s.queue = append(s.queue, u)
-				if s.Probe != nil {
-					s.Probe.TouchOutput(int64(len(out) - 1))
-				}
 			}
 		}
 	}
-	s.visited.ClearList(out[base:])
-	return out
+	s.visited.ClearMany(s.queue)
 }
 
-// sampleLT runs the reverse live-edge walk: each vertex picks at most
-// one incoming edge (probability proportional to its LT weight, none
-// with the residual probability), and the walk follows picks until it
-// stalls or revisits.
-func (s *Sampler) sampleLT(r *rng.Xoshiro256, root int32, out []int32) []int32 {
+// sampleLTEmit runs the reverse live-edge walk: each vertex picks at
+// most one incoming edge (probability proportional to its LT weight,
+// none with the residual probability), and the walk follows picks until
+// it stalls or revisits. The queue records the path for visited
+// clearing.
+func (s *Sampler) sampleLTEmit(r *rng.Xoshiro256, root int32, emit func(v int32)) {
 	g := s.G
-	base := len(out)
-	out = append(out, root)
 	s.visited.Set(int(root))
 	if s.Probe != nil {
 		s.Probe.TouchVisited(int64(root) / 64)
-		s.Probe.TouchOutput(int64(len(out) - 1))
 	}
+	emit(root)
+	s.queue = append(s.queue[:0], root)
 	w := root
 	for {
 		lo, hi := g.InIndex[w], g.InIndex[w+1]
@@ -150,14 +186,11 @@ func (s *Sampler) sampleLT(r *rng.Xoshiro256, root int32, out []int32) []int32 {
 			break
 		}
 		s.visited.Set(int(u))
-		out = append(out, u)
-		if s.Probe != nil {
-			s.Probe.TouchOutput(int64(len(out) - 1))
-		}
+		emit(u)
+		s.queue = append(s.queue, u)
 		w = u
 	}
-	s.visited.ClearList(out[base:])
-	return out
+	s.visited.ClearMany(s.queue)
 }
 
 // CoverageStats reports RRR-set size statistics for Table I.

@@ -35,6 +35,10 @@ type engine struct {
 	// set is indexed exactly once across the θ-estimation rounds —
 	// the same incremental accounting as the shared-memory engine.
 	selector *imm.Selector
+	// arenas are the fused kernel's per-rank set storage (nil slots
+	// until a rank first generates). They live as long as the engine —
+	// and therefore as long as the gathered pool that aliases them.
+	arenas []*rrr.Arena
 
 	comm Comm
 	bd   imm.Breakdown
@@ -50,6 +54,7 @@ func newEngine(g *graph.Graph, opt Options) *engine {
 		policy:   imm.PolicyFromOptions(opt.Options),
 		base:     counter.New(g.N),
 		selector: imm.NewSelector(g.N),
+		arenas:   make([]*rrr.Arena, opt.Ranks),
 	}
 }
 
@@ -100,10 +105,21 @@ func (e *engine) Generate(target int64) {
 		hi := from + (r+1)*count/ranks
 		go func(r, lo, hi int64) {
 			out := e.pool[lo:hi] // disjoint per-rank slice
-			members, edges := imm.GenerateSlots(e.g, e.policy, e.opt.Seed, lo, out)
 			cnt := counter.New(e.g.N)
-			for _, s := range out {
-				s.ForEach(func(v int32) { cnt.Inc(v) })
+			var members, edges int64
+			if e.opt.Kernel == imm.KernelFused {
+				// Fused streaming kernel: each member lands in the rank's
+				// arena and increments the rank counter as it is emitted,
+				// replacing the post-pass over the finished sets.
+				if e.arenas[r] == nil {
+					e.arenas[r] = rrr.NewArena()
+				}
+				members, edges = imm.GenerateSlotsFused(e.g, e.policy, e.opt.Seed, lo, out, e.arenas[r], cnt)
+			} else {
+				members, edges = imm.GenerateSlots(e.g, e.policy, e.opt.Seed, lo, out)
+				for _, s := range out {
+					s.ForEach(func(v int32) { cnt.Inc(v) })
+				}
 			}
 			ch <- rankRound{rank: int(r), lo: lo, hi: hi, counts: cnt, members: members, edges: edges}
 		}(r, lo, hi)

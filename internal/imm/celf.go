@@ -112,9 +112,9 @@ func (p *shardedPool) selectCELFLimited(base *counter.Counter, workers, k int, l
 				var g int64
 				for s := range p.shards {
 					if full {
-						g += int64(len(p.shards[s].post[v]))
+						g += int64(len(p.shards[s].postings(int32(v))))
 					} else {
-						g += int64(postPrefix(p.shards[s].post[v], localLim[s]))
+						g += int64(postPrefix(p.shards[s].postings(int32(v)), localLim[s]))
 					}
 				}
 				gains[v] = g
@@ -187,7 +187,7 @@ func (p *shardedPool) selectCELFLimited(base *counter.Counter, workers, k int, l
 				for s := s0; s < s1; s++ {
 					sh := &p.shards[s]
 					var g, walked int64
-					for _, j := range sh.post[v] {
+					for _, j := range sh.postings(v) {
 						if j >= localLim[s] {
 							break // beyond the view's horizon
 						}
@@ -220,7 +220,7 @@ func (p *shardedPool) selectCELFLimited(base *counter.Counter, workers, k int, l
 			for s := s0; s < s1; s++ {
 				sh := &p.shards[s]
 				var newly, walked int64
-				for _, j := range sh.post[chosen] {
+				for _, j := range sh.postings(chosen) {
 					if j >= localLim[s] {
 						break
 					}
@@ -257,6 +257,12 @@ func NewSelector(n int32) *Selector { return &Selector{p: newShardedPool(n)} }
 
 // Extend appends sets to the selector's pool. Sets already absorbed
 // must not be passed again; callers feed each θ round's new slice.
+//
+// The sets are retained by reference, not copied: arena-backed sets
+// (rrr.Policy.BuildArena) must come from an arena that outlives the
+// selector. A caller that resets or reuses its arena between rounds must
+// pass rrr.ListSet.Detach()ed copies instead — see the ownership
+// contract on rrr.ListSet.Raw.
 func (s *Selector) Extend(sets []rrr.Set, workers int) {
 	from := s.p.count
 	s.p.grow(from + int64(len(sets)))

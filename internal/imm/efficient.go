@@ -39,6 +39,9 @@ type efficientEngine struct {
 	// baseMembers tracks how many members base has absorbed, to detect
 	// staleness when fusion is off.
 	baseFresh bool
+	// gen holds the fused kernel's per-worker samplers, arenas, and emit
+	// callbacks (fused.go), persistent across Generate calls.
+	gen []*genWorker
 }
 
 // PolicyFromOptions derives the RRR representation policy the Efficient
@@ -79,6 +82,10 @@ func (e *efficientEngine) PoolFootprint() PoolFootprint { return e.p.footprint()
 func (e *efficientEngine) Generate(target int64) {
 	from, to := e.p.grow(target)
 	if from == to {
+		return
+	}
+	if e.opt.Kernel == KernelFused {
+		e.generateFused(from, to)
 		return
 	}
 	start := time.Now()

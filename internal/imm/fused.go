@@ -1,0 +1,248 @@
+package imm
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/counter"
+	"repro/internal/diffusion"
+	"repro/internal/graph"
+	"repro/internal/numa"
+	"repro/internal/rng"
+	"repro/internal/rrr"
+	"repro/internal/sched"
+)
+
+// The fused streaming generation kernel (KernelFused, the default).
+//
+// The materialized kernel is a produce-then-scan pipeline: diffusion
+// traverses into a scratch buffer, rrr copies the buffer into a fresh
+// per-set allocation, the pool stores it, and the fusion counter and the
+// inverted index each re-walk what was just written. The fused kernel
+// collapses those passes around diffusion's visitor seam
+// (Sampler.SampleEmit):
+//
+//   - Stage A (sampling): each worker owns a genWorker — a reusable
+//     sampler, an rrr.Arena, and an emit callback built once. The
+//     traversal emits every member straight into the worker's buffer and
+//     (when fusion is on) increments the global occurrence counter in
+//     the same step; the finished set is then carved out of the worker's
+//     arena (Policy.BuildArena), eliminating the per-set vertex copy and
+//     header allocations. Scheduling (work stealing or static) and slot
+//     RNG streams are identical to the materialized kernel, so pool
+//     contents are byte-identical.
+//
+//   - Stage B (index merge): while the new sets are still hot, each pool
+//     shard's CSR inverted index absorbs them on the shard's pinned
+//     owner worker (numa.Topology.PinShards — single writer per shard,
+//     owners spread across NUMA nodes to match the pool's interleaved
+//     placement). Afterwards ensureIndexed is a no-op; selection starts
+//     on a current index. Scan-mode selection never reads the index, so
+//     the stage is skipped and IndexBytes stays zero, like the lazy
+//     materialized path.
+//
+// Arenas live exactly as long as the engine (and therefore the pool), so
+// arena-backed sets never outlive their storage; see rrr.Arena and the
+// ListSet.Raw ownership contract for the aliasing rules.
+
+// genWorker is one worker's persistent fused-kernel state.
+type genWorker struct {
+	smp   *diffusion.Sampler
+	arena *rrr.Arena
+	buf   []int32
+	emit  func(v int32)  // built once; appends to buf (+ counter when fused)
+	rng   rng.Xoshiro256 // re-seeded per slot (SeedStream) instead of allocated
+}
+
+// ensureGenWorkers grows the engine's per-worker kernel state to cover
+// workers. Worker state persists across Generate calls, so warm
+// θ-extension rounds re-enter the kernel without re-allocating samplers
+// or arenas.
+func (e *efficientEngine) ensureGenWorkers(workers int) {
+	for len(e.gen) < workers {
+		gw := &genWorker{smp: diffusion.NewSampler(e.g), arena: rrr.NewArena()}
+		if e.opt.Fusion {
+			gw.emit = func(v int32) {
+				gw.buf = append(gw.buf, v)
+				e.base.Inc(v)
+			}
+		} else {
+			gw.emit = func(v int32) { gw.buf = append(gw.buf, v) }
+		}
+		e.gen = append(e.gen, gw)
+	}
+}
+
+// fusedRange samples slots [s0, e0) on worker w through the visitor
+// seam and returns the job's critical-path cost (edge visits plus build
+// work), matching generateDynamic's per-job accounting.
+func (e *efficientEngine) fusedRange(w int, s0, e0 int64, members []int64) int64 {
+	gw := e.gen[w]
+	smp := gw.smp
+	edgesBefore := smp.EdgesVisited
+	var jobMembers int64
+	for i := s0; i < e0; i++ {
+		gw.rng.SeedStream(e.opt.Seed, int(i))
+		gw.buf = gw.buf[:0]
+		smp.SampleUniformRootEmit(&gw.rng, gw.emit)
+		e.p.put(i, e.policy.BuildArena(e.p.n, gw.buf, gw.arena))
+		jobMembers += int64(len(gw.buf))
+	}
+	members[w] += jobMembers
+	return (smp.EdgesVisited - edgesBefore) + 3*jobMembers
+}
+
+// generateFused fills pool slots [from, to) with the fused kernel. The
+// modeled cost mirrors the materialized kernel's formulas exactly
+// (greedy critical-path bound under dynamic balancing, slowest chunk
+// under static), plus the Stage-B index-merge critical path that the
+// materialized kernel would otherwise charge lazily via ensureIndexed.
+func (e *efficientEngine) generateFused(from, to int64) {
+	start := time.Now()
+	workers := e.opt.Workers
+	e.ensureGenWorkers(workers)
+	e.baseFresh = e.opt.Fusion
+
+	members := make([]int64, workers)
+	edgeStart := make([]int64, workers)
+	for w := 0; w < workers; w++ {
+		edgeStart[w] = e.gen[w].smp.EdgesVisited
+	}
+
+	totalSets := to - from
+	var maxJob int64
+	dynamic := e.opt.DynamicBalance
+	if dynamic {
+		// Same job sizing as the materialized kernel: at least ~8 jobs
+		// per worker so stealing can balance, capped at the configured
+		// batch for locality.
+		batch := e.opt.BatchSize
+		if fair := int(totalSets / int64(8*workers)); fair < batch {
+			batch = fair
+		}
+		if batch < 1 {
+			batch = 1
+		}
+		b := int64(batch)
+		jobs := (totalSets + b - 1) / b
+		jobMax := make([]int64, workers)
+		sched.WorkStealing(workers, jobs, func(w int, job int64) {
+			s0 := from + job*b
+			e0 := s0 + b
+			if e0 > to {
+				e0 = to
+			}
+			if cost := e.fusedRange(w, s0, e0, members); cost > jobMax[w] {
+				jobMax[w] = cost
+			}
+		})
+		maxJob = maxOf(jobMax)
+	} else {
+		sched.Static(workers, int(totalSets), func(w, s0, e0 int) {
+			e.fusedRange(w, from+int64(s0), from+int64(e0), members)
+		})
+	}
+	e.p.addMembers(members)
+
+	// Stage B. Skipped for scan-mode selection, which never walks the
+	// index (and whose footprint reporting pins IndexBytes at zero).
+	var indexCritical int64
+	if e.opt.Selection == SelectCELF {
+		indexCritical = e.p.indexNewSets(workers)
+	}
+	e.bd.SamplingWall += time.Since(start)
+
+	edges := make([]int64, workers)
+	fusionCounts := make([]int64, workers)
+	for w := 0; w < workers; w++ {
+		edges[w] = e.gen[w].smp.EdgesVisited - edgeStart[w]
+		if e.opt.Fusion {
+			fusionCounts[w] = members[w]
+		}
+	}
+	sortCost := func(memberCount, setCount int64) int64 {
+		return ModeledSortCost(e.policy, e.p.n, memberCount, setCount)
+	}
+	if dynamic {
+		total := sumOf(edges) + sortCost(sumOf(members), totalSets) + 2*sumOf(fusionCounts)
+		e.bd.SamplingModeled += float64(total)/float64(workers) + float64(maxJob)
+	} else {
+		setsPer := maxI64(1, totalSets/int64(workers))
+		perWorker := make([]int64, workers)
+		for w := range perWorker {
+			perWorker[w] = edges[w] + sortCost(members[w], setsPer) + 2*fusionCounts[w]
+		}
+		e.bd.SamplingModeled += float64(maxOf(perWorker))
+	}
+	e.bd.SamplingModeled += float64(indexCritical)
+}
+
+// arenaSlackBytes is the generation arenas' unused capacity — the fused
+// kernel's contribution to a warm engine's memory overhead beyond what
+// the resident sets account for.
+func (e *efficientEngine) arenaSlackBytes() int64 {
+	var b int64
+	for _, gw := range e.gen {
+		b += gw.arena.SlackBytes()
+	}
+	return b
+}
+
+// indexNewSets merges every shard's un-absorbed sets into its CSR
+// inverted index, each shard on its pinned owner worker (single writer
+// per shard), and returns the critical path — the costliest owner's
+// decode-and-append work (2 ops per member), the same charge
+// ensureIndexed bills per shard. Idempotent: a second call (including
+// ensureIndexed during selection) finds nothing new.
+func (p *shardedPool) indexNewSets(workers int) int64 {
+	pins := numa.PerlmutterLike().PinShards(poolShards, workers)
+	ops := make([]int64, len(pins))
+	var wg sync.WaitGroup
+	for w := range pins {
+		if len(pins[w]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var o int64
+			for _, s := range pins[w] {
+				o += 2 * p.shards[s].extend(p.n)
+			}
+			ops[w] = o
+		}(w)
+	}
+	wg.Wait()
+	return maxOf(ops)
+}
+
+// GenerateSlotsFused is GenerateSlots' streaming variant, the per-rank
+// half of the fused kernel for distributed front-ends: each member is
+// emitted through the visitor seam into arena storage and incremented
+// into cnt as it is produced, replacing the rank's post-pass over the
+// finished sets. Set contents are byte-identical to GenerateSlots (slot
+// indexed RNG streams), so gathered rank outputs still match a
+// shared-memory pool. The arena must outlive the returned sets; cnt may
+// be nil to skip counting.
+func GenerateSlotsFused(g *graph.Graph, policy rrr.Policy, seed uint64, lo int64, out []rrr.Set, arena *rrr.Arena, cnt *counter.Counter) (members, edges int64) {
+	smp := diffusion.NewSampler(g)
+	var buf []int32
+	var emit func(v int32)
+	if cnt != nil {
+		emit = func(v int32) {
+			buf = append(buf, v)
+			cnt.Inc(v)
+		}
+	} else {
+		emit = func(v int32) { buf = append(buf, v) }
+	}
+	var r rng.Xoshiro256
+	for i := range out {
+		r.SeedStream(seed, int(lo+int64(i)))
+		buf = buf[:0]
+		smp.SampleUniformRootEmit(&r, emit)
+		out[i] = policy.BuildArena(g.N, buf, arena)
+		members += int64(len(buf))
+	}
+	return members, smp.EdgesVisited
+}

@@ -56,29 +56,88 @@ func (f PoolFootprint) CompressionRatio() float64 {
 type poolShard struct {
 	sets []rrr.Set
 
-	// Inverted index over sets[:indexed]: post[v] lists the local entry
-	// ids whose set contains v, in ascending order. Once built,
-	// selection works entirely on postings and never touches (or, for
-	// compressed sets, decodes) a set representation again.
-	post    [][]int32
-	covered *bitset.Bitset // selection scratch over entries, reset per call
-	indexed int
+	// Inverted index over sets[:indexed] in CSR layout: the local entry
+	// ids whose set contains v are postData[postIdx[v]:postIdx[v+1]], in
+	// ascending order. One flat payload array per shard replaces the
+	// per-vertex posting slices the pool used to keep, so index growth
+	// costs two allocations per shard per extension instead of one per
+	// touched vertex, and posting walks stream a contiguous array. Once
+	// built, selection works entirely on postings and never touches (or,
+	// for compressed sets, decodes) a set representation again.
+	postIdx  []int32 // len n+1 once built
+	postData []int32
+	covered  *bitset.Bitset // selection scratch over entries, reset per call
+	indexed  int
 
 	postCount int64 // total postings (one per member)
 }
 
+// postings returns the local entry ids of sets[:indexed] containing v,
+// ascending. Nil until the index is first built.
+func (s *poolShard) postings(v int32) []int32 {
+	if s.postIdx == nil {
+		return nil
+	}
+	return s.postData[s.postIdx[v]:s.postIdx[v+1]]
+}
+
 // extend indexes entries [indexed, len(sets)) and returns the member
 // count absorbed — the modeled work of the pass (a decode step and a
-// posting append per member).
+// posting append per member). The new postings are merged into the CSR
+// layout by counting sort: one pass counts per-vertex additions, a
+// prefix sum over old+new segment lengths sizes the merged payload, and
+// a copy pass fills it using the offset array as write cursors (shifted
+// back into place afterwards). Entry ids stay ascending within each
+// vertex segment because old postings precede new ones and new entries
+// are absorbed in ascending local id order — the invariant the
+// truncated-view binary search (postPrefix) relies on.
 func (s *poolShard) extend(n int32) (members int64) {
-	if s.post == nil {
-		s.post = make([][]int32, n)
+	if s.indexed == len(s.sets) {
+		if s.covered == nil {
+			s.covered = bitset.New(s.indexed)
+		}
+		return 0
 	}
+	nn := int(n)
+	off := make([]int32, nn+1)
+	count := func(v int32) { off[v+1]++ } // hoisted: one closure per pass, not per set
 	for j := s.indexed; j < len(s.sets); j++ {
 		set := s.sets[j]
-		set.ForEach(func(v int32) { s.post[v] = append(s.post[v], int32(j)) })
+		set.ForEach(count)
 		members += int64(set.Size())
 	}
+	// Turn counts into merged segment starts: off[v+1] becomes
+	// start(v+1) = start(v) + oldLen(v) + newCount(v).
+	if s.postIdx == nil {
+		for v := 0; v < nn; v++ {
+			off[v+1] += off[v]
+		}
+	} else {
+		for v := 0; v < nn; v++ {
+			off[v+1] += off[v] + (s.postIdx[v+1] - s.postIdx[v])
+		}
+	}
+	data := make([]int32, off[nn])
+	// Fill, advancing off[v] as the segment-v write cursor: old postings
+	// first, then the new entries in ascending id order.
+	if s.postIdx != nil {
+		for v := 0; v < nn; v++ {
+			seg := s.postData[s.postIdx[v]:s.postIdx[v+1]]
+			copy(data[off[v]:], seg)
+			off[v] += int32(len(seg))
+		}
+	}
+	var jj int32
+	fill := func(v int32) { data[off[v]] = jj; off[v]++ }
+	for j := s.indexed; j < len(s.sets); j++ {
+		jj = int32(j)
+		s.sets[j].ForEach(fill)
+	}
+	// Each cursor now sits at its segment's end == the next segment's
+	// start; shift right to recover the CSR index in place.
+	copy(off[1:], off[:nn])
+	off[0] = 0
+	s.postIdx, s.postData = off, data
 	s.postCount += members
 	s.indexed = len(s.sets)
 	if s.covered == nil {
@@ -245,9 +304,10 @@ func (p *shardedPool) bytesUpTo(limit int64) int64 {
 func (p *shardedPool) footprint() PoolFootprint {
 	f := PoolFootprint{SetBytes: p.bytesUpTo(p.count)}
 	for s := range p.shards {
-		// Postings payload: 4 bytes per member, the CSR-equivalent cost
-		// of the inverted view (per-vertex bucket headers are an
-		// implementation detail a CSR layout would amortize away).
+		// Postings payload: 4 bytes per member. The index really is CSR
+		// now (postIdx/postData); the n+1 offset array is a fixed
+		// per-shard overhead excluded here so the figure stays
+		// comparable across pool sizes.
 		f.IndexBytes += 4 * p.shards[s].postCount
 	}
 	f.RawBytes = 4 * p.totalMembers

@@ -132,11 +132,13 @@ func (w *WarmEngine) PhysicalFootprint() PoolFootprint { return w.inner.p.footpr
 
 // OverheadBytes reports the engine-resident memory outside the pool
 // representation itself: the fused occurrence counter (8 bytes per
-// vertex) and the per-shard coverage scratch (one bit per set). The
+// vertex), the per-shard coverage scratch (one bit per set), and the
+// fused kernel's generation-arena slack (capacity not covered by live
+// sets — live arena bytes are already counted as set bytes). The
 // serving layer adds it to the pool footprint so its byte budget bounds
 // what a warm engine actually keeps resident.
 func (w *WarmEngine) OverheadBytes() int64 {
-	return 8*int64(w.g.N) + w.inner.p.len()/8
+	return 8*int64(w.g.N) + w.inner.p.len()/8 + w.inner.arenaSlackBytes()
 }
 
 // FootprintUpTo reports the resident bytes of the first n sets — the

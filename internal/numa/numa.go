@@ -78,6 +78,64 @@ func (t Topology) SocketOfNode(node int) int {
 	return node / (t.Nodes / t.Sockets)
 }
 
+// CoreOfWorker maps worker w of a p-worker pool to the core it is pinned
+// to under a scatter placement (srun --cpu-bind=cores with spread
+// binding, the paper's launch configuration): workers are spaced evenly
+// across the machine's cores, so up to Nodes workers land on distinct
+// NUMA nodes before any node hosts two. With p >= TotalCores the
+// mapping wraps round-robin.
+func (t Topology) CoreOfWorker(workers, w int) int {
+	total := t.TotalCores()
+	if workers < 1 {
+		workers = 1
+	}
+	if workers >= total {
+		return w % total
+	}
+	return (w % workers) * total / workers
+}
+
+// PinShards assigns pool shards to owning workers, the placement the
+// fused generation kernel uses for its index-merge stage: each shard has
+// exactly one owner (single-writer, so per-shard structures need no
+// locking), shards are interleaved across NUMA nodes round-robin —
+// matching the pool's Interleave page placement, so shard s's postings
+// live on node s mod Nodes — and each shard's owner is the least-loaded
+// worker pinned (per CoreOfWorker) to that node. When no worker sits on
+// the shard's node (few workers), the globally least-loaded worker owns
+// it. Deterministic: ties break toward the lowest worker id. Returns
+// one shard list per worker.
+func (t Topology) PinShards(shards, workers int) [][]int {
+	if workers < 1 {
+		workers = 1
+	}
+	own := make([][]int, workers)
+	node := make([]int, workers)
+	for w := range node {
+		node[w] = t.NodeOfCore(t.CoreOfWorker(workers, w))
+	}
+	load := make([]int, workers)
+	for s := 0; s < shards; s++ {
+		target := s % t.Nodes
+		best := -1
+		for w := 0; w < workers; w++ {
+			if node[w] == target && (best < 0 || load[w] < load[best]) {
+				best = w
+			}
+		}
+		if best < 0 {
+			for w := 0; w < workers; w++ {
+				if best < 0 || load[w] < load[best] {
+					best = w
+				}
+			}
+		}
+		own[best] = append(own[best], s)
+		load[best]++
+	}
+	return own
+}
+
 // Policy chooses the owning node of each page of a region.
 type Policy int
 

@@ -239,3 +239,73 @@ func TestInterleaveReducesImbalanceVsNodeZero(t *testing.T) {
 		t.Fatalf("interleave imbalance %v not better than node-zero %v", inter, zero)
 	}
 }
+
+func TestCoreOfWorkerScatter(t *testing.T) {
+	topo := PerlmutterLike()
+	total := topo.Nodes * topo.CoresPerNode
+	// Full occupancy is the identity; fewer workers scatter across the
+	// core range instead of packing one node.
+	if c := topo.CoreOfWorker(total, 5); c != 5 {
+		t.Fatalf("full occupancy core = %d, want 5", c)
+	}
+	seen := map[int]bool{}
+	for w := 0; w < 8; w++ {
+		c := topo.CoreOfWorker(8, w)
+		if c < 0 || c >= total {
+			t.Fatalf("worker %d core %d out of range", w, c)
+		}
+		seen[topo.NodeOfCore(c)] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("8 workers landed on %d node(s); scatter expected", len(seen))
+	}
+}
+
+func TestPinShardsCoversAndBalances(t *testing.T) {
+	topo := PerlmutterLike()
+	for _, workers := range []int{1, 2, 4, 8, 16, 128} {
+		pins := topo.PinShards(16, workers)
+		if len(pins) != workers {
+			t.Fatalf("w=%d: %d owner slots", workers, len(pins))
+		}
+		seen := make([]bool, 16)
+		maxLoad, minLoad := 0, 16+1
+		for _, shards := range pins {
+			if len(shards) > maxLoad {
+				maxLoad = len(shards)
+			}
+			if len(shards) < minLoad {
+				minLoad = len(shards)
+			}
+			for _, s := range shards {
+				if s < 0 || s >= 16 || seen[s] {
+					t.Fatalf("w=%d: shard %d missing or doubly owned", workers, s)
+				}
+				seen[s] = true
+			}
+		}
+		for s, ok := range seen {
+			if !ok {
+				t.Fatalf("w=%d: shard %d unowned", workers, s)
+			}
+		}
+		if workers <= 16 && maxLoad-minLoad > 1 {
+			t.Fatalf("w=%d: shard load spread %d..%d", workers, minLoad, maxLoad)
+		}
+	}
+}
+
+func TestPinShardsDeterministic(t *testing.T) {
+	topo := PerlmutterLike()
+	a, b := topo.PinShards(16, 6), topo.PinShards(16, 6)
+	for w := range a {
+		if len(a[w]) != len(b[w]) {
+			t.Fatal("pinning not deterministic")
+		}
+		for i := range a[w] {
+			if a[w][i] != b[w][i] {
+				t.Fatal("pinning not deterministic")
+			}
+		}
+	}
+}

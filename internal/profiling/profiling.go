@@ -1,0 +1,89 @@
+// Package profiling wires the standard runtime/pprof and runtime/trace
+// collectors behind the conventional -cpuprofile / -memprofile / -trace
+// CLI flags, so every command in the repo exposes profiling with the
+// same three lines and identical flag semantics as `go test`.
+package profiling
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Flags holds the collector destinations a command registered.
+type Flags struct {
+	CPUProfile string
+	MemProfile string
+	Trace      string
+}
+
+// Register declares -cpuprofile, -memprofile and -trace on fs (the
+// command's flag set, typically flag.CommandLine) and returns the
+// destination holder to Start after fs is parsed.
+func Register(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to this file at exit")
+	fs.StringVar(&f.Trace, "trace", "", "write a runtime execution trace to this file")
+	return f
+}
+
+// Start begins every requested collector and returns the stop function
+// the caller must defer: it stops the CPU profile and trace and takes
+// the exit heap snapshot (after a GC, so the profile shows live bytes
+// rather than garbage). With no flags set it is a no-op returning a
+// no-op stop.
+func (f *Flags) Start() (stop func(), err error) {
+	var cpuFile, traceFile *os.File
+	cleanup := func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if traceFile != nil {
+			trace.Stop()
+			traceFile.Close()
+		}
+	}
+
+	if f.CPUProfile != "" {
+		if cpuFile, err = os.Create(f.CPUProfile); err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err = pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: start cpu profile: %w", err)
+		}
+	}
+	if f.Trace != "" {
+		if traceFile, err = os.Create(f.Trace); err != nil {
+			cleanup()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err = trace.Start(traceFile); err != nil {
+			traceFile.Close()
+			traceFile = nil
+			cleanup()
+			return nil, fmt.Errorf("profiling: start trace: %w", err)
+		}
+	}
+
+	return func() {
+		cleanup()
+		if f.MemProfile != "" {
+			mf, merr := os.Create(f.MemProfile)
+			if merr != nil {
+				fmt.Fprintln(os.Stderr, "profiling:", merr)
+				return
+			}
+			defer mf.Close()
+			runtime.GC()
+			if merr := pprof.WriteHeapProfile(mf); merr != nil {
+				fmt.Fprintln(os.Stderr, "profiling: write heap profile:", merr)
+			}
+		}
+	}, nil
+}

@@ -53,13 +53,21 @@ func New(seed uint64) *Xoshiro256 {
 // disjoint SplitMix64 sequences, so their outputs do not overlap in
 // practice.
 func NewStream(seed uint64, worker int) *Xoshiro256 {
-	sm := NewSplitMix64(seed ^ (0xa0761d6478bd642f * (uint64(worker) + 1)))
 	var x Xoshiro256
+	x.SeedStream(seed, worker)
+	return &x
+}
+
+// SeedStream re-initializes x in place to the exact state NewStream
+// (seed, worker) constructs. Hot paths that draw one short stream per
+// work item (the fused generation kernel seeds one per RRR slot) reuse
+// a single generator through this instead of allocating per item.
+func (x *Xoshiro256) SeedStream(seed uint64, worker int) {
+	sm := NewSplitMix64(seed ^ (0xa0761d6478bd642f * (uint64(worker) + 1)))
 	for i := range x.s {
 		x.s[i] = sm.Next()
 	}
 	x.ensureNonZero()
-	return &x
 }
 
 // Seed resets the generator state from seed.

@@ -17,6 +17,7 @@ package rrr
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/bitset"
@@ -82,7 +83,9 @@ func (s *ListSet) ForEach(fn func(v int32)) {
 	}
 }
 
-// Vertices appends the members to dst.
+// Vertices appends the members to dst. The appended elements are copies;
+// unlike Raw, the returned slice never aliases the set's backing
+// storage beyond dst's own capacity.
 func (s *ListSet) Vertices(dst []int32) []int32 { return append(dst, s.verts...) }
 
 // Bytes is 4 bytes per member.
@@ -93,7 +96,23 @@ func (s *ListSet) Kind() string { return "list" }
 
 // Raw exposes the sorted member slice for streaming kernels (the
 // set-partitioned counter update iterates it directly).
+//
+// Ownership contract: the returned slice aliases the set's backing
+// storage, which the set does not own exclusively — arena-built sets
+// (Arena.NewSortedList, Policy.BuildArena) share bump-allocated blocks
+// whose contents are overwritten when the arena is Reset. Callers may
+// read the slice only while the set itself is valid and must never
+// write to or retain it past the producing arena's lifetime; use
+// Detach (or Vertices) for a copy that survives arena reuse.
 func (s *ListSet) Raw() []int32 { return s.verts }
+
+// Detach returns a ListSet backed by freshly owned storage, breaking any
+// aliasing with arena blocks. Pools that retain sets beyond the
+// lifetime of the arena that produced them store Detach()ed copies;
+// sets already backed by private storage are simply deep-copied.
+func (s *ListSet) Detach() *ListSet {
+	return &ListSet{verts: append([]int32(nil), s.verts...)}
+}
 
 // BitmapSet is a dense bitmap over the vertex space with a cached
 // cardinality, EFFICIENTIMM's choice above the density threshold.
@@ -112,6 +131,16 @@ func NewBitmapSet(n int32, vertices []int32) *BitmapSet {
 		}
 	}
 	return &BitmapSet{bits: b, size: size}
+}
+
+// NewBitmapSetUnique builds a BitmapSet from a duplicate-free member
+// list, skipping NewBitmapSet's per-bit test-and-set: bits are OR-folded
+// word-at-a-time (bitset.SetMany). The generation paths use it because
+// sampler output is deduplicated by the visited bitmap by construction.
+func NewBitmapSetUnique(n int32, unique []int32) *BitmapSet {
+	b := bitset.New(int(n))
+	b.SetMany(unique)
+	return &BitmapSet{bits: b, size: len(unique)}
 }
 
 // Contains is a single bit probe.
@@ -250,13 +279,36 @@ func (p Policy) Build(n int32, sortedVerts []int32) Set {
 // can never disagree on the policy semantics.
 func (p Policy) BuildScratch(n int32, buf []int32) Set {
 	if p.Adaptive && n > 0 && float64(len(buf)) >= p.DensityThreshold*float64(n) {
-		return NewBitmapSet(n, buf) // needs no order
+		return NewBitmapSetUnique(n, buf) // needs no order
 	}
-	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	slices.Sort(buf)
 	if p.Compress {
 		return NewCompressedSorted(buf)
 	}
 	return newListSetSorted(append([]int32(nil), buf...))
+}
+
+// BuildArena is BuildScratch with arena-resident list storage: the fused
+// kernel's per-worker representation dispatch. List sets — the common
+// case — are copied into a's bump-allocated blocks with their headers
+// carved from the same arena, eliminating both per-set allocations.
+// Bitmap and compressed sets still build private storage (they are the
+// rare dense/compressed tail and their encoders own their buffers).
+// The buffer may be reordered in place but is never retained. A nil
+// arena degrades to BuildScratch. Representation choice is identical to
+// BuildScratch, so fused and materialized pools agree set-for-set.
+func (p Policy) BuildArena(n int32, buf []int32, a *Arena) Set {
+	if a == nil {
+		return p.BuildScratch(n, buf)
+	}
+	if p.Adaptive && n > 0 && float64(len(buf)) >= p.DensityThreshold*float64(n) {
+		return NewBitmapSetUnique(n, buf) // needs no order
+	}
+	slices.Sort(buf)
+	if p.Compress {
+		return NewCompressedSorted(buf)
+	}
+	return a.NewSortedList(buf)
 }
 
 // Stats summarizes a collection of sets, driving Table I (coverage) and
