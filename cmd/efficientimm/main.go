@@ -9,6 +9,9 @@
 //	efficientimm -graph edges.txt -ingest-workers 8 -save-snapshot g.imsnap
 //	efficientimm -graph g.imsnap              # reload in milliseconds
 //	efficientimm -dataset com-DBLP -ranks 4   # simulated distributed run
+//	efficientimm -graph g.imsnap -ranks 3 -peers root:0,h1:9401,h2:9402
+//	                                          # networked run against
+//	                                          # immserver -rank workers
 package main
 
 import (
@@ -40,6 +43,7 @@ func main() {
 		eps        = flag.Float64("eps", 0.5, "approximation parameter epsilon")
 		workers    = flag.Int("workers", runtime.NumCPU(), "parallel workers")
 		ranks      = flag.Int("ranks", 0, "simulated message-passing ranks (0 = shared-memory run)")
+		peers      = flag.String("peers", "", "comma-separated wire addresses for a networked distributed run: entry 0 names the root, entries 1..N-1 must host `immserver -rank` workers; requires -ranks to match the list length")
 		seed       = flag.Uint64("seed", 1, "RNG seed")
 		maxTheta   = flag.Int64("max-theta", 0, "cap on RRR sets (0 = per-theory)")
 		scale      = flag.Int("scale", 0, "clamp profile scale (log2 vertices, 0 = profile default)")
@@ -84,12 +88,14 @@ func main() {
 			fatalIf(ferr)
 		}
 	}
+	peerList := parsePeers(*peers)
 	fatalIf(validateFlags(cliFlags{
 		dataset:       *dataset,
 		graphFile:     *graphFile,
 		format:        fmtName,
 		saveSnap:      *saveSnap,
 		ranks:         *ranks,
+		peers:         peerList,
 		selectionScan: selection == efficientimm.SelectScan,
 		set:           setFlags,
 	}))
@@ -170,7 +176,16 @@ func main() {
 		dopt := efficientimm.DefaultDistOptions()
 		dopt.Options = opt
 		dopt.Ranks = *ranks
-		dres, derr := efficientimm.RunDistributed(g, dopt)
+		var dres *efficientimm.DistResult
+		var derr error
+		if len(peerList) > 0 {
+			cl, cerr := efficientimm.ConnectCluster(efficientimm.ClusterConfig{Rank: 0, Peers: peerList}, efficientimm.DefaultClusterOptions())
+			fatalIf(cerr)
+			dres, derr = efficientimm.RunClusterDistributed(g, dopt, cl)
+			cl.Close()
+		} else {
+			dres, derr = efficientimm.RunDistributed(g, dopt)
+		}
 		fatalIf(derr)
 		res, comm = &dres.Result, dres
 	} else {
@@ -227,6 +242,12 @@ func main() {
 		out["comm_messages"] = comm.Comm.Messages
 		out["comm_set_gather_bytes"] = comm.Comm.SetGather.BytesSent
 		out["comm_counter_reduce_bytes"] = comm.Comm.CounterReduce.BytesSent
+		// Measured bytes-on-the-wire: zero for simulated (-ranks only)
+		// runs, the framed-TCP transport totals for -peers runs.
+		out["comm_measured_bytes_sent"] = comm.Comm.MeasuredBytesSent
+		out["comm_measured_bytes_received"] = comm.Comm.MeasuredBytesReceived
+		out["comm_measured_messages"] = comm.Comm.MeasuredMessages
+		out["comm_failovers"] = comm.Comm.Failovers
 	}
 	if *spreadRuns > 0 {
 		out["estimated_spread"] = efficientimm.EstimateSpread(g, res.Seeds, *spreadRuns, *workers, *seed)

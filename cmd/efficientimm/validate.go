@@ -17,6 +17,7 @@ type cliFlags struct {
 	format    string // resolved: "edgelist" or "snapshot" (never "auto")
 	saveSnap  string
 	ranks     int
+	peers     []string
 	// selectionScan reports that -selection resolved to the scan kernel.
 	selectionScan bool
 
@@ -80,5 +81,26 @@ func validateFlags(v cliFlags) error {
 	if v.ranks > 0 && v.set["selection"] && v.selectionScan {
 		return fmt.Errorf("-selection scan is incompatible with -ranks: the distributed runtime selects through the CELF kernel only")
 	}
+	if v.set["peers"] {
+		if v.ranks == 0 {
+			return fmt.Errorf("-peers requires -ranks: the peer list describes a networked cluster, and -ranks names its size")
+		}
+		if len(v.peers) != v.ranks {
+			return fmt.Errorf("-peers lists %d addresses but -ranks is %d; entry 0 is this root process, entries 1..N-1 are immserver -rank workers", len(v.peers), v.ranks)
+		}
+	}
 	return nil
+}
+
+// parsePeers splits a comma-separated -peers value into trimmed,
+// non-empty wire addresses; ClusterConfig.Validate catches duplicates
+// and empties at connect time.
+func parsePeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }

@@ -25,6 +25,29 @@ func TestResolveFormat(t *testing.T) {
 	}
 }
 
+func TestParsePeers(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"root:0", []string{"root:0"}},
+		{"root:0, h1:9401 ,h2:9402", []string{"root:0", "h1:9401", "h2:9402"}},
+		{",root:0,,h1:9401,", []string{"root:0", "h1:9401"}},
+	}
+	for _, c := range cases {
+		got := parsePeers(c.in)
+		if len(got) != len(c.want) {
+			t.Fatalf("parsePeers(%q) = %v, want %v", c.in, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("parsePeers(%q) = %v, want %v", c.in, got, c.want)
+			}
+		}
+	}
+}
+
 func TestValidateFlags(t *testing.T) {
 	setOf := func(names ...string) map[string]bool {
 		m := make(map[string]bool)
@@ -111,6 +134,20 @@ func TestValidateFlags(t *testing.T) {
 			name:    "negative ranks",
 			v:       cliFlags{dataset: "web-Google", ranks: -1, set: setOf("dataset", "ranks")},
 			wantErr: ">= 0",
+		},
+		{
+			name:    "peers without ranks",
+			v:       cliFlags{dataset: "web-Google", peers: []string{"root:0", "h1:9401"}, set: setOf("dataset", "peers")},
+			wantErr: "-peers requires -ranks",
+		},
+		{
+			name:    "peers shorter than ranks",
+			v:       cliFlags{dataset: "web-Google", ranks: 3, peers: []string{"root:0", "h1:9401"}, set: setOf("dataset", "ranks", "peers")},
+			wantErr: "lists 2 addresses but -ranks is 3",
+		},
+		{
+			name: "peers matching ranks",
+			v:    cliFlags{dataset: "web-Google", ranks: 3, peers: []string{"root:0", "h1:9401", "h2:9402"}, set: setOf("dataset", "ranks", "peers")},
 		},
 	}
 	for _, c := range cases {

@@ -14,7 +14,18 @@
 //	immserver -load edges=graph.txt -model IC     # edge-list ingestion at startup
 //	immserver -load g.imsnap -query-workers 8 -queue-depth 512 -gather-window 5ms
 //
-// Endpoints:
+// Cluster usage — worker ranks serve generation rounds over the framed
+// TCP wire protocol (no HTTP, no -load; graphs arrive by broadcast),
+// the rank-0 root serves HTTP and sources warm-pool slot chunks from
+// the workers, falling back to local generation per chunk when a worker
+// is unreachable:
+//
+//	immserver -rank 1 -peers root:0,h1:9401,h2:9402      # worker, listens on h1:9401
+//	immserver -rank 2 -peers root:0,h1:9401,h2:9402      # worker, listens on h2:9402
+//	immserver -load g.imsnap -peers root:0,h1:9401,h2:9402   # root (rank 0)
+//
+// Endpoints (also available under the versioned /v1 prefix —
+// /v1/query, /v1/batch, /v1/jobs, /v1/graphs, /v1/stats, /v1/healthz):
 //
 //	GET  /healthz                                liveness + graph count
 //	GET  /graphs                                 registered graphs
@@ -25,9 +36,12 @@
 //	POST /jobs    {"graph":G,"k":K,...}          async query → job id (202)
 //	GET  /jobs/{id}                              job state + result when done
 //
-// Failures map to 404 (unknown graph/job), 400 (validation), 429 with
-// Retry-After (admission queue full), 503 (shutting down); 500 is
-// reserved for genuine engine failures.
+// Every error response carries the unified JSON envelope
+// {"error":{"code":"...","message":"..."}}: 404 (unknown_graph,
+// unknown_job, not_found), 400 (invalid_query), 405
+// (method_not_allowed), 429 with Retry-After (overloaded), 503
+// (shutting_down); 500 (internal) is reserved for genuine engine
+// failures.
 //
 // Served answers are byte-identical to `efficientimm -graph G.imsnap -k
 // K -eps E -seed S` with the same engine settings; the CI smoke job
@@ -67,6 +81,8 @@ func main() {
 		queueDepth   = flag.Int("queue-depth", 0, "max queries waiting for a worker before 429 (0 = default 256, negative = reject immediately)")
 		gatherWindow = flag.Duration("gather-window", 0, "how long a query waits to batch with concurrent queries on its pool (0 = default 2ms, negative = off)")
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "how long shutdown waits for in-flight and queued work")
+		rank         = flag.Int("rank", 0, "cluster rank: 0 serves HTTP as the root, >0 runs a wire-protocol generation worker (requires -peers)")
+		peers        = flag.String("peers", "", "comma-separated wire addresses of the cluster; entry 0 names the root, entry i is rank i's worker listen address")
 	)
 	flag.Func("load", "graph to register, as name=path or a bare path (repeatable); .imsnap loads the snapshot, anything else ingests an edge list", func(v string) error {
 		loads = append(loads, v)
@@ -74,9 +90,21 @@ func main() {
 	})
 	flag.Parse()
 
-	if len(loads) == 0 {
-		fatal(fmt.Errorf("at least one -load name=path.imsnap is required"))
+	setFlags := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
+	peerList := parsePeers(*peers)
+	fatalIf(validateClusterFlags(clusterFlags{
+		rank:  *rank,
+		peers: peerList,
+		loads: len(loads),
+		set:   setFlags,
+	}))
+
+	if *rank > 0 {
+		runWorker(*rank, peerList)
+		return
 	}
+
 	model, err := efficientimm.ParseModel(*modelName)
 	fatalIf(err)
 	pool, err := efficientimm.ParsePool(*poolName)
@@ -84,7 +112,7 @@ func main() {
 	selection, err := efficientimm.ParseSelection(*selName)
 	fatalIf(err)
 
-	srv := efficientimm.NewServer(efficientimm.ServeOptions{
+	opt := efficientimm.ServeOptions{
 		Workers:         *workers,
 		Pool:            pool,
 		Selection:       selection,
@@ -93,7 +121,18 @@ func main() {
 		QueryWorkers:    *queryWorkers,
 		QueueDepth:      *queueDepth,
 		GatherWindow:    *gatherWindow,
-	})
+	}
+	if len(peerList) > 0 {
+		cl, cerr := efficientimm.ConnectCluster(
+			efficientimm.ClusterConfig{Rank: 0, Peers: peerList},
+			efficientimm.DefaultClusterOptions())
+		fatalIf(cerr)
+		defer cl.Close()
+		opt = efficientimm.ClusterServeOptions(opt, cl)
+		fmt.Fprintf(os.Stderr, "immserver: root of a %d-rank cluster (%d wire workers)\n",
+			len(peerList), len(peerList)-1)
+	}
+	srv := efficientimm.NewServer(opt)
 	for _, spec := range loads {
 		name, path, found := strings.Cut(spec, "=")
 		if !found {
@@ -132,6 +171,31 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintln(os.Stderr, "immserver: drained and shut down")
+	}
+}
+
+// runWorker is the non-root rank's main loop: listen on this rank's
+// peer address and serve generation rounds until a signal arrives. The
+// worker holds no pools and answers no HTTP — its entire state is the
+// graph cache the root broadcasts.
+func runWorker(rank int, peers []string) {
+	rs, err := efficientimm.ListenRank(peers[rank], efficientimm.DefaultClusterOptions())
+	fatalIf(err)
+	fmt.Fprintf(os.Stderr, "immserver: rank %d worker listening on %s\n", rank, rs.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- rs.Serve() }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fatalIf(err)
+	case <-sig:
+		_ = rs.Close()
+		sent, recv, msgs := rs.MeterTotals()
+		fmt.Fprintf(os.Stderr, "immserver: rank %d worker shut down (%d B sent, %d B received, %d frames)\n",
+			rank, sent, recv, msgs)
 	}
 }
 

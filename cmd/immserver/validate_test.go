@@ -1,0 +1,110 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateClusterFlags(t *testing.T) {
+	setOf := func(names ...string) map[string]bool {
+		m := make(map[string]bool)
+		for _, n := range names {
+			m[n] = true
+		}
+		return m
+	}
+	peers3 := []string{"root:0", "h1:9401", "h2:9402"}
+	cases := []struct {
+		name    string
+		v       clusterFlags
+		wantErr string // substring; empty = valid
+	}{
+		{
+			name:    "no loads single node",
+			v:       clusterFlags{set: setOf()},
+			wantErr: "at least one -load",
+		},
+		{
+			name: "root single node",
+			v:    clusterFlags{loads: 1, set: setOf("load")},
+		},
+		{
+			name:    "rank without peers",
+			v:       clusterFlags{rank: 1, set: setOf("rank")},
+			wantErr: "-rank requires -peers",
+		},
+		{
+			name:    "rank out of range",
+			v:       clusterFlags{rank: 3, peers: peers3, set: setOf("rank", "peers")},
+			wantErr: "out of range",
+		},
+		{
+			name:    "negative rank",
+			v:       clusterFlags{rank: -1, peers: peers3, set: setOf("rank", "peers")},
+			wantErr: "out of range",
+		},
+		{
+			name:    "duplicate peers",
+			v:       clusterFlags{rank: 1, peers: []string{"root:0", "h1:9401", "h1:9401"}, set: setOf("rank", "peers")},
+			wantErr: "share address",
+		},
+		{
+			name: "worker clean",
+			v:    clusterFlags{rank: 2, peers: peers3, set: setOf("rank", "peers")},
+		},
+		{
+			name:    "worker with load",
+			v:       clusterFlags{rank: 1, peers: peers3, loads: 1, set: setOf("rank", "peers", "load")},
+			wantErr: "by broadcast from rank 0",
+		},
+		{
+			name:    "worker with listen",
+			v:       clusterFlags{rank: 1, peers: peers3, set: setOf("rank", "peers", "listen")},
+			wantErr: "-listen only applies to the root",
+		},
+		{
+			name:    "worker with query-workers",
+			v:       clusterFlags{rank: 1, peers: peers3, set: setOf("rank", "peers", "query-workers")},
+			wantErr: "-query-workers only applies to the root",
+		},
+		{
+			name: "root cluster mode",
+			v:    clusterFlags{rank: 0, peers: peers3, loads: 1, set: setOf("rank", "peers", "load", "listen")},
+		},
+		{
+			name:    "root cluster mode without loads",
+			v:       clusterFlags{rank: 0, peers: peers3, set: setOf("peers")},
+			wantErr: "at least one -load",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := validateClusterFlags(c.v)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error %v does not contain %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestParsePeers(t *testing.T) {
+	got := parsePeers(" root:0,h1:9401, ,h2:9402 ")
+	want := []string{"root:0", "h1:9401", "h2:9402"}
+	if len(got) != len(want) {
+		t.Fatalf("parsePeers = %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("parsePeers = %v, want %v", got, want)
+		}
+	}
+	if parsePeers("") != nil {
+		t.Fatal("parsePeers(\"\") should be nil")
+	}
+}

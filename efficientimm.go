@@ -273,6 +273,58 @@ func RunDistributedSnapshot(path string, opt DistOptions) (*DistResult, error) {
 	return dist.RunSnapshot(path, opt)
 }
 
+// DistComm is the per-phase communication bill of a distributed run:
+// modeled bytes/messages for every phase boundary, plus — on networked
+// runs — the measured bytes actually sent over TCP and the count of
+// locally-redone failover rounds.
+type DistComm = dist.Comm
+
+// ClusterConfig places one process in a networked cluster: Rank 0 is
+// the root (driver or query front-end), every other rank serves
+// generation rounds at its Peers address. It is the one validated
+// struct the CLIs, the facade, and the library share — call
+// ClusterConfig.Validate before use.
+type ClusterConfig = dist.ClusterConfig
+
+// ClusterOptions tunes the cluster transport (dial/frame timeouts,
+// reconnect backoff).
+type ClusterOptions = dist.ClusterOptions
+
+// Cluster is the root's side of a networked distributed run: one framed
+// TCP connection per worker rank, with a measured bytes-on-the-wire
+// meter and per-chunk local failover.
+type Cluster = dist.Cluster
+
+// RankWorker is a worker rank's server loop: it listens for graph
+// broadcasts and generation rounds from the root.
+type RankWorker = dist.RankServer
+
+// DefaultClusterOptions returns transport settings suited to LAN and
+// loopback clusters.
+func DefaultClusterOptions() ClusterOptions { return dist.DefaultClusterOptions() }
+
+// ConnectCluster dials and handshakes every worker rank from the root
+// (cfg.Rank must be 0). Close the cluster when done.
+func ConnectCluster(cfg ClusterConfig, opt ClusterOptions) (*Cluster, error) {
+	return dist.Connect(cfg, opt)
+}
+
+// ListenRank starts a worker rank's wire listener on addr (host:port,
+// or ":0" for an ephemeral port — read it back with RankWorker.Addr).
+// Call RankWorker.Serve to run the accept loop.
+func ListenRank(addr string, opt ClusterOptions) (*RankWorker, error) {
+	return dist.ListenRank(addr, opt)
+}
+
+// RunClusterDistributed is RunDistributed with the non-root ranks'
+// generation executed by the cluster's remote worker processes over
+// TCP. Seeds are byte-identical to Run and to RunDistributed; the
+// result's Comm additionally carries the measured wire bytes next to
+// the modeled figures.
+func RunClusterDistributed(g *Graph, opt DistOptions, cl *Cluster) (*DistResult, error) {
+	return dist.RunCluster(g, opt, cl)
+}
+
 // UseWeightedCascade replaces the graph's IC probabilities with the
 // classic weighted-cascade assignment p(u,v) = 1/indegree(v), the
 // standard benchmark setting when uniform probabilities would saturate

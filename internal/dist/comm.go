@@ -19,6 +19,21 @@ type Comm struct {
 	BytesReceived int64
 	Messages      int64
 
+	// Measured* are actual bytes-on-the-wire totals from the framed TCP
+	// transport (frame headers included), in contrast to the modeled
+	// figures above, which price the exchanges analytically. Zero for
+	// simulated (in-process) runs; populated by RunCluster and the
+	// cluster-backed serving path. The two columns land side by side in
+	// dist_comm_sweep.csv so the model can be checked against reality.
+	MeasuredBytesSent     int64
+	MeasuredBytesReceived int64
+	MeasuredMessages      int64
+	// Failovers counts remote generation rounds the root redid locally
+	// after a worker became unreachable — slot determinism makes the
+	// fallback byte-identical, so this is a health signal, not a
+	// correctness one.
+	Failovers int64
+
 	// ThetaExchange covers the θ-estimation control traffic: the root
 	// broadcasting each round's sample budget and the ranks allreducing
 	// their round totals (pool size, member count).

@@ -76,6 +76,58 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 	return &Result{Result: *res, Ranks: opt.Ranks, Comm: eng.comm}, nil
 }
 
+// RunCluster executes IMM with the non-root ranks' generation running on
+// real worker processes over the framed TCP transport: rank chunks go
+// out as Round requests, sets and counters come back and are merged at
+// the gather/allreduce boundaries the simulated engine already has, and
+// seed selections are broadcast back out. cl is the root's connected
+// Cluster; opt.Ranks, when zero, defaults to the cluster size and must
+// otherwise match it. Seeds are byte-identical to Run and to the
+// shared-memory imm.Run at the same Seed and MaxTheta — workers generate
+// from the same slot-indexed streams, and any unreachable worker's chunk
+// is regenerated locally (counted in Comm.Failovers).
+//
+// The returned Comm carries both accounts: the modeled figures (same as
+// a simulated run at this rank count) and the measured bytes-on-the-wire
+// this run actually moved, taken as the delta of cl's meter.
+func RunCluster(g *graph.Graph, opt Options, cl *Cluster) (*Result, error) {
+	if cl == nil {
+		return Run(g, opt)
+	}
+	if opt.Ranks == 0 {
+		opt.Ranks = cl.Ranks()
+	}
+	if opt.Ranks != cl.Ranks() {
+		return nil, fmt.Errorf("dist: Ranks=%d does not match the %d-rank cluster", opt.Ranks, cl.Ranks())
+	}
+	if g == nil || g.N == 0 {
+		return nil, fmt.Errorf("dist: empty graph")
+	}
+	opt.Engine = imm.Efficient
+	eng := newEngine(g, opt)
+	eng.cluster = cl
+	eng.hint = "run"
+
+	sentBefore, recvBefore, msgsBefore := cl.MeterTotals()
+	res, err := imm.RunEngine(g, opt.Options, eng)
+	if err != nil {
+		return nil, err
+	}
+	if ranks := int64(opt.Ranks); ranks > 1 {
+		// Model the graph broadcast at the snapshot wire size per non-root
+		// rank — the same convention as RunSnapshot — so the modeled and
+		// measured columns price the same set of exchanges.
+		if sg, serr := cl.share(g, eng.hint, opt.Seed); serr == nil {
+			eng.comm.record(&eng.comm.GraphBroadcast, ranks-1, (ranks-1)*int64(len(sg.snap)))
+		}
+	}
+	sent, recv, msgs := cl.MeterTotals()
+	eng.comm.MeasuredBytesSent = sent - sentBefore
+	eng.comm.MeasuredBytesReceived = recv - recvBefore
+	eng.comm.MeasuredMessages = msgs - msgsBefore
+	return &Result{Result: *res, Ranks: opt.Ranks, Comm: eng.comm}, nil
+}
+
 // RunSnapshot executes a distributed run whose input graph rank 0 loads
 // from a binary .imsnap snapshot (internal/ingest) and broadcasts to
 // the other ranks — the deployment shape of a real MPI job, where only

@@ -409,9 +409,12 @@ func min64(a, b int64) int64 {
 // ---------------------------------------------------------------------
 
 // DistPoint is one point of the distributed rank sweep: how much
-// communication the simulated MPI extension costs at a given rank count,
+// communication the MPI-style extension costs at a given rank count,
 // with the determinism check (seeds identical to the shared-memory run)
-// folded into the measurement.
+// folded into the measurement. The Bytes*/Messages figures are the
+// modeled account; Measured* are actual bytes-on-the-wire from running
+// the same rank count against real loopback TCP workers (zero at
+// ranks=1, where no wire exists).
 type DistPoint struct {
 	Dataset       string
 	Ranks         int
@@ -421,17 +424,23 @@ type DistPoint struct {
 	CounterRedB   int64
 	ThetaExchB    int64
 	SeedBcastB    int64
+	MeasuredSent  int64
+	MeasuredRecv  int64
+	MeasuredMsgs  int64
+	Failovers     int64
 	Theta         int64
 	SamplingMod   float64
 	SeedsMatch    bool // distributed seeds == shared-memory seeds
 	BytesPerTheta float64
 }
 
-// DistSweep runs the simulated distributed engine across rank counts on
-// every selected dataset, verifying bit-identical seeds against the
-// shared-memory run and recording the metered communication volume —
-// the comm-volume/scaling trajectory of the paper's future-work MPI
-// extension.
+// DistSweep runs the distributed engine across rank counts on every
+// selected dataset, verifying bit-identical seeds against the
+// shared-memory run and recording the communication volume — the
+// comm-volume/scaling trajectory of the paper's future-work MPI
+// extension. Rank counts above 1 run networked: the sweep boots
+// ranks-1 in-process wire workers on loopback TCP, so the modeled
+// column can be checked against measured bytes actually moved.
 func DistSweep(cfg Config, rankCounts []int) ([]DistPoint, error) {
 	if rankCounts == nil {
 		rankCounts = []int{1, 2, 4, 8}
@@ -449,7 +458,7 @@ func DistSweep(cfg Config, rankCounts []int) ([]DistPoint, error) {
 		}
 		for _, ranks := range rankCounts {
 			dopt := dist.Options{Options: opt, Ranks: ranks}
-			res, err := dist.Run(g, dopt)
+			res, err := distRunWired(g, dopt)
 			if err != nil {
 				return nil, fmt.Errorf("harness: %s ranks=%d: %w", p.Name, ranks, err)
 			}
@@ -469,6 +478,10 @@ func DistSweep(cfg Config, rankCounts []int) ([]DistPoint, error) {
 				CounterRedB:   res.Comm.CounterReduce.BytesSent,
 				ThetaExchB:    res.Comm.ThetaExchange.BytesSent,
 				SeedBcastB:    res.Comm.SeedBroadcast.BytesSent,
+				MeasuredSent:  res.Comm.MeasuredBytesSent,
+				MeasuredRecv:  res.Comm.MeasuredBytesReceived,
+				MeasuredMsgs:  res.Comm.MeasuredMessages,
+				Failovers:     res.Comm.Failovers,
 				Theta:         res.Theta,
 				SamplingMod:   res.Breakdown.SamplingModeled,
 				SeedsMatch:    match,
@@ -476,15 +489,49 @@ func DistSweep(cfg Config, rankCounts []int) ([]DistPoint, error) {
 			})
 		}
 	}
-	csv := [][]string{{"dataset", "ranks", "bytes_sent", "messages", "set_gather_bytes", "counter_reduce_bytes", "theta_exchange_bytes", "seed_bcast_bytes", "theta", "sampling_modeled", "seeds_match", "bytes_per_theta"}}
+	csv := [][]string{{"dataset", "ranks", "bytes_sent", "messages", "set_gather_bytes", "counter_reduce_bytes", "theta_exchange_bytes", "seed_bcast_bytes", "measured_bytes_sent", "measured_bytes_received", "measured_messages", "failovers", "theta", "sampling_modeled", "seeds_match", "bytes_per_theta"}}
 	for _, pt := range points {
 		csv = append(csv, []string{
 			pt.Dataset, itoa(pt.Ranks), i64(pt.BytesSent), i64(pt.Messages),
 			i64(pt.SetGatherB), i64(pt.CounterRedB), i64(pt.ThetaExchB), i64(pt.SeedBcastB),
+			i64(pt.MeasuredSent), i64(pt.MeasuredRecv), i64(pt.MeasuredMsgs), i64(pt.Failovers),
 			i64(pt.Theta), f2(pt.SamplingMod), fmt.Sprintf("%v", pt.SeedsMatch), f2(pt.BytesPerTheta),
 		})
 	}
 	return points, cfg.writeCSV("dist_comm_sweep.csv", csv)
+}
+
+// distRunWired executes one distributed run; rank counts above 1 go
+// over real loopback TCP (ranks-1 in-process workers, torn down after
+// the run) so the result carries measured bytes-on-the-wire next to the
+// modeled account. Seeds are byte-identical either way.
+func distRunWired(g *graph.Graph, dopt dist.Options) (*dist.Result, error) {
+	if dopt.Ranks <= 1 {
+		return dist.Run(g, dopt)
+	}
+	copt := dist.DefaultClusterOptions()
+	peers := []string{"harness-root.invalid:0"}
+	workers := make([]*dist.RankServer, 0, dopt.Ranks-1)
+	defer func() {
+		for _, rs := range workers {
+			rs.Close()
+		}
+	}()
+	for i := 1; i < dopt.Ranks; i++ {
+		rs, err := dist.ListenRank("127.0.0.1:0", copt)
+		if err != nil {
+			return nil, err
+		}
+		workers = append(workers, rs)
+		peers = append(peers, rs.Addr())
+		go rs.Serve()
+	}
+	cl, err := dist.Connect(dist.ClusterConfig{Rank: 0, Peers: peers}, copt)
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+	return dist.RunCluster(g, dopt, cl)
 }
 
 // ---------------------------------------------------------------------

@@ -267,6 +267,21 @@ func TestDistSweep(t *testing.T) {
 			t.Fatalf("ranks=%d: bytes %d not above previous %d", pt.Ranks, pt.BytesSent, prev)
 		}
 		prev = pt.BytesSent
+		// ranks>1 go over real loopback TCP: the measured column must be
+		// populated; at ranks=1 there is no wire, so it must be zero.
+		if pt.Ranks == 1 {
+			if pt.MeasuredSent != 0 || pt.MeasuredMsgs != 0 {
+				t.Fatalf("ranks=1: unexpected measured traffic (%d B, %d msgs)", pt.MeasuredSent, pt.MeasuredMsgs)
+			}
+		} else {
+			if pt.MeasuredSent == 0 || pt.MeasuredRecv == 0 || pt.MeasuredMsgs == 0 {
+				t.Fatalf("ranks=%d: measured wire traffic missing (%d/%d B, %d msgs)",
+					pt.Ranks, pt.MeasuredSent, pt.MeasuredRecv, pt.MeasuredMsgs)
+			}
+		}
+		if pt.Failovers != 0 {
+			t.Fatalf("ranks=%d: unexpected failovers: %d", pt.Ranks, pt.Failovers)
+		}
 	}
 	if _, err := os.Stat(filepath.Join(cfg.OutDir, "dist_comm_sweep.csv")); err != nil {
 		t.Fatalf("csv not written: %v", err)

@@ -42,6 +42,9 @@ type efficientEngine struct {
 	// gen holds the fused kernel's per-worker samplers, arenas, and emit
 	// callbacks (fused.go), persistent across Generate calls.
 	gen []*genWorker
+	// remote, when non-nil, sources pool extensions from a distributed
+	// slot generator (remote.go); local kernels are the fallback.
+	remote SlotGenerator
 }
 
 // PolicyFromOptions derives the RRR representation policy the Efficient
@@ -82,6 +85,9 @@ func (e *efficientEngine) PoolFootprint() PoolFootprint { return e.p.footprint()
 func (e *efficientEngine) Generate(target int64) {
 	from, to := e.p.grow(target)
 	if from == to {
+		return
+	}
+	if e.remote != nil && e.generateRemote(from, to) {
 		return
 	}
 	if e.opt.Kernel == KernelFused {

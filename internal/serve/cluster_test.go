@@ -1,0 +1,153 @@
+package serve
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/imm"
+)
+
+// startRankWorkers boots n loopback worker ranks and returns a connected
+// root Cluster over them (closed via t.Cleanup).
+func startRankWorkers(t *testing.T, n int) *dist.Cluster {
+	t.Helper()
+	opt := dist.ClusterOptions{
+		DialTimeout:  2 * time.Second,
+		FrameTimeout: 30 * time.Second,
+		DialRetries:  1,
+		Backoff:      10 * time.Millisecond,
+	}
+	peers := []string{"root.invalid:0"}
+	for i := 0; i < n; i++ {
+		rs, err := dist.ListenRank("127.0.0.1:0", opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		go rs.Serve()
+		t.Cleanup(func() { rs.Close() })
+		peers = append(peers, rs.Addr())
+	}
+	cl, err := dist.Connect(dist.ClusterConfig{Rank: 0, Peers: peers}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+// clusterServeOptions wires a cluster into serve options the way
+// immserver's cluster mode does.
+func clusterServeOptions(opt Options, cl *dist.Cluster) Options {
+	opt.RemoteGen = func(name string, g *graph.Graph, o imm.Options) imm.SlotGenerator {
+		return cl.PoolGenerator(name, g, imm.PolicyFromOptions(o), o.Seed)
+	}
+	opt.WireMeter = cl.MeterTotals
+	opt.RemoteFailovers = cl.Failovers
+	return opt
+}
+
+// TestClusterServeByteIdentical pins the serving-path half of the
+// networked contract: a server whose warm pools are filled by remote
+// worker ranks answers byte-identically to a purely local server and to
+// a cold imm.Run, while the wire meter proves the samples actually
+// travelled.
+func TestClusterServeByteIdentical(t *testing.T) {
+	g := testGraph(t, 8, graph.IC)
+	base := Options{Workers: 2, MaxTheta: 6000}
+	cl := startRankWorkers(t, 2)
+
+	local := testServer(t, base, map[string]*graph.Graph{"g": g})
+	remote := testServer(t, clusterServeOptions(base, cl), map[string]*graph.Graph{"g": g})
+
+	queries := []QueryRequest{
+		{Graph: "g", K: 10, Epsilon: 0.5, Seed: 1},
+		{Graph: "g", K: 10, Epsilon: 0.5, Seed: 1}, // warm repeat
+		{Graph: "g", K: 20, Epsilon: 0.4, Seed: 1}, // θ extension over the wire
+		{Graph: "g", K: 6, Epsilon: 0.5, Seed: 9},  // second pool
+	}
+	for i, req := range queries {
+		want, err := local.Query(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := remote.Query(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Seeds, want.Seeds) || got.Theta != want.Theta ||
+			got.Rounds != want.Rounds || got.Coverage != want.Coverage {
+			t.Fatalf("query %d: cluster answer diverged:\n got seeds=%v θ=%d rounds=%d cov=%v\nwant seeds=%v θ=%d rounds=%d cov=%v",
+				i, got.Seeds, got.Theta, got.Rounds, got.Coverage,
+				want.Seeds, want.Theta, want.Rounds, want.Coverage)
+		}
+		cold := coldRun(t, g, base, req)
+		if !reflect.DeepEqual(got.Seeds, cold.Seeds) || got.Theta != cold.Theta {
+			t.Fatalf("query %d: cluster answer diverged from cold run", i)
+		}
+	}
+
+	st := remote.Stats()
+	if st.WireBytesSent == 0 || st.WireBytesReceived == 0 || st.WireMessages == 0 {
+		t.Fatalf("expected measured wire traffic, got stats %+v", st)
+	}
+	if st.RemoteFailovers != 0 {
+		t.Fatalf("healthy workers should not fail over, got %d", st.RemoteFailovers)
+	}
+	if lst := local.Stats(); lst.WireBytesSent != 0 || lst.WireMessages != 0 {
+		t.Fatalf("local server should report zero wire traffic, got %+v", lst)
+	}
+}
+
+// TestClusterServeFailover pins that a server keeps answering — still
+// byte-identically — when its worker rank dies mid-service: the pool
+// generator regenerates lost chunks locally.
+func TestClusterServeFailover(t *testing.T) {
+	g := testGraph(t, 8, graph.IC)
+	base := Options{Workers: 2, MaxTheta: 6000}
+	opt := dist.ClusterOptions{
+		DialTimeout:  time.Second,
+		FrameTimeout: 30 * time.Second,
+		DialRetries:  0,
+		Backoff:      5 * time.Millisecond,
+	}
+	rs, err := dist.ListenRank("127.0.0.1:0", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go rs.Serve()
+	cl, err := dist.Connect(dist.ClusterConfig{Rank: 0, Peers: []string{"root.invalid:0", rs.Addr()}}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+
+	remote := testServer(t, clusterServeOptions(base, cl), map[string]*graph.Graph{"g": g})
+	req := QueryRequest{Graph: "g", K: 10, Epsilon: 0.5, Seed: 1}
+	if _, err := remote.Query(req); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Failovers() != 0 {
+		t.Fatalf("healthy worker should serve without failover, got %d", cl.Failovers())
+	}
+
+	// Kill the only worker, then force a fresh pool on a new seed so the
+	// generator must fan out — and fail over — for its remote chunk.
+	rs.Close()
+	req2 := QueryRequest{Graph: "g", K: 10, Epsilon: 0.5, Seed: 2}
+	got, err := remote.Query(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := testServer(t, base, map[string]*graph.Graph{"g": g})
+	if want, err := local.Query(req2); err != nil {
+		t.Fatal(err)
+	} else if !reflect.DeepEqual(got.Seeds, want.Seeds) || got.Theta != want.Theta {
+		t.Fatalf("failover answer diverged from local: got %v want %v", got.Seeds, want.Seeds)
+	}
+	if remote.Stats().RemoteFailovers == 0 {
+		t.Fatal("expected failover counter to advance after worker loss")
+	}
+}

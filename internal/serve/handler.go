@@ -4,19 +4,34 @@ package serve
 // a thin flag-parsing shell around this so the protocol is testable
 // with net/http/httptest.
 //
-//	GET  /healthz          liveness + registered graph count
-//	GET  /graphs           the GraphInfo list
-//	GET  /stats            the Stats counters
-//	GET  /query?graph=&k=[&eps=&seed=&model=]    one seed-set query
-//	POST /query            the same query as a QueryRequest JSON body
-//	POST /batch            {"queries":[...]} → per-member results
-//	POST /jobs             async query: QueryRequest body → Job (202)
-//	GET  /jobs             every retained job, oldest first
-//	GET  /jobs/{id}        one job's state and, once done, its result
+// The surface is versioned: every endpoint lives under /v1/, and the
+// original unprefixed paths remain as aliases of the same handlers so
+// existing clients and scripts keep working.
 //
-// Failures map through the serve sentinels: unknown graph or job 404,
-// validation 400, admission overflow 429 (with Retry-After), shutdown
-// 503 — and only a genuine engine failure reports 500.
+//	GET  /v1/healthz          liveness + registered graph count
+//	GET  /v1/graphs           the GraphInfo list
+//	GET  /v1/stats            the Stats counters
+//	GET  /v1/query?graph=&k=[&eps=&seed=&model=]    one seed-set query
+//	POST /v1/query            the same query as a QueryRequest JSON body
+//	POST /v1/batch            {"queries":[...]} → per-member results
+//	POST /v1/jobs             async query: QueryRequest body → Job (202)
+//	GET  /v1/jobs             every retained job, oldest first
+//	GET  /v1/jobs/{id}        one job's state and, once done, its result
+//
+// Routing is by Go 1.22 method-qualified mux patterns, so method
+// dispatch lives in the route table rather than in per-handler checks.
+//
+// Every error response — handler failures, unknown paths, and wrong
+// methods alike — carries the one envelope:
+//
+//	{"error": {"code": "<machine_code>", "message": "<human text>"}}
+//
+// Failures map through the serve sentinels: unknown graph or job 404
+// (unknown_graph/unknown_job), validation 400 (invalid_query),
+// admission overflow 429 (overloaded, with Retry-After), shutdown 503
+// (shutting_down) — and only a genuine engine failure reports 500
+// (internal). The mux-level fallbacks use not_found and
+// method_not_allowed.
 
 import (
 	"bytes"
@@ -26,7 +41,6 @@ import (
 	"math"
 	"net/http"
 	"strconv"
-	"strings"
 )
 
 // maxBatchQueries bounds one POST /batch body: enough for any sensible
@@ -34,17 +48,69 @@ import (
 // monopolize the planner.
 const maxBatchQueries = 1024
 
-// Handler returns the HTTP front-end for s.
+// Handler returns the HTTP front-end for s: the /v1/ surface, the
+// legacy unprefixed aliases, and the envelope fallbacks for unknown
+// paths and disallowed methods.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", s.handleHealth)
-	mux.HandleFunc("/graphs", s.handleGraphs)
-	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/query", s.handleQuery)
-	mux.HandleFunc("/batch", s.handleBatch)
-	mux.HandleFunc("/jobs", s.handleJobs)
-	mux.HandleFunc("/jobs/", s.handleJobByID)
-	return mux
+	for _, p := range []string{"/v1", ""} {
+		mux.HandleFunc("GET "+p+"/healthz", s.handleHealth)
+		mux.HandleFunc("GET "+p+"/graphs", s.handleGraphs)
+		mux.HandleFunc("GET "+p+"/stats", s.handleStats)
+		mux.HandleFunc("GET "+p+"/query", s.handleQueryGet)
+		mux.HandleFunc("POST "+p+"/query", s.handleQueryPost)
+		mux.HandleFunc("POST "+p+"/batch", s.handleBatch)
+		mux.HandleFunc("GET "+p+"/jobs", s.handleJobsList)
+		mux.HandleFunc("POST "+p+"/jobs", s.handleJobSubmit)
+		mux.HandleFunc("GET "+p+"/jobs/{id}", s.handleJobByID)
+	}
+	return EnvelopeFallbacks(mux)
+}
+
+// EnvelopeFallbacks wraps mux so its built-in plain-text 404 and 405
+// responses become envelope errors like every other failure. The mux is
+// probed first: an empty pattern means no route applies, and replaying
+// the request against a sink recovers which built-in status (and Allow
+// header) the mux chose without writing its plain-text body to the
+// client. Exported so the sharding router's mux shares the contract.
+func EnvelopeFallbacks(mux *http.ServeMux) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		h, pattern := mux.Handler(r)
+		if pattern != "" {
+			mux.ServeHTTP(w, r)
+			return
+		}
+		probe := &statusProbe{header: make(http.Header)}
+		h.ServeHTTP(probe, r)
+		if probe.code == http.StatusMethodNotAllowed {
+			if allow := probe.header.Get("Allow"); allow != "" {
+				w.Header().Set("Allow", allow)
+			}
+			WriteErrorEnvelope(w, http.StatusMethodNotAllowed, "method_not_allowed",
+				fmt.Sprintf("method %s not allowed for %s", r.Method, r.URL.Path))
+			return
+		}
+		WriteErrorEnvelope(w, http.StatusNotFound, "not_found",
+			fmt.Sprintf("no such endpoint %s", r.URL.Path))
+	})
+}
+
+// statusProbe captures the status code and headers a handler would have
+// written, discarding the body.
+type statusProbe struct {
+	header http.Header
+	code   int
+}
+
+func (p *statusProbe) Header() http.Header { return p.header }
+func (p *statusProbe) WriteHeader(code int) {
+	if p.code == 0 {
+		p.code = code
+	}
+}
+func (p *statusProbe) Write(b []byte) (int, error) {
+	p.WriteHeader(http.StatusOK)
+	return len(b), nil
 }
 
 // healthResponse is the /healthz payload.
@@ -54,48 +120,36 @@ type healthResponse struct {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET only")
-		return
-	}
 	writeJSON(w, http.StatusOK, healthResponse{Status: "ok", Graphs: s.GraphCount()})
 }
 
 func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET only")
-		return
-	}
 	writeJSON(w, http.StatusOK, s.Graphs())
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET only")
-		return
-	}
 	writeJSON(w, http.StatusOK, s.Stats())
 }
 
-func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	var req QueryRequest
-	switch r.Method {
-	case http.MethodGet:
-		var err error
-		if req, err = queryFromURL(r); err != nil {
-			writeError(w, err)
-			return
-		}
-	case http.MethodPost:
-		var err error
-		if req, err = decodeQueryBody(r); err != nil {
-			writeError(w, err)
-			return
-		}
-	default:
-		httpError(w, http.StatusMethodNotAllowed, "GET or POST only")
+func (s *Server) handleQueryGet(w http.ResponseWriter, r *http.Request) {
+	req, err := queryFromURL(r)
+	if err != nil {
+		writeError(w, err)
 		return
 	}
+	s.serveQuery(w, req)
+}
+
+func (s *Server) handleQueryPost(w http.ResponseWriter, r *http.Request) {
+	req, err := decodeQueryBody(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	s.serveQuery(w, req)
+}
+
+func (s *Server) serveQuery(w http.ResponseWriter, req QueryRequest) {
 	res, err := s.Query(req)
 	if err != nil {
 		writeError(w, err)
@@ -120,10 +174,6 @@ type BatchResponse struct {
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST only")
-		return
-	}
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	var body BatchRequest
@@ -153,33 +203,26 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, BatchResponse{Results: s.QueryBatch(reqs)})
 }
 
-func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
-	switch r.Method {
-	case http.MethodPost:
-		req, err := decodeQueryBody(r)
-		if err != nil {
-			writeError(w, err)
-			return
-		}
-		job, err := s.SubmitJob(req)
-		if err != nil {
-			writeError(w, err)
-			return
-		}
-		writeJSON(w, http.StatusAccepted, job)
-	case http.MethodGet:
-		writeJSON(w, http.StatusOK, s.Jobs())
-	default:
-		httpError(w, http.StatusMethodNotAllowed, "GET or POST only")
+func (s *Server) handleJobsList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Jobs())
+}
+
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	req, err := decodeQueryBody(r)
+	if err != nil {
+		writeError(w, err)
+		return
 	}
+	job, err := s.SubmitJob(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job)
 }
 
 func (s *Server) handleJobByID(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET only")
-		return
-	}
-	id := strings.TrimPrefix(r.URL.Path, "/jobs/")
+	id := r.PathValue("id")
 	job, ok := s.Job(id)
 	if !ok {
 		writeError(w, fmt.Errorf("serve: %w %q", ErrUnknownJob, id))
@@ -269,24 +312,55 @@ func statusForError(err error) int {
 	}
 }
 
-// writeError reports err with its mapped status. Backpressure rejections
-// carry Retry-After so well-behaved clients pace themselves instead of
-// hammering the admission queue.
+// codeForError maps a Server error to its machine-readable envelope
+// code through the serve sentinels.
+func codeForError(err error) string {
+	switch {
+	case errors.Is(err, ErrUnknownGraph):
+		return "unknown_graph"
+	case errors.Is(err, ErrUnknownJob):
+		return "unknown_job"
+	case errors.Is(err, ErrInvalidQuery):
+		return "invalid_query"
+	case errors.Is(err, ErrOverloaded):
+		return "overloaded"
+	case errors.Is(err, ErrShuttingDown):
+		return "shutting_down"
+	default:
+		return "internal"
+	}
+}
+
+// writeError reports err with its mapped status and code. Backpressure
+// rejections carry Retry-After so well-behaved clients pace themselves
+// instead of hammering the admission queue.
 func writeError(w http.ResponseWriter, err error) {
-	code := statusForError(err)
-	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+	status := statusForError(err)
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
 		w.Header().Set("Retry-After", "1")
 	}
-	httpError(w, code, err.Error())
+	WriteErrorEnvelope(w, status, codeForError(err), err.Error())
 }
 
-// errorResponse is the JSON error payload every endpoint uses.
-type errorResponse struct {
-	Error string `json:"error"`
+// ErrorBody is the payload inside the error envelope: a stable
+// machine-readable code plus the human-readable message.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
 }
 
-func httpError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, errorResponse{Error: msg})
+// ErrorResponse is the unified JSON error envelope every endpoint — and
+// the cluster router in front of a fleet of them — uses for every
+// failure: {"error":{"code":"...","message":"..."}}.
+type ErrorResponse struct {
+	Error ErrorBody `json:"error"`
+}
+
+// WriteErrorEnvelope writes the unified error envelope. Exported so
+// front-ends layered over this surface (the sharding router) fail with
+// the same shape the backends do.
+func WriteErrorEnvelope(w http.ResponseWriter, status int, code, message string) {
+	writeJSON(w, status, ErrorResponse{Error: ErrorBody{Code: code, Message: message}})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -123,71 +123,159 @@ func TestHTTPStatusCodes(t *testing.T) {
 	cases := []struct {
 		url      string
 		want     int
-		contains string // required substring of the error payload
+		code     string // required machine code of the envelope
+		contains string // required substring of the error message
 	}{
-		{"/query?graph=missing&k=5", http.StatusNotFound, "unknown graph"},
-		{"/query?graph=g", http.StatusBadRequest, "invalid k"},
-		{"/query?graph=g&k=nope", http.StatusBadRequest, "invalid k"},
-		{"/query?graph=g&k=0", http.StatusBadRequest, "k must be positive"},
-		{"/query?graph=g&k=-3", http.StatusBadRequest, "k must be positive"},
-		{"/query?graph=g&k=5&eps=2", http.StatusBadRequest, "epsilon must lie in (0,1)"},
-		{"/query?graph=g&k=5&eps=NaN", http.StatusBadRequest, "not a finite number"},
-		{"/query?graph=g&k=5&eps=Inf", http.StatusBadRequest, "not a finite number"},
-		{"/query?graph=g&k=5&eps=-Inf", http.StatusBadRequest, "not a finite number"},
-		{"/query?graph=g&k=5&seed=x", http.StatusBadRequest, "invalid seed"},
-		{"/query?k=5", http.StatusBadRequest, "missing graph"},
-		{"/query?graph=g&k=5&model=LT", http.StatusBadRequest, "requested LT"},
+		{"/query?graph=missing&k=5", http.StatusNotFound, "unknown_graph", "unknown graph"},
+		{"/query?graph=g", http.StatusBadRequest, "invalid_query", "invalid k"},
+		{"/query?graph=g&k=nope", http.StatusBadRequest, "invalid_query", "invalid k"},
+		{"/query?graph=g&k=0", http.StatusBadRequest, "invalid_query", "k must be positive"},
+		{"/query?graph=g&k=-3", http.StatusBadRequest, "invalid_query", "k must be positive"},
+		{"/query?graph=g&k=5&eps=2", http.StatusBadRequest, "invalid_query", "epsilon must lie in (0,1)"},
+		{"/query?graph=g&k=5&eps=NaN", http.StatusBadRequest, "invalid_query", "not a finite number"},
+		{"/query?graph=g&k=5&eps=Inf", http.StatusBadRequest, "invalid_query", "not a finite number"},
+		{"/query?graph=g&k=5&eps=-Inf", http.StatusBadRequest, "invalid_query", "not a finite number"},
+		{"/query?graph=g&k=5&seed=x", http.StatusBadRequest, "invalid_query", "invalid seed"},
+		{"/query?k=5", http.StatusBadRequest, "invalid_query", "missing graph"},
+		{"/query?graph=g&k=5&model=LT", http.StatusBadRequest, "invalid_query", "requested LT"},
 		// Misspelled/unknown keys must fail loudly, listing the accepted
 		// ones — not silently run with defaults.
-		{"/query?graph=g&k=5&epsilon=0.3", http.StatusBadRequest, "graph, model, k, eps, seed"},
-		{"/query?graph=g&k=5&sead=9", http.StatusBadRequest, "unknown query parameter"},
+		{"/query?graph=g&k=5&epsilon=0.3", http.StatusBadRequest, "invalid_query", "graph, model, k, eps, seed"},
+		{"/query?graph=g&k=5&sead=9", http.StatusBadRequest, "invalid_query", "unknown query parameter"},
+		// Unknown paths get the same envelope from the mux fallback.
+		{"/nope", http.StatusNotFound, "not_found", "/nope"},
+		{"/v1/nope", http.StatusNotFound, "not_found", "/v1/nope"},
 	}
 	for _, c := range cases {
-		var e errorResponse
-		getJSON(t, ts.URL+c.url, c.want, &e)
-		if !strings.Contains(e.Error, c.contains) {
-			t.Fatalf("GET %s: error %q does not mention %q", c.url, e.Error, c.contains)
+		for _, prefix := range []string{"", "/v1"} {
+			url := c.url
+			if prefix != "" {
+				if strings.HasPrefix(url, "/v1/") {
+					continue // already versioned
+				}
+				url = prefix + url
+			}
+			var e ErrorResponse
+			getJSON(t, ts.URL+url, c.want, &e)
+			if e.Error.Code != c.code {
+				t.Fatalf("GET %s: code %q, want %q", url, e.Error.Code, c.code)
+			}
+			if !strings.Contains(e.Error.Message, c.contains) {
+				t.Fatalf("GET %s: error %q does not mention %q", url, e.Error.Message, c.contains)
+			}
 		}
 	}
 
 	// The POST form maps through the same sentinels.
-	var e errorResponse
+	var e ErrorResponse
 	postJSON(t, ts.URL+"/query", `{"graph":"missing","k":5}`, http.StatusNotFound, &e)
-	if !strings.Contains(e.Error, "unknown graph") {
-		t.Fatalf("POST unknown graph: %q", e.Error)
+	if e.Error.Code != "unknown_graph" || !strings.Contains(e.Error.Message, "unknown graph") {
+		t.Fatalf("POST unknown graph: %+v", e)
 	}
 	postJSON(t, ts.URL+"/query", `{"graph":"g","k":5,"epsilon":7}`, http.StatusBadRequest, nil)
 	postJSON(t, ts.URL+"/query", `not json`, http.StatusBadRequest, nil)
 	// The POST form also rejects misspelled fields instead of silently
 	// running with defaults — the same contract as the GET parser.
-	e = errorResponse{}
+	e = ErrorResponse{}
 	postJSON(t, ts.URL+"/query", `{"graph":"g","k":5,"eps":0.3}`, http.StatusBadRequest, &e)
-	if !strings.Contains(e.Error, "eps") {
-		t.Fatalf("POST misspelled field: %q", e.Error)
+	if e.Error.Code != "invalid_query" || !strings.Contains(e.Error.Message, "eps") {
+		t.Fatalf("POST misspelled field: %+v", e)
 	}
 	postJSON(t, ts.URL+"/jobs", `{"graph":"g","k":5,"sead":9}`, http.StatusBadRequest, nil)
 	postJSON(t, ts.URL+"/batch", `{"queries":[{"graph":"g","k":5,"eps":0.3}]}`, http.StatusBadRequest, nil)
 	postJSON(t, ts.URL+"/batch", `{"querys":[{"graph":"g","k":5}]}`, http.StatusBadRequest, nil)
 
-	// Wrong methods.
-	resp, err := http.Post(ts.URL+"/healthz", "application/json", nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusMethodNotAllowed {
-		t.Fatalf("POST /healthz: status %d", resp.StatusCode)
-	}
-	for _, target := range []string{"/query", "/batch", "/jobs"} {
-		req, _ := http.NewRequest(http.MethodDelete, ts.URL+target, nil)
-		resp, err = http.DefaultClient.Do(req)
+	// Wrong methods get the envelope too, on both surfaces.
+	for _, target := range []string{"/healthz", "/v1/healthz"} {
+		resp, err := http.Post(ts.URL+target, "application/json", nil)
 		if err != nil {
 			t.Fatal(err)
 		}
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusMethodNotAllowed {
-			t.Fatalf("DELETE %s: status %d", target, resp.StatusCode)
+		e = ErrorResponse{}
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+			t.Fatalf("POST %s: envelope decode: %v", target, err)
 		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed || e.Error.Code != "method_not_allowed" {
+			t.Fatalf("POST %s: status %d code %q", target, resp.StatusCode, e.Error.Code)
+		}
+		if resp.Header.Get("Allow") == "" {
+			t.Fatalf("POST %s: missing Allow header", target)
+		}
+	}
+	for _, target := range []string{"/query", "/batch", "/jobs", "/v1/query", "/v1/batch", "/v1/jobs"} {
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+target, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e = ErrorResponse{}
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+			t.Fatalf("DELETE %s: envelope decode: %v", target, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed || e.Error.Code != "method_not_allowed" {
+			t.Fatalf("DELETE %s: status %d code %q", target, resp.StatusCode, e.Error.Code)
+		}
+	}
+}
+
+// TestV1Aliases pins that the /v1 surface and the legacy unprefixed
+// paths are the same endpoints: identical answers, identical stats
+// accounting, and the full job lifecycle reachable through /v1.
+func TestV1Aliases(t *testing.T) {
+	_, ts := testHTTP(t)
+
+	var health healthResponse
+	getJSON(t, ts.URL+"/v1/healthz", http.StatusOK, &health)
+	if health.Status != "ok" || health.Graphs != 1 {
+		t.Fatalf("/v1/healthz = %+v", health)
+	}
+	var graphs []GraphInfo
+	getJSON(t, ts.URL+"/v1/graphs", http.StatusOK, &graphs)
+	if len(graphs) != 1 || graphs[0].Name != "g" {
+		t.Fatalf("/v1/graphs = %+v", graphs)
+	}
+
+	var legacy, v1 QueryResult
+	getJSON(t, ts.URL+"/query?graph=g&k=8&eps=0.5&seed=1", http.StatusOK, &legacy)
+	getJSON(t, ts.URL+"/v1/query?graph=g&k=8&eps=0.5&seed=1", http.StatusOK, &v1)
+	if !reflect.DeepEqual(v1.Seeds, legacy.Seeds) || v1.Theta != legacy.Theta {
+		t.Fatalf("/v1/query diverged from /query: %v vs %v", v1.Seeds, legacy.Seeds)
+	}
+	if !v1.Warm {
+		t.Fatal("/v1/query after /query with the same key should hit the same pool")
+	}
+
+	var br BatchResponse
+	postJSON(t, ts.URL+"/v1/batch", `{"queries":[{"graph":"g","k":8,"seed":1}]}`, http.StatusOK, &br)
+	if len(br.Results) != 1 || br.Results[0].Result == nil || !reflect.DeepEqual(br.Results[0].Result.Seeds, legacy.Seeds) {
+		t.Fatalf("/v1/batch = %+v", br)
+	}
+
+	var job Job
+	postJSON(t, ts.URL+"/v1/jobs", `{"graph":"g","k":8,"seed":1}`, http.StatusAccepted, &job)
+	deadline := time.Now().Add(10 * time.Second)
+	for job.State != JobDone && job.State != JobFailed {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s did not finish: %+v", job.ID, job)
+		}
+		time.Sleep(10 * time.Millisecond)
+		getJSON(t, ts.URL+"/v1/jobs/"+job.ID, http.StatusOK, &job)
+	}
+	if job.State != JobDone || !reflect.DeepEqual(job.Result.Seeds, legacy.Seeds) {
+		t.Fatalf("/v1 job lifecycle = %+v", job)
+	}
+	var jobs []Job
+	getJSON(t, ts.URL+"/v1/jobs", http.StatusOK, &jobs)
+	if len(jobs) != 1 {
+		t.Fatalf("/v1/jobs list = %+v", jobs)
+	}
+
+	var stats Stats
+	getJSON(t, ts.URL+"/v1/stats", http.StatusOK, &stats)
+	if stats.Pools != 1 {
+		t.Fatalf("aliases created distinct pools: %+v", stats)
 	}
 }
 
@@ -243,6 +331,12 @@ func TestHTTPBatch(t *testing.T) {
 	}
 	if br.Results[2].Result != nil || !strings.Contains(br.Results[2].Error, "unknown graph") {
 		t.Fatalf("batch member 2 = %+v, want inline unknown-graph error", br.Results[2])
+	}
+	if br.Results[2].Code != "unknown_graph" {
+		t.Fatalf("batch member 2 code = %q, want unknown_graph", br.Results[2].Code)
+	}
+	if br.Results[0].Code != "" || br.Results[1].Code != "" {
+		t.Fatalf("successful members must carry no error code: %+v", br.Results[:2])
 	}
 
 	// Malformed batches are rejected as a whole.

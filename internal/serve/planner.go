@@ -191,10 +191,18 @@ func (s *Server) runBatch(ge *graphEntry, pe *poolEntry, batch []*batchWaiter) {
 	}
 	warm := pe.eng != nil
 	if !warm {
-		eng, err := imm.NewWarmEngine(ge.g, s.queryOptions(batch[0].req))
+		opt := s.queryOptions(batch[0].req)
+		eng, err := imm.NewWarmEngine(ge.g, opt)
 		if err != nil {
 			fail(err)
 			return
+		}
+		if s.opt.RemoteGen != nil {
+			// Cluster mode: let worker ranks generate this pool's slot
+			// chunks. Slot determinism keeps the pool — and every answer
+			// from it — byte-identical to local generation, so this is
+			// purely a placement decision.
+			eng.SetRemote(s.opt.RemoteGen(ge.info.Name, ge.g, opt))
 		}
 		pe.eng = eng
 	}
@@ -249,10 +257,13 @@ func (s *Server) runBatch(ge *graphEntry, pe *poolEntry, batch []*batchWaiter) {
 }
 
 // BatchItem is one member's outcome in a QueryBatch answer: exactly one
-// of Result and Error is set.
+// of Result and Error is set; Code accompanies Error with the same
+// machine-readable code the error envelope carries, so batch clients
+// dispatch on member failures without string matching.
 type BatchItem struct {
 	Result *QueryResult `json:"result,omitempty"`
 	Error  string       `json:"error,omitempty"`
+	Code   string       `json:"code,omitempty"`
 }
 
 // QueryBatch answers many queries in one call. Members run through the
@@ -275,6 +286,7 @@ func (s *Server) QueryBatch(reqs []QueryRequest) []BatchItem {
 			res, err := s.query(reqs[i], admitBatch)
 			if err != nil {
 				items[i].Error = err.Error()
+				items[i].Code = codeForError(err)
 				return
 			}
 			items[i].Result = res

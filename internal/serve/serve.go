@@ -100,6 +100,22 @@ type Options struct {
 	// gathering (the leader drains immediately, batching only what
 	// arrived while a previous drain held the pool).
 	GatherWindow time.Duration
+
+	// RemoteGen, when non-nil, supplies a distributed slot generator for
+	// each newly built warm pool (name is the registry graph name, opt
+	// the engine options including the pool's RNG seed) — the hook the
+	// cluster mode of immserver uses to source pool extensions from
+	// worker ranks (dist.Cluster.PoolGenerator matches this signature).
+	// Returning nil keeps that pool purely local. The generator contract
+	// (imm.SlotGenerator) guarantees attached and detached answers are
+	// byte-identical; only where the sampling runs changes.
+	RemoteGen func(name string, g *graph.Graph, opt imm.Options) imm.SlotGenerator
+	// WireMeter, when non-nil, reports the cluster transport's measured
+	// bytes-on-the-wire totals for Stats.
+	WireMeter func() (bytesSent, bytesReceived, messages int64)
+	// RemoteFailovers, when non-nil, reports how many remote generation
+	// chunks fell back to local sampling, for Stats.
+	RemoteFailovers func() int64
 }
 
 // EngineOptions returns the imm options a server configured by o runs
@@ -223,6 +239,15 @@ type Stats struct {
 	JobsSubmitted int64 `json:"jobs_submitted"`
 	JobsDone      int64 `json:"jobs_done"`
 	JobsFailed    int64 `json:"jobs_failed"`
+
+	// WireBytesSent/WireBytesReceived/WireMessages are the cluster
+	// transport's measured bytes-on-the-wire totals (frame headers
+	// included; all zero on single-node servers). RemoteFailovers counts
+	// remote pool-extension chunks that fell back to local sampling.
+	WireBytesSent     int64 `json:"wire_bytes_sent"`
+	WireBytesReceived int64 `json:"wire_bytes_received"`
+	WireMessages      int64 `json:"wire_messages"`
+	RemoteFailovers   int64 `json:"remote_failovers"`
 }
 
 // HitRatio is the fraction of executed (non-coalesced) queries that
@@ -417,6 +442,12 @@ func (s *Server) Stats() Stats {
 	st.PoolBytes = s.usedBytes
 	st.BudgetBytes = s.opt.PoolBudgetBytes
 	st.InFlight, st.QueueDepth = s.adm.gauges()
+	if s.opt.WireMeter != nil {
+		st.WireBytesSent, st.WireBytesReceived, st.WireMessages = s.opt.WireMeter()
+	}
+	if s.opt.RemoteFailovers != nil {
+		st.RemoteFailovers = s.opt.RemoteFailovers()
+	}
 	return st
 }
 

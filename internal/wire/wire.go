@@ -1,0 +1,257 @@
+// Package wire is the cluster transport of the networked distributed
+// runtime (internal/dist): length-prefixed framed messages over TCP,
+// CRC-checked payloads, per-frame read/write deadlines, and actual
+// bytes-on-the-wire metering.
+//
+// A frame is
+//
+//	magic   uint16  little-endian 0x6977 ("iw")
+//	version uint8   protocol version (Version)
+//	type    uint8   message type (MsgType)
+//	length  uint32  payload byte count
+//	crc     uint32  CRC32-C of the payload
+//	payload [length]byte
+//
+// The payload codecs live in codec.go; they serialize exactly the
+// objects the simulated runtime already models — delta-varint RRR set
+// lists (the internal/compress plain coding), dense occurrence
+// counters, seed vectors, and .imsnap graph snapshots — so the measured
+// wire volume is directly comparable to the modeled Comm accounting.
+//
+// Conn is not safe for concurrent use; callers serialize each
+// request/reply exchange (internal/dist holds one mutex per peer).
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net"
+	"sync/atomic"
+	"time"
+)
+
+// Version is the protocol version carried by every frame. Peers reject
+// frames from a different version at read time, so a mixed-version
+// cluster fails loudly at the handshake instead of misdecoding payloads.
+const Version = 1
+
+const (
+	magic      = 0x6977 // "iw", little-endian
+	headerSize = 12
+	// MaxFrameBytes bounds one frame's payload so a corrupt or hostile
+	// length field cannot drive an arbitrary allocation. Large enough
+	// for a multi-gigabyte-graph snapshot broadcast; tighten per conn
+	// with Conn.SetMaxFrame if the deployment never ships graphs.
+	MaxFrameBytes = 1 << 31
+)
+
+// MsgType identifies a frame's payload codec.
+type MsgType uint8
+
+const (
+	// MsgHello opens a session (root → worker): protocol version check
+	// plus a free-form tag naming the dialer.
+	MsgHello MsgType = iota + 1
+	// MsgHelloAck confirms the session (worker → root).
+	MsgHelloAck
+	// MsgGraph ships a named graph as a .imsnap snapshot payload.
+	MsgGraph
+	// MsgGraphAck confirms a graph was decoded and registered.
+	MsgGraphAck
+	// MsgRound asks the receiving rank to generate a slot range.
+	MsgRound
+	// MsgRoundReply carries the rank's serialized sets (and, when
+	// requested, its dense occurrence counter) back to the root.
+	MsgRoundReply
+	// MsgSeeds broadcasts a selection round's seed set and coverage.
+	MsgSeeds
+	// MsgSeedsAck confirms a seed broadcast.
+	MsgSeedsAck
+	// MsgError reports a failure instead of the expected reply.
+	MsgError
+)
+
+func (t MsgType) String() string {
+	switch t {
+	case MsgHello:
+		return "hello"
+	case MsgHelloAck:
+		return "hello_ack"
+	case MsgGraph:
+		return "graph"
+	case MsgGraphAck:
+		return "graph_ack"
+	case MsgRound:
+		return "round"
+	case MsgRoundReply:
+		return "round_reply"
+	case MsgSeeds:
+		return "seeds"
+	case MsgSeedsAck:
+		return "seeds_ack"
+	case MsgError:
+		return "error"
+	default:
+		return fmt.Sprintf("MsgType(%d)", uint8(t))
+	}
+}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Meter accumulates actual bytes-on-the-wire totals — frame headers
+// included, because the interconnect carries them too. Safe for
+// concurrent use; read with Totals.
+type Meter struct {
+	bytesSent     atomic.Int64
+	bytesReceived atomic.Int64
+	msgsSent      atomic.Int64
+	msgsReceived  atomic.Int64
+}
+
+// Totals returns the accumulated (bytesSent, bytesReceived, messages)
+// where messages counts sent and received frames together — matching
+// the simulated Comm convention that every message is booked once.
+func (m *Meter) Totals() (bytesSent, bytesReceived, messages int64) {
+	return m.bytesSent.Load(), m.bytesReceived.Load(), m.msgsSent.Load() + m.msgsReceived.Load()
+}
+
+// Conn wraps one TCP connection with framing, checksums, deadlines, and
+// metering. Not safe for concurrent use.
+type Conn struct {
+	c            net.Conn
+	readTimeout  time.Duration
+	writeTimeout time.Duration
+	meter        *Meter
+	maxFrame     int64
+	hdr          [headerSize]byte
+}
+
+// NewConn wraps c. timeout bounds each frame read and write (0 means no
+// deadline); meter, when non-nil, receives the measured byte totals.
+func NewConn(c net.Conn, timeout time.Duration, meter *Meter) *Conn {
+	return &Conn{c: c, readTimeout: timeout, writeTimeout: timeout, meter: meter, maxFrame: MaxFrameBytes}
+}
+
+// SetReadTimeout overrides the per-frame read deadline (0 disables it).
+// Servers waiting for the next request on a long-lived connection
+// disable the read deadline while idle; writes keep theirs.
+func (c *Conn) SetReadTimeout(d time.Duration) { c.readTimeout = d }
+
+// SetMaxFrame tightens the per-frame payload bound.
+func (c *Conn) SetMaxFrame(n int64) {
+	if n > 0 {
+		c.maxFrame = n
+	}
+}
+
+// RemoteAddr names the peer for error reporting.
+func (c *Conn) RemoteAddr() string { return c.c.RemoteAddr().String() }
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.c.Close() }
+
+// WriteFrame sends one frame under the write deadline and meters it.
+func (c *Conn) WriteFrame(t MsgType, payload []byte) error {
+	if int64(len(payload)) > c.maxFrame {
+		return fmt.Errorf("wire: frame payload %d bytes exceeds limit %d", len(payload), c.maxFrame)
+	}
+	if c.writeTimeout > 0 {
+		if err := c.c.SetWriteDeadline(time.Now().Add(c.writeTimeout)); err != nil {
+			return err
+		}
+	}
+	hdr := c.hdr[:]
+	binary.LittleEndian.PutUint16(hdr[0:2], magic)
+	hdr[2] = Version
+	hdr[3] = byte(t)
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[8:12], crc32.Checksum(payload, castagnoli))
+	if _, err := c.c.Write(hdr); err != nil {
+		return fmt.Errorf("wire: write %v header: %w", t, err)
+	}
+	if len(payload) > 0 {
+		if _, err := c.c.Write(payload); err != nil {
+			return fmt.Errorf("wire: write %v payload: %w", t, err)
+		}
+	}
+	if c.meter != nil {
+		c.meter.bytesSent.Add(int64(headerSize + len(payload)))
+		c.meter.msgsSent.Add(1)
+	}
+	return nil
+}
+
+// ReadFrame receives one frame under the read deadline, verifies magic,
+// version, and checksum, and meters it. The returned payload is freshly
+// allocated and owned by the caller.
+func (c *Conn) ReadFrame() (MsgType, []byte, error) {
+	if c.readTimeout > 0 {
+		if err := c.c.SetReadDeadline(time.Now().Add(c.readTimeout)); err != nil {
+			return 0, nil, err
+		}
+	}
+	hdr := c.hdr[:]
+	if _, err := io.ReadFull(c.c, hdr); err != nil {
+		return 0, nil, fmt.Errorf("wire: read header: %w", err)
+	}
+	if m := binary.LittleEndian.Uint16(hdr[0:2]); m != magic {
+		return 0, nil, fmt.Errorf("wire: bad magic 0x%04x", m)
+	}
+	if v := hdr[2]; v != Version {
+		return 0, nil, fmt.Errorf("wire: protocol version %d, want %d", v, Version)
+	}
+	t := MsgType(hdr[3])
+	length := int64(binary.LittleEndian.Uint32(hdr[4:8]))
+	if length > c.maxFrame {
+		return 0, nil, fmt.Errorf("wire: frame payload %d bytes exceeds limit %d", length, c.maxFrame)
+	}
+	want := binary.LittleEndian.Uint32(hdr[8:12])
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(c.c, payload); err != nil {
+		return 0, nil, fmt.Errorf("wire: read %v payload: %w", t, err)
+	}
+	if got := crc32.Checksum(payload, castagnoli); got != want {
+		return 0, nil, fmt.Errorf("wire: %v payload checksum mismatch (got %08x want %08x)", t, got, want)
+	}
+	if c.meter != nil {
+		c.meter.bytesReceived.Add(int64(headerSize + length))
+		c.meter.msgsReceived.Add(1)
+	}
+	return t, payload, nil
+}
+
+// Call performs one request/reply exchange, mapping an MsgError reply to
+// a Go error and rejecting replies of an unexpected type.
+func (c *Conn) Call(req MsgType, payload []byte, want MsgType) ([]byte, error) {
+	if err := c.WriteFrame(req, payload); err != nil {
+		return nil, err
+	}
+	t, body, err := c.ReadFrame()
+	if err != nil {
+		return nil, err
+	}
+	if t == MsgError {
+		code, msg, derr := DecodeError(body)
+		if derr != nil {
+			return nil, fmt.Errorf("wire: undecodable error reply to %v", req)
+		}
+		return nil, &RemoteError{Code: code, Message: msg}
+	}
+	if t != want {
+		return nil, fmt.Errorf("wire: reply to %v has type %v, want %v", req, t, want)
+	}
+	return body, nil
+}
+
+// RemoteError is a failure the remote side reported in-protocol (as
+// opposed to a transport failure).
+type RemoteError struct {
+	Code    string
+	Message string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("wire: remote error %s: %s", e.Code, e.Message)
+}

@@ -12,6 +12,9 @@ package efficientimm
 // control", and cmd/immserver for the HTTP front-end.
 
 import (
+	"repro/internal/graph"
+	"repro/internal/imm"
+	"repro/internal/route"
 	"repro/internal/serve"
 )
 
@@ -66,3 +69,40 @@ const DefaultPoolBudgetBytes = serve.DefaultPoolBudgetBytes
 // Server.Query / Server.QueryBatch / Server.SubmitJob (or serve
 // Server.Handler over HTTP — that is what cmd/immserver does).
 func NewServer(opt ServeOptions) *Server { return serve.NewServer(opt) }
+
+type (
+	// Router is the sharding query router: a pool-less HTTP front-end
+	// that maps each (graph, rngSeed) warm-pool key onto one node of an
+	// immserver fleet via consistent hashing, fans batches out to the
+	// owners, dedups identical concurrent queries single-flight, and
+	// fails node outages with the node_unavailable error envelope while
+	// healthy nodes keep serving. Routing never changes an answer —
+	// every node serves byte-identical results — it only preserves
+	// pool warmth.
+	Router = route.Router
+	// RouterOptions configures NewRouter: the backend node URLs, ring
+	// multiplicity, and forwarding timeout.
+	RouterOptions = route.Options
+)
+
+// NewRouter validates opt, builds the consistent-hash ring, and returns
+// the router. Mount Router.Handler over HTTP — that is what
+// cmd/immrouter does.
+func NewRouter(opt RouterOptions) (*Router, error) { return route.New(opt) }
+
+// ClusterServeOptions wires a connected Cluster into serve options:
+// every newly built warm pool sources its slot chunks from the
+// cluster's worker ranks (falling back to local generation per chunk
+// when a worker is unreachable), and Stats reports the transport's
+// measured bytes-on-the-wire plus the failover count. Answers stay
+// byte-identical to a single-node server — slot determinism makes
+// remote generation a pure placement decision. This is the one glue
+// point cmd/immserver's cluster mode uses.
+func ClusterServeOptions(opt ServeOptions, cl *Cluster) ServeOptions {
+	opt.RemoteGen = func(name string, g *graph.Graph, o imm.Options) imm.SlotGenerator {
+		return cl.PoolGenerator(name, g, imm.PolicyFromOptions(o), o.Seed)
+	}
+	opt.WireMeter = cl.MeterTotals
+	opt.RemoteFailovers = cl.Failovers
+	return opt
+}
