@@ -25,16 +25,17 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: table1|fig1|fig2|table2|fig5|table3|fig6|fig7|table4|ablations|dist|mem|kernel|ingest|serve|load|ci|all")
-		ingScale  = flag.Int("ingest-scale", 0, "ingest experiment: log2 vertices of the generated graph (0 = 17 for ~1M+ edges, or 13 with -quick)")
-		srvScale  = flag.Int("serve-scale", 0, "serve experiment: log2 vertices of the generated graph (0 = 16, the CI dataset shape, or 12 with -quick)")
-		loadScale = flag.Int("load-scale", 0, "load experiment: log2 vertices of the generated graph (0 = 13, or 10 with -quick)")
-		out       = flag.String("out", "results", "output directory for CSVs and JSON logs")
-		quick     = flag.Bool("quick", false, "small sizes for a fast smoke run")
-		scale     = flag.Int("scale", 0, "clamp profile scale (0 = config default)")
-		dataset   = flag.String("datasets", "", "comma-separated dataset filter")
-		baseline  = flag.String("baseline", "", "BENCH_baseline.json to gate the ci experiment against (fail on >tolerance regressions)")
-		tol       = flag.Float64("tolerance", 0.10, "allowed fractional drift for the ci gate")
+		exp        = flag.String("exp", "all", "experiment: table1|fig1|fig2|table2|fig5|table3|fig6|fig7|table4|ablations|dist|mem|kernel|ingest|serve|load|churn|ci|all")
+		ingScale   = flag.Int("ingest-scale", 0, "ingest experiment: log2 vertices of the generated graph (0 = 17 for ~1M+ edges, or 13 with -quick)")
+		srvScale   = flag.Int("serve-scale", 0, "serve experiment: log2 vertices of the generated graph (0 = 16, the CI dataset shape, or 12 with -quick)")
+		loadScale  = flag.Int("load-scale", 0, "load experiment: log2 vertices of the generated graph (0 = 13, or 10 with -quick)")
+		churnScale = flag.Int("churn-scale", 0, "churn experiment: log2 vertices of the generated graph (0 = 14, or 11 with -quick)")
+		out        = flag.String("out", "results", "output directory for CSVs and JSON logs")
+		quick      = flag.Bool("quick", false, "small sizes for a fast smoke run")
+		scale      = flag.Int("scale", 0, "clamp profile scale (0 = config default)")
+		dataset    = flag.String("datasets", "", "comma-separated dataset filter")
+		baseline   = flag.String("baseline", "", "BENCH_baseline.json to gate the ci experiment against (fail on >tolerance regressions)")
+		tol        = flag.Float64("tolerance", 0.10, "allowed fractional drift for the ci gate")
 	)
 	prof := profiling.Register(flag.CommandLine)
 	flag.Parse()
@@ -275,6 +276,25 @@ func main() {
 			fmt.Printf("%-8s %7d %5d %10.1f %8.1f %8d %9d %8d %8d %11d %10d %6v\n",
 				r.Config, r.Queries, r.Pools, r.WallMS, r.QPS, r.Batches, r.MaxBatchSize,
 				r.SharedExtensions, r.SharedSets, r.GeneratedSets, r.Coalesced, r.SeedsMatch)
+		}
+		return nil
+	})
+
+	run("churn", func() error {
+		scale := *churnScale
+		if scale == 0 && *quick {
+			scale = 11
+		}
+		rows, err := harness.ChurnSweep(cfg, scale)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-11s %7s %7s %7s %10s %10s %10s %8s %7s %6s\n",
+			"update_rate", "adds", "removes", "dirty", "resampled", "repair_ms", "cold_ms", "speedup", "wins", "match")
+		for _, r := range rows {
+			fmt.Printf("%-11g %7d %7d %7d %10d %10.1f %10.1f %7.2fx %7v %6v\n",
+				r.UpdateRate, r.AddEdges, r.RemEdges, r.DirtyVertices, r.SetsResampled,
+				r.RepairMS+r.RepairQueryMS, r.ColdMS, r.Speedup, r.RepairWins, r.SeedsMatch)
 		}
 		return nil
 	})

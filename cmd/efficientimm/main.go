@@ -8,6 +8,9 @@
 //	efficientimm -graph edges.txt -undirected -model LT -engine ripples
 //	efficientimm -graph edges.txt -ingest-workers 8 -save-snapshot g.imsnap
 //	efficientimm -graph g.imsnap              # reload in milliseconds
+//	efficientimm -graph g.imsnap -delta d.imdelta
+//	                                          # apply an edge-delta batch
+//	                                          # after loading
 //	efficientimm -dataset com-DBLP -ranks 4   # simulated distributed run
 //	efficientimm -graph g.imsnap -ranks 3 -peers root:0,h1:9401,h2:9402
 //	                                          # networked run against
@@ -20,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	efficientimm "repro"
@@ -50,7 +54,11 @@ func main() {
 		spreadRuns = flag.Int("spread-runs", 0, "forward Monte-Carlo runs to estimate seed spread (0 = skip)")
 		outPath    = flag.String("out", "", "write the JSON result to this file instead of stdout")
 		list       = flag.Bool("list", false, "list available dataset profiles and exit")
+
+		deltaFiles  multiFlag
+		deltaStrict = flag.Bool("delta-strict", false, "fail if a delta contains self-loops, duplicates, or removals of absent edges")
 	)
+	flag.Var(&deltaFiles, "delta", ".imdelta edge-delta batch to apply after loading the graph (repeatable, applied in order)")
 	prof := profiling.Register(flag.CommandLine)
 	flag.Parse()
 
@@ -149,6 +157,23 @@ func main() {
 		fatalIf(fmt.Errorf("one of -dataset or -graph is required"))
 	}
 
+	// Deltas apply after load, in flag order; each produces a new CSR
+	// epoch, so the run (and any -save-snapshot) answers for the final
+	// post-delta graph — the cold reference that repaired warm pools
+	// (immserver's delta endpoint) must reproduce byte-for-byte.
+	var deltaAdded, deltaRemoved int64
+	deltaDirty := 0
+	for _, path := range deltaFiles {
+		d, _, derr := efficientimm.ReadDeltaFile(path)
+		fatalIf(derr)
+		ng, rep, derr := efficientimm.ApplyDelta(g, d, efficientimm.DeltaApplyOptions{Strict: *deltaStrict})
+		fatalIf(derr)
+		g = ng
+		deltaAdded += rep.Added
+		deltaRemoved += rep.Removed
+		deltaDirty += len(rep.Dirty)
+	}
+
 	if *saveSnap != "" {
 		fatalIf(efficientimm.WriteSnapshotFile(*saveSnap, g, weightSeed))
 		fmt.Fprintf(os.Stderr, "efficientimm: snapshot saved to %s\n", *saveSnap)
@@ -228,6 +253,12 @@ func main() {
 		"pool_total_bytes":       res.Pool.TotalBytes(),
 		"pool_compression_ratio": res.Pool.CompressionRatio(),
 	}
+	if len(deltaFiles) > 0 {
+		out["deltas_applied"] = len(deltaFiles)
+		out["delta_edges_added"] = deltaAdded
+		out["delta_edges_removed"] = deltaRemoved
+		out["delta_dirty_vertices"] = deltaDirty
+	}
 	if ingStats != nil {
 		out["ingest_workers"] = ingStats.Workers
 		out["ingest_ms"] = float64(ingStats.TotalWall) / float64(time.Millisecond)
@@ -260,6 +291,12 @@ func main() {
 	}
 	fmt.Println(string(data))
 }
+
+// multiFlag collects a repeatable string flag in order.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 
 func fatalIf(err error) {
 	if err != nil {

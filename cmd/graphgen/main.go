@@ -8,12 +8,19 @@
 //	graphgen -kind rmat -scale 14 -edgefactor 8 -out rmat.txt
 //	graphgen -kind ba -n 100000 -k 4 -out ba.txt
 //	graphgen -kind rmat -scale 16 -out g.txt -snapshot g.imsnap
+//	graphgen -kind rmat -scale 16 -snapshot g.imsnap -delta-out d.imdelta
 //
 // A -snapshot written alongside -out describes the canonical
 // reingestion of that edge list (ids densified, self-loops and
 // duplicates dropped, weights drawn from -seed), so running the engine
 // on either file produces identical seeds — the equivalence the CI
 // datasets job pins every run.
+//
+// A -delta-out writes a deterministic .imdelta batch derived from the
+// same graph: -delta-removes existing edges and -delta-adds absent
+// edges, both chosen by -delta-seed. The CI immserver-smoke job streams
+// this delta at a warm server and pins the repaired pools against a
+// cold `efficientimm -delta` run.
 package main
 
 import (
@@ -42,6 +49,11 @@ func main() {
 		outPath    = flag.String("out", "", "edge-list output file (default stdout when -snapshot unset)")
 		snapPath   = flag.String("snapshot", "", "also write a binary .imsnap snapshot of the canonical reingestion")
 		version    = flag.Bool("version", false, "print the generator version (CI cache key) and exit")
+
+		deltaOut     = flag.String("delta-out", "", "also write a deterministic .imdelta edge-delta batch derived from the graph")
+		deltaAdds    = flag.Int("delta-adds", 64, "delta-out: number of absent edges to add")
+		deltaRemoves = flag.Int("delta-removes", 32, "delta-out: number of existing edges to remove")
+		deltaSeed    = flag.Uint64("delta-seed", 7, "delta-out: seed for edge choice and added-edge weights")
 	)
 	flag.Parse()
 
@@ -80,6 +92,11 @@ func main() {
 	}
 	fatalIf(err)
 
+	// canonical is the graph a loader of the emitted files sees: the
+	// reingestion of the edge-list text when a snapshot is written (the
+	// round trip densifies ids and drops isolated vertices), the raw
+	// generator output otherwise.
+	canonical := g
 	if *snapPath != "" {
 		// Snapshot the canonical reingestion of the edge list rather than
 		// the generator's raw graph: the text round trip drops isolated
@@ -93,6 +110,13 @@ func main() {
 		fatalIf(err)
 		fatalIf(efficientimm.WriteSnapshotFile(*snapPath, ing, *seed))
 		fmt.Fprintf(os.Stderr, "graphgen: wrote snapshot of %d nodes, %d edges to %s\n", st.Nodes, st.Edges, *snapPath)
+		canonical = ing
+	}
+
+	if *deltaOut != "" {
+		d := makeDelta(canonical, *deltaAdds, *deltaRemoves, *deltaSeed)
+		fatalIf(efficientimm.WriteDeltaFile(*deltaOut, d))
+		fmt.Fprintf(os.Stderr, "graphgen: wrote delta of +%d/-%d edges to %s\n", len(d.Add), len(d.Remove), *deltaOut)
 	}
 
 	switch {
@@ -102,6 +126,50 @@ func main() {
 	case *snapPath == "":
 		fatalIf(efficientimm.WriteEdgeList(os.Stdout, g))
 	}
+}
+
+// makeDelta derives a deterministic edge delta from g: removes
+// distinct existing edges and adds absent non-self-loop pairs, both
+// drawn from an xorshift stream seeded by seed. The same (graph, seed)
+// always yields the same batch, so CI can regenerate it bit-for-bit.
+func makeDelta(g *efficientimm.Graph, adds, removes int, seed uint64) efficientimm.Delta {
+	type pair [2]int32
+	present := make(map[pair]bool, g.M)
+	edges := make([]pair, 0, g.M)
+	for u := int32(0); u < g.N; u++ {
+		for p := g.OutIndex[u]; p < g.OutIndex[u+1]; p++ {
+			e := pair{u, g.OutEdges[p]}
+			present[e] = true
+			edges = append(edges, e)
+		}
+	}
+	x := seed ^ 0x9e3779b97f4a7c15
+	next := func() uint64 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return x
+	}
+	d := efficientimm.Delta{Seed: seed}
+	chosen := make(map[pair]bool, removes)
+	for len(edges) > 0 && len(d.Remove) < removes && len(chosen) < len(edges) {
+		e := edges[next()%uint64(len(edges))]
+		if chosen[e] {
+			continue
+		}
+		chosen[e] = true
+		d.Remove = append(d.Remove, efficientimm.Edge{Src: e[0], Dst: e[1]})
+	}
+	for g.N > 1 && len(d.Add) < adds {
+		u, v := int32(next()%uint64(g.N)), int32(next()%uint64(g.N))
+		e := pair{u, v}
+		if u == v || present[e] {
+			continue
+		}
+		present[e] = true
+		d.Add = append(d.Add, efficientimm.Edge{Src: u, Dst: v})
+	}
+	return d
 }
 
 func fatalIf(err error) {

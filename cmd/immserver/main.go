@@ -10,6 +10,7 @@
 // Usage:
 //
 //	immserver -listen :8377 -load social=web-Google.imsnap -load rmat=rmat16.imsnap
+//	immserver -listen :8377                       # boot empty; register via POST /v1/graphs
 //	immserver -load graph.imsnap                  # name from the file stem
 //	immserver -load edges=graph.txt -model IC     # edge-list ingestion at startup
 //	immserver -load g.imsnap -query-workers 8 -queue-depth 512 -gather-window 5ms
@@ -24,24 +25,41 @@
 //	immserver -rank 2 -peers root:0,h1:9401,h2:9402      # worker, listens on h2:9402
 //	immserver -load g.imsnap -peers root:0,h1:9401,h2:9402   # root (rank 0)
 //
-// Endpoints (also available under the versioned /v1 prefix —
-// /v1/query, /v1/batch, /v1/jobs, /v1/graphs, /v1/stats, /v1/healthz):
+// Endpoints (the versioned /v1 prefix is canonical; the unprefixed
+// aliases of the original query surface still answer but are
+// deprecated — they carry Deprecation + Sucessor-Version headers and
+// count in /v1/stats legacy_requests; see README "Legacy paths" for
+// the removal timeline):
 //
-//	GET  /healthz                                liveness + graph count
-//	GET  /graphs                                 registered graphs
-//	GET  /stats                                  query/reuse/batch/eviction counters
-//	GET  /query?graph=G&k=K&eps=E&seed=S         one seed-set query
-//	POST /query   {"graph":G,"k":K,"epsilon":E,"seed":S}
-//	POST /batch   {"queries":[...]}              many queries, one round-trip
-//	POST /jobs    {"graph":G,"k":K,...}          async query → job id (202)
-//	GET  /jobs/{id}                              job state + result when done
+//	GET    /v1/healthz                             liveness + graph count
+//	GET    /v1/graphs                              registered graphs ({"graphs":[...]})
+//	GET    /v1/stats                               query/reuse/batch/eviction/delta counters
+//	GET    /v1/query?graph=G&k=K&eps=E&seed=S      one seed-set query
+//	POST   /v1/query  {"graph":G,"k":K,"epsilon":E,"seed":S}
+//	POST   /v1/batch  {"queries":[...]}            many queries, one round-trip
+//	POST   /v1/jobs   {"graph":G,"k":K,...}        async query → job id (202)
+//	GET    /v1/jobs/{id}                           job state + result when done
+//
+// Graph lifecycle (/v1 only) — graphs can be registered, updated with
+// streaming edge deltas, and dropped without a restart. Each delta
+// produces a new graph epoch (visible in graph infos) and repairs the
+// resident warm pools in place: only RRR sets touching changed
+// vertices are resampled, and the repaired pools stay byte-identical
+// to pools built cold on the post-delta graph:
+//
+//	POST   /v1/graphs  {"name":N,"snapshot":path}  register from .imsnap (201)
+//	POST   /v1/graphs  {"name":N,"model":M,"edges":[[u,v],...]}   inline register
+//	GET    /v1/graphs/{name}                       one graph's info + epoch
+//	DELETE /v1/graphs/{name}                       unregister + evict its pools
+//	POST   /v1/graphs/{name}/edges {"add":[[u,v],...],"remove":[...],"seed":S}
+//	POST   /v1/graphs/{name}/edges {"file":path.imdelta}   batch delta from disk
 //
 // Every error response carries the unified JSON envelope
 // {"error":{"code":"...","message":"..."}}: 404 (unknown_graph,
-// unknown_job, not_found), 400 (invalid_query), 405
-// (method_not_allowed), 429 with Retry-After (overloaded), 503
-// (shutting_down); 500 (internal) is reserved for genuine engine
-// failures.
+// unknown_job, not_found), 400 (invalid_query, invalid_delta), 405
+// (method_not_allowed), 409 (graph_exists), 429 with Retry-After
+// (overloaded), 503 (shutting_down); 500 (internal) is reserved for
+// genuine engine failures.
 //
 // Served answers are byte-identical to `efficientimm -graph G.imsnap -k
 // K -eps E -seed S` with the same engine settings; the CI smoke job

@@ -32,8 +32,9 @@ var servingFlags = []string{
 
 // validateClusterFlags rejects inconsistent -rank/-peers combinations
 // with actionable errors. Root mode (rank 0, with or without peers)
-// keeps the existing requirement of at least one -load; worker mode
-// requires -peers and forbids every serving flag.
+// may boot with zero -load specs — since the graph-lifecycle API,
+// graphs register at runtime via POST /v1/graphs; worker mode requires
+// -peers and forbids every serving flag.
 func validateClusterFlags(v clusterFlags) error {
 	if v.set["rank"] && len(v.peers) == 0 {
 		return fmt.Errorf("-rank requires -peers: the peer list tells rank %d where to listen", v.rank)
@@ -54,9 +55,6 @@ func validateClusterFlags(v clusterFlags) error {
 			}
 		}
 		return nil
-	}
-	if v.loads == 0 {
-		return fmt.Errorf("at least one -load name=path.imsnap is required")
 	}
 	return nil
 }

@@ -204,6 +204,49 @@ func ReadSnapshotFile(path string) (*Graph, SnapshotInfo, error) {
 	return ingest.ReadSnapshotFile(path)
 }
 
+// Streaming edge deltas (internal/graph.ApplyDelta and the .imdelta
+// codec in internal/ingest).
+type (
+	// Delta is one batch of edge insertions and removals to apply to a
+	// graph; weights for added edges derive deterministically from
+	// Delta.Seed unless AddProb pins them.
+	Delta = graph.Delta
+	// DeltaApplyOptions selects strict (fail on drops) or silent
+	// application, mirroring the Dedupe ingestion policies.
+	DeltaApplyOptions = graph.DeltaOptions
+	// DeltaReport accounts one application: edges added/removed,
+	// entries dropped, and the dirty-vertex frontier pool repair
+	// works from.
+	DeltaReport = graph.DeltaReport
+	// DeltaInfo is the header metadata of a .imdelta file.
+	DeltaInfo = ingest.DeltaInfo
+)
+
+// DeltaExt is the conventional file extension of binary edge-delta
+// batches (".imdelta").
+const DeltaExt = ingest.DeltaExt
+
+// ApplyDelta applies one edge delta to g, returning a new CSR epoch
+// (g is never mutated) and the application report. The result is
+// byte-identical to rebuilding the post-delta edge set from scratch
+// with the same seeds, so warm pools repaired against it (see
+// Server.ApplyDelta) answer exactly as cold pools would.
+func ApplyDelta(g *Graph, d Delta, opt DeltaApplyOptions) (*Graph, *DeltaReport, error) {
+	return graph.ApplyDelta(g, d, opt)
+}
+
+// WriteDelta writes d as a versioned, checksummed binary .imdelta batch.
+func WriteDelta(w io.Writer, d Delta) error { return ingest.WriteDelta(w, d) }
+
+// WriteDeltaFile creates path and writes the delta batch.
+func WriteDeltaFile(path string, d Delta) error { return ingest.WriteDeltaFile(path, d) }
+
+// ReadDelta reads a .imdelta batch, verifying its checksums.
+func ReadDelta(r io.Reader) (Delta, DeltaInfo, error) { return ingest.ReadDelta(r) }
+
+// ReadDeltaFile opens path and delegates to ReadDelta.
+func ReadDeltaFile(path string) (Delta, DeltaInfo, error) { return ingest.ReadDeltaFile(path) }
+
 // WriteEdgeList writes the graph's forward edges as SNAP-style text.
 func WriteEdgeList(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }
 

@@ -1,0 +1,377 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// Delta is a batch of edge additions and removals to apply to an
+// immutable Graph. Applying a delta never mutates the input graph; it
+// produces a fresh Graph (a new "epoch" in the serving layer's terms)
+// whose untouched per-edge parameters are carried over verbatim — that
+// carry-over is what makes incremental warm-pool repair meaningful,
+// because a from-scratch reweighting would perturb every edge.
+//
+// Weight policy for changed edges:
+//
+//   - IC: an added edge keeps its explicit probability from AddProb
+//     when provided, otherwise it gets a probability derived
+//     deterministically from (Seed, src, dst) — independent of the
+//     order edges appear in the delta or of any other edge.
+//   - LT: the whole in-segment of every touched vertex is re-derived
+//     with AssignLT's per-segment scheme from a per-vertex stream of
+//     (Seed, dst), keeping the "activate a neighbor or none" partition
+//     invariant; AddProb is ignored. Untouched segments keep their
+//     exact weights and prefix sums.
+type Delta struct {
+	// Add lists directed edges to insert. Endpoints at or beyond the
+	// current vertex count grow the graph (CSR growth).
+	Add []Edge
+	// AddProb optionally carries explicit IC probabilities aligned
+	// with Add (len 0 or len(Add)). Ignored for LT graphs.
+	AddProb []float32
+	// Remove lists directed edges to delete.
+	Remove []Edge
+	// Seed drives the deterministic weight derivation for added edges
+	// (IC) and re-weighted segments (LT).
+	Seed uint64
+}
+
+// DeltaOptions controls how ApplyDelta treats dirty input.
+type DeltaOptions struct {
+	// Strict mirrors ingest.DedupeStrict: fail on self-loops,
+	// duplicate additions (within the delta or against the graph), and
+	// removals of absent edges, instead of silently dropping them.
+	Strict bool
+}
+
+// DeltaReport describes what ApplyDelta actually did. Dirty is the
+// invalidation set the pool-repair machinery consumes: a vertex is
+// dirty iff its in-segment changed (membership or weights), which — by
+// the sampling argument in DESIGN.md — is exactly the condition under
+// which an RRR set containing it must be resampled.
+type DeltaReport struct {
+	OldN, NewN int32
+	OldM, NewM int64
+	// Added and Removed count edges actually applied, after dropping
+	// self-loops, duplicates, and absent removals.
+	Added, Removed int64
+	// DroppedSelfLoops, DroppedDuplicates, and MissingRemovals count
+	// delta entries ignored in non-strict mode.
+	DroppedSelfLoops, DroppedDuplicates, MissingRemovals int64
+	// Dirty lists, in ascending order, the vertices whose in-segment
+	// changed. When the delta grew the graph (NewN > OldN) every pool
+	// slot is invalid regardless of Dirty — the root draw depends on N.
+	Dirty []int32
+}
+
+// Changed reports whether the delta had any effect on the graph.
+func (r *DeltaReport) Changed() bool {
+	return r.Added > 0 || r.Removed > 0 || r.NewN != r.OldN
+}
+
+// addEdge pairs an addition with its optional explicit probability.
+type addEdge struct {
+	e       Edge
+	prob    float32
+	hasProb bool
+}
+
+// ApplyDelta applies d to g and returns the post-delta graph and a
+// report. The input graph is never mutated; when the delta turns out
+// to be a no-op the input graph itself is returned (same pointer) with
+// report.Changed() == false. Added edges may reference vertices beyond
+// g.N, growing the vertex set; removals of out-of-range or absent
+// edges are errors under Strict and counted otherwise.
+func ApplyDelta(g *Graph, d Delta, opt DeltaOptions) (*Graph, *DeltaReport, error) {
+	if len(d.AddProb) != 0 && len(d.AddProb) != len(d.Add) {
+		return nil, nil, fmt.Errorf("graph: delta AddProb length %d does not match Add length %d", len(d.AddProb), len(d.Add))
+	}
+	rep := &DeltaReport{OldN: g.N, NewN: g.N, OldM: g.M}
+
+	// Normalize additions: reject malformed input, drop (or reject)
+	// self-loops, attach explicit probabilities, compute vertex growth.
+	adds := make([]addEdge, 0, len(d.Add))
+	for i, e := range d.Add {
+		if e.Src < 0 || e.Dst < 0 {
+			return nil, nil, fmt.Errorf("graph: delta add (%d,%d) has a negative endpoint", e.Src, e.Dst)
+		}
+		if e.Src == e.Dst {
+			if opt.Strict {
+				return nil, nil, fmt.Errorf("graph: delta add (%d,%d) is a self-loop", e.Src, e.Dst)
+			}
+			rep.DroppedSelfLoops++
+			continue
+		}
+		ae := addEdge{e: e}
+		if len(d.AddProb) != 0 {
+			p := d.AddProb[i]
+			if p < 0 || p > 1 {
+				return nil, nil, fmt.Errorf("graph: delta add (%d,%d) probability %g outside [0,1]", e.Src, e.Dst, p)
+			}
+			ae.prob, ae.hasProb = p, true
+		}
+		adds = append(adds, ae)
+		if e.Src >= rep.NewN {
+			rep.NewN = e.Src + 1
+		}
+		if e.Dst >= rep.NewN {
+			rep.NewN = e.Dst + 1
+		}
+	}
+
+	// Normalize removals into a membership set of edges that actually
+	// exist. Duplicated removals of one edge collapse silently — the
+	// net effect is identical.
+	removes := make(map[Edge]struct{}, len(d.Remove))
+	for _, e := range d.Remove {
+		if e.Src < 0 || e.Dst < 0 {
+			return nil, nil, fmt.Errorf("graph: delta remove (%d,%d) has a negative endpoint", e.Src, e.Dst)
+		}
+		if _, ok := removes[e]; ok {
+			continue
+		}
+		if e.Src >= g.N || e.Dst >= g.N || !g.HasEdge(e.Src, e.Dst) {
+			if opt.Strict {
+				return nil, nil, fmt.Errorf("graph: delta removes absent edge (%d,%d)", e.Src, e.Dst)
+			}
+			rep.MissingRemovals++
+			continue
+		}
+		removes[e] = struct{}{}
+	}
+
+	// Dedup additions against each other and against surviving graph
+	// edges: an edge both removed and re-added in one delta is a
+	// reweight, not a duplicate.
+	sort.Slice(adds, func(i, j int) bool {
+		if adds[i].e.Dst != adds[j].e.Dst {
+			return adds[i].e.Dst < adds[j].e.Dst
+		}
+		return adds[i].e.Src < adds[j].e.Src
+	})
+	kept := adds[:0]
+	for i, ae := range adds {
+		dup := i > 0 && ae.e == adds[i-1].e
+		if !dup && ae.e.Src < g.N && ae.e.Dst < g.N && g.HasEdge(ae.e.Src, ae.e.Dst) {
+			if _, removed := removes[ae.e]; !removed {
+				dup = true
+			}
+		}
+		if dup {
+			if opt.Strict {
+				return nil, nil, fmt.Errorf("graph: delta adds duplicate edge (%d,%d)", ae.e.Src, ae.e.Dst)
+			}
+			rep.DroppedDuplicates++
+			continue
+		}
+		kept = append(kept, ae)
+	}
+	adds = kept
+	rep.Added = int64(len(adds))
+	rep.Removed = int64(len(removes))
+	rep.NewM = g.M - rep.Removed + rep.Added
+
+	if rep.Added == 0 && rep.Removed == 0 && rep.NewN == g.N {
+		rep.NewM = g.M
+		return g, rep, nil
+	}
+
+	ng, err := rebuildCSR(g, adds, removes, rep)
+	if err != nil {
+		return nil, nil, err
+	}
+	reweight(g, ng, d.Seed, rep)
+	mirrorInToOut(ng)
+	ng.model = g.model
+	if err := ng.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("graph: post-delta graph invalid: %w", err)
+	}
+	return ng, rep, nil
+}
+
+// rebuildCSR assembles the post-delta topology. Kept in-edges carry
+// their old InProb values (LT dirty segments are re-derived afterwards
+// by reweight); added edges get a placeholder filled in by reweight.
+// It also records the dirty vertices — those whose in-segment changed.
+func rebuildCSR(g *Graph, adds []addEdge, removes map[Edge]struct{}, rep *DeltaReport) (*Graph, error) {
+	n, m := rep.NewN, rep.NewM
+	ng := &Graph{
+		N:        n,
+		M:        m,
+		OutIndex: make([]int64, n+1),
+		OutEdges: make([]int32, m),
+		OutProb:  make([]float32, m),
+		InIndex:  make([]int64, n+1),
+		InEdges:  make([]int32, m),
+		InProb:   make([]float32, m),
+	}
+	if g.Model() == LT {
+		ng.InAccum = make([]float32, m)
+	}
+
+	// In-direction: merge each old segment (minus removals) with the
+	// dst-grouped additions, preserving strictly ascending src order.
+	ai := 0 // cursor into adds, sorted by (dst, src)
+	pos := int64(0)
+	for v := int32(0); v < n; v++ {
+		segChanged := false
+		var lo, hi int64
+		if v < g.N {
+			lo, hi = g.InIndex[v], g.InIndex[v+1]
+		}
+		k := lo
+		for k < hi || (ai < len(adds) && adds[ai].e.Dst == v) {
+			takeAdd := ai < len(adds) && adds[ai].e.Dst == v &&
+				(k >= hi || adds[ai].e.Src < g.InEdges[k])
+			if takeAdd {
+				ng.InEdges[pos] = adds[ai].e.Src
+				// NaN marks "derive me"; reweight resolves it. An
+				// explicit probability (including 0) is kept as-is.
+				p := float32(math.NaN())
+				if adds[ai].hasProb {
+					p = adds[ai].prob
+				}
+				ng.InProb[pos] = p
+				pos++
+				ai++
+				segChanged = true
+				continue
+			}
+			src := g.InEdges[k]
+			if _, gone := removes[Edge{src, v}]; gone {
+				k++
+				segChanged = true
+				continue
+			}
+			ng.InEdges[pos] = src
+			ng.InProb[pos] = g.InProb[k]
+			pos++
+			k++
+		}
+		ng.InIndex[v+1] = pos
+		if segChanged {
+			rep.Dirty = append(rep.Dirty, v)
+		}
+	}
+	if pos != m {
+		return nil, fmt.Errorf("graph: delta in-edge accounting mismatch: %d != %d", pos, m)
+	}
+
+	// Out-direction: same merge grouped by src. Probabilities are
+	// mirrored from the in-direction afterwards.
+	bySrc := make([]Edge, len(adds))
+	for i, ae := range adds {
+		bySrc[i] = ae.e
+	}
+	sort.Slice(bySrc, func(i, j int) bool {
+		if bySrc[i].Src != bySrc[j].Src {
+			return bySrc[i].Src < bySrc[j].Src
+		}
+		return bySrc[i].Dst < bySrc[j].Dst
+	})
+	ai = 0
+	pos = 0
+	for v := int32(0); v < n; v++ {
+		var lo, hi int64
+		if v < g.N {
+			lo, hi = g.OutIndex[v], g.OutIndex[v+1]
+		}
+		k := lo
+		for k < hi || (ai < len(bySrc) && bySrc[ai].Src == v) {
+			takeAdd := ai < len(bySrc) && bySrc[ai].Src == v &&
+				(k >= hi || bySrc[ai].Dst < g.OutEdges[k])
+			if takeAdd {
+				ng.OutEdges[pos] = bySrc[ai].Dst
+				pos++
+				ai++
+				continue
+			}
+			dst := g.OutEdges[k]
+			if _, gone := removes[Edge{v, dst}]; gone {
+				k++
+				continue
+			}
+			ng.OutEdges[pos] = dst
+			pos++
+			k++
+		}
+		ng.OutIndex[v+1] = pos
+	}
+	if pos != m {
+		return nil, fmt.Errorf("graph: delta out-edge accounting mismatch: %d != %d", pos, m)
+	}
+	return ng, nil
+}
+
+// reweight finalizes per-edge parameters on the post-delta graph:
+// derived IC probabilities for added edges without explicit ones, and
+// full per-segment LT re-derivation (weights + prefix sums) for dirty
+// vertices. Untouched LT segments copy their old prefix sums verbatim
+// so carried-over weights stay bit-identical.
+func reweight(g, ng *Graph, seed uint64, rep *DeltaReport) {
+	switch g.Model() {
+	case IC:
+		// Only added edges carry the NaN placeholder, and added edges
+		// only appear in dirty segments.
+		for _, v := range rep.Dirty {
+			for k := ng.InIndex[v]; k < ng.InIndex[v+1]; k++ {
+				if math.IsNaN(float64(ng.InProb[k])) {
+					ng.InProb[k] = derivedProb(seed, ng.InEdges[k], v)
+				}
+			}
+		}
+	case LT:
+		di := 0
+		dirty := rep.Dirty
+		for v := int32(0); v < ng.N; v++ {
+			lo, hi := ng.InIndex[v], ng.InIndex[v+1]
+			if di < len(dirty) && dirty[di] == v {
+				di++
+				if hi == lo {
+					continue
+				}
+				// Re-derive the whole segment, AssignLT-style, from a
+				// stream keyed by (seed, v) — deterministic regardless
+				// of what else the delta touched.
+				r := rng.NewStream(seed, int(v))
+				var sum float64
+				for k := lo; k < hi; k++ {
+					w := r.Float64()
+					ng.InProb[k] = float32(w)
+					sum += w
+				}
+				target := r.Float64()
+				if target == 0 {
+					target = 1
+				}
+				scale := float32(target / sum)
+				var acc float32
+				for k := lo; k < hi; k++ {
+					ng.InProb[k] *= scale
+					acc += ng.InProb[k]
+					ng.InAccum[k] = acc
+				}
+				continue
+			}
+			// Untouched segment: weights were carried over by
+			// rebuildCSR; copy the prefix sums bit-for-bit too.
+			if v < g.N {
+				copy(ng.InAccum[lo:hi], g.InAccum[g.InIndex[v]:g.InIndex[v+1]])
+			}
+		}
+	}
+}
+
+// derivedProb maps (seed, src, dst) to a uniform [0,1) probability the
+// same way rng.Float32 would, through a SplitMix64 finalizer over the
+// edge identity. One added edge always gets the same probability no
+// matter what else is in the delta.
+func derivedProb(seed uint64, src, dst int32) float32 {
+	sm := rng.NewSplitMix64(seed ^ (uint64(uint32(src))<<32 | uint64(uint32(dst))))
+	sm.Next() // decorrelate nearby edge ids
+	return float32(sm.Next()>>40) / (1 << 24)
+}

@@ -1,0 +1,222 @@
+package graph
+
+import (
+	"testing"
+)
+
+func deltaTestGraph(t *testing.T, model Model) *Graph {
+	t.Helper()
+	edges := []Edge{
+		{0, 1}, {0, 2}, {1, 2}, {2, 3}, {3, 0}, {3, 4}, {4, 1}, {4, 2},
+	}
+	g, err := FromEdges(5, edges, model, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestApplyDeltaEmpty(t *testing.T) {
+	g := deltaTestGraph(t, IC)
+	ng, rep, err := ApplyDelta(g, Delta{}, DeltaOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ng != g {
+		t.Fatal("empty delta must return the input graph unchanged")
+	}
+	if rep.Changed() {
+		t.Fatalf("empty delta reported a change: %+v", rep)
+	}
+	if rep.NewM != g.M || rep.NewN != g.N {
+		t.Fatalf("empty delta shape drifted: %+v", rep)
+	}
+}
+
+func TestApplyDeltaAddRemove(t *testing.T) {
+	for _, model := range []Model{IC, LT} {
+		g := deltaTestGraph(t, model)
+		d := Delta{
+			Add:    []Edge{{1, 3}, {2, 0}},
+			Remove: []Edge{{0, 1}},
+			Seed:   42,
+		}
+		ng, rep, err := ApplyDelta(g, d, DeltaOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ng.M != g.M+1 {
+			t.Fatalf("M = %d, want %d", ng.M, g.M+1)
+		}
+		if !ng.HasEdge(1, 3) || !ng.HasEdge(2, 0) || ng.HasEdge(0, 1) {
+			t.Fatal("post-delta edge membership wrong")
+		}
+		if err := ng.Validate(); err != nil {
+			t.Fatalf("post-delta graph invalid: %v", err)
+		}
+		// Dirty = dst endpoints of the applied changes.
+		want := []int32{0, 1, 3}
+		if len(rep.Dirty) != len(want) {
+			t.Fatalf("dirty = %v, want %v", rep.Dirty, want)
+		}
+		for i, v := range want {
+			if rep.Dirty[i] != v {
+				t.Fatalf("dirty = %v, want %v", rep.Dirty, want)
+			}
+		}
+		// Untouched in-segments carry their weights bit-for-bit.
+		for v := int32(0); v < g.N; v++ {
+			dirty := false
+			for _, dv := range rep.Dirty {
+				if dv == v {
+					dirty = true
+				}
+			}
+			if dirty {
+				continue
+			}
+			olo, ohi := g.InIndex[v], g.InIndex[v+1]
+			nlo, nhi := ng.InIndex[v], ng.InIndex[v+1]
+			if ohi-olo != nhi-nlo {
+				t.Fatalf("vertex %d segment changed without being dirty", v)
+			}
+			for i := int64(0); i < ohi-olo; i++ {
+				if g.InProb[olo+i] != ng.InProb[nlo+i] {
+					t.Fatalf("vertex %d carried-over weight changed", v)
+				}
+			}
+		}
+	}
+}
+
+func TestApplyDeltaDeterministicWeights(t *testing.T) {
+	// The same delta applied twice yields bit-identical graphs, and a
+	// reordered delta yields the same graph too (weights depend only on
+	// (seed, edge), not on delta order).
+	for _, model := range []Model{IC, LT} {
+		g := deltaTestGraph(t, model)
+		d1 := Delta{Add: []Edge{{1, 3}, {0, 4}}, Remove: []Edge{{2, 3}}, Seed: 9}
+		d2 := Delta{Add: []Edge{{0, 4}, {1, 3}}, Remove: []Edge{{2, 3}}, Seed: 9}
+		a, _, err := ApplyDelta(g, d1, DeltaOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := ApplyDelta(g, d2, DeltaOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Equal(a, b) {
+			t.Fatalf("%v: delta application is order-sensitive", model)
+		}
+	}
+}
+
+func TestApplyDeltaExplicitProb(t *testing.T) {
+	g := deltaTestGraph(t, IC)
+	d := Delta{Add: []Edge{{1, 3}}, AddProb: []float32{0.25}}
+	ng, _, err := ApplyDelta(g, d, DeltaOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := ng.InIndex[3]; k < ng.InIndex[4]; k++ {
+		if ng.InEdges[k] == 1 && ng.InProb[k] != 0.25 {
+			t.Fatalf("explicit probability not honored: got %g", ng.InProb[k])
+		}
+	}
+	// An explicit zero is a valid probability, not "derive me".
+	d = Delta{Add: []Edge{{1, 3}}, AddProb: []float32{0}}
+	ng, _, err = ApplyDelta(g, d, DeltaOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for k := ng.InIndex[3]; k < ng.InIndex[4]; k++ {
+		if ng.InEdges[k] == 1 {
+			found = true
+			if ng.InProb[k] != 0 {
+				t.Fatalf("explicit zero probability overwritten: got %g", ng.InProb[k])
+			}
+		}
+	}
+	if !found {
+		t.Fatal("added edge missing")
+	}
+}
+
+func TestApplyDeltaGrowsVertices(t *testing.T) {
+	for _, model := range []Model{IC, LT} {
+		g := deltaTestGraph(t, model)
+		d := Delta{Add: []Edge{{4, 9}, {9, 0}}, Seed: 3}
+		ng, rep, err := ApplyDelta(g, d, DeltaOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ng.N != 10 {
+			t.Fatalf("N = %d, want 10", ng.N)
+		}
+		if rep.NewN != 10 || rep.OldN != 5 {
+			t.Fatalf("report shape %+v", rep)
+		}
+		if !ng.HasEdge(4, 9) || !ng.HasEdge(9, 0) {
+			t.Fatal("grown edges missing")
+		}
+		if err := ng.Validate(); err != nil {
+			t.Fatalf("grown graph invalid: %v", err)
+		}
+	}
+}
+
+func TestApplyDeltaStrict(t *testing.T) {
+	g := deltaTestGraph(t, IC)
+	strict := DeltaOptions{Strict: true}
+	cases := []struct {
+		name string
+		d    Delta
+	}{
+		{"self-loop", Delta{Add: []Edge{{2, 2}}}},
+		{"duplicate-of-existing", Delta{Add: []Edge{{0, 1}}}},
+		{"duplicate-within-delta", Delta{Add: []Edge{{0, 1}, {0, 1}}}},
+		{"missing-removal", Delta{Remove: []Edge{{1, 0}}}},
+		{"out-of-range-removal", Delta{Remove: []Edge{{40, 0}}}},
+	}
+	for _, tc := range cases {
+		if _, _, err := ApplyDelta(g, tc.d, strict); err == nil {
+			t.Fatalf("%s: strict mode accepted bad delta", tc.name)
+		}
+		// Silent mode drops the same entries and reports them.
+		ng, rep, err := ApplyDelta(g, tc.d, DeltaOptions{})
+		if err != nil {
+			t.Fatalf("%s: silent mode failed: %v", tc.name, err)
+		}
+		if dropped := rep.DroppedSelfLoops + rep.DroppedDuplicates + rep.MissingRemovals; dropped == 0 {
+			t.Fatalf("%s: silent mode dropped nothing", tc.name)
+		}
+		if rep.Changed() {
+			t.Fatalf("%s: silent drop still changed the graph", tc.name)
+		}
+		if ng != g {
+			t.Fatalf("%s: no-op delta built a new graph", tc.name)
+		}
+	}
+	// Negative endpoints are malformed in both modes.
+	if _, _, err := ApplyDelta(g, Delta{Add: []Edge{{-1, 2}}}, DeltaOptions{}); err == nil {
+		t.Fatal("negative endpoint accepted")
+	}
+}
+
+func TestApplyDeltaRemoveThenReAdd(t *testing.T) {
+	// Removing and re-adding the same edge in one delta is a reweight,
+	// not a duplicate — even under strict mode.
+	g := deltaTestGraph(t, IC)
+	d := Delta{Add: []Edge{{0, 1}}, Remove: []Edge{{0, 1}}, Seed: 5}
+	ng, rep, err := ApplyDelta(g, d, DeltaOptions{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ng.HasEdge(0, 1) || ng.M != g.M {
+		t.Fatal("reweight delta changed topology")
+	}
+	if len(rep.Dirty) != 1 || rep.Dirty[0] != 1 {
+		t.Fatalf("dirty = %v, want [1]", rep.Dirty)
+	}
+}

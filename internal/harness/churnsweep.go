@@ -1,0 +1,235 @@
+package harness
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/serve"
+)
+
+// ---------------------------------------------------------------------
+// Churn sweep — incremental warm-pool repair vs cold regeneration.
+// ---------------------------------------------------------------------
+
+// ChurnRow is one update rate of the sweep: a deterministic edge delta
+// touching ~rate·M edges, applied once through the serving layer's
+// in-place pool repair and once as a cold rebuild on the post-delta
+// graph.
+type ChurnRow struct {
+	// UpdateRate is the delta size as a fraction of the edge count
+	// (adds + removes over M).
+	UpdateRate float64
+	AddEdges   int
+	RemEdges   int
+
+	// Repair accounting from serve.Server.ApplyDelta.
+	DirtyVertices int
+	SetsResampled int64
+	FullResamples int64
+
+	// RepairMS is the incremental path: ApplyDelta (CSR rebuild + pool
+	// repair) plus the warm query that reads the repaired pool. ColdMS
+	// is the alternative: graph.ApplyDelta plus a from-scratch pool
+	// build and query on a fresh server.
+	RepairMS      float64
+	RepairQueryMS float64
+	ColdMS        float64
+
+	// Speedup is ColdMS over the full incremental path; RepairWins is
+	// Speedup > 1. Low rates should win and high rates approach (or
+	// cross) parity — the crossover the sweep exists to locate.
+	Speedup    float64
+	RepairWins bool
+
+	// SeedsMatch pins the tentpole guarantee: the repaired pool's
+	// answer is byte-identical to the cold post-delta answer.
+	SeedsMatch bool
+}
+
+// churnRates are the swept update rates (fraction of M changed). The
+// ladder spans four orders of magnitude because invalidation is
+// set-size-biased: a dirty hub vertex sits in most large RRR sets, so
+// even modest deltas invalidate a large share of the generation cost
+// and the repair-vs-cold crossover lands at rates well below 1%.
+var churnRates = []float64{0.00002, 0.0001, 0.0005, 0.002, 0.01, 0.05, 0.2}
+
+// ChurnSweep measures incremental warm-pool repair against cold
+// regeneration on an R-MAT graph at the given scale (log2 vertices;
+// <= 0 means 14). Each row starts from the pristine graph, warms a
+// pool, applies a deterministic delta of ~rate·M edges through
+// serve.Server.ApplyDelta (which repairs the pool in place), and
+// compares the wall time — delta apply plus warm query — against a
+// cold server that rebuilds the pool from scratch on the post-delta
+// graph. Every row checks the repaired answer byte-identical to the
+// cold one and fails the sweep otherwise. Results land in
+// churn_sweep.csv.
+func ChurnSweep(cfg Config, scale int) ([]ChurnRow, error) {
+	if scale <= 0 {
+		scale = 14
+	}
+	g, err := gen.RMAT(gen.DefaultRMAT(scale, 8), graph.IC, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	// Weighted cascade (p = 1/indeg) is the churn regime worth measuring:
+	// under uniform [0,1) IC at edge factor 8 the cascade is supercritical,
+	// so nearly every RRR set spans the giant reverse-reachable component
+	// and any dirty vertex inside it invalidates them all — repair
+	// degenerates to a cold rebuild regardless of rate. WC keeps sets
+	// local, which is what makes incremental repair pay off at all.
+	graph.AssignWC(g)
+	opt := serve.Options{
+		Workers:  runtime.NumCPU(),
+		MaxTheta: cfg.MaxThetaIC,
+	}
+	name := fmt.Sprintf("rmat%d", scale)
+	base := serve.QueryRequest{Graph: name, K: cfg.K, Epsilon: cfg.Epsilon, Seed: cfg.Seed}
+
+	var rows []ChurnRow
+	for i, rate := range churnRates {
+		// Rows are independent: each starts from the pristine graph so
+		// rates are comparable (deltas don't compound).
+		adds := max(1, int(rate*float64(g.M))/2)
+		rems := max(1, int(rate*float64(g.M))/2)
+		d := churnDelta(g, adds, rems, cfg.Seed+uint64(i)*1009+11)
+
+		row, err := runChurnRate(g, opt, name, base, rate, d)
+		if err != nil {
+			return nil, fmt.Errorf("harness: churn rate %.4f: %w", rate, err)
+		}
+		rows = append(rows, row)
+	}
+
+	csv := [][]string{{"update_rate", "add_edges", "rem_edges", "dirty_vertices", "sets_resampled", "full_resamples", "repair_ms", "repair_query_ms", "cold_ms", "speedup", "repair_wins", "seeds_match"}}
+	for _, r := range rows {
+		csv = append(csv, []string{
+			fmt.Sprintf("%g", r.UpdateRate), itoa(r.AddEdges), itoa(r.RemEdges),
+			itoa(r.DirtyVertices), i64(r.SetsResampled), i64(r.FullResamples),
+			f2(r.RepairMS), f2(r.RepairQueryMS), f2(r.ColdMS),
+			f2(r.Speedup), fmt.Sprintf("%v", r.RepairWins), fmt.Sprintf("%v", r.SeedsMatch),
+		})
+	}
+	return rows, cfg.writeCSV("churn_sweep.csv", csv)
+}
+
+// runChurnRate measures one update rate: warm a pool on the pristine
+// graph, time the incremental path (ApplyDelta repair + warm query),
+// then time the cold path (graph.ApplyDelta + fresh server + cold
+// query) and compare answers.
+func runChurnRate(g *graph.Graph, opt serve.Options, name string, base serve.QueryRequest, rate float64, d graph.Delta) (ChurnRow, error) {
+	s := serve.NewServer(opt)
+	if _, err := s.AddGraph(name, g, base.Seed); err != nil {
+		return ChurnRow{}, err
+	}
+	if _, err := s.Query(base); err != nil {
+		return ChurnRow{}, fmt.Errorf("warm-up query: %w", err)
+	}
+
+	start := time.Now()
+	res, err := s.ApplyDelta(name, d, graph.DeltaOptions{})
+	if err != nil {
+		return ChurnRow{}, fmt.Errorf("apply delta: %w", err)
+	}
+	repairMS := float64(time.Since(start)) / float64(time.Millisecond)
+	if !res.Changed {
+		return ChurnRow{}, fmt.Errorf("delta of +%d/-%d edges changed nothing", len(d.Add), len(d.Remove))
+	}
+
+	start = time.Now()
+	warm, err := s.Query(base)
+	if err != nil {
+		return ChurnRow{}, fmt.Errorf("repaired query: %w", err)
+	}
+	queryMS := float64(time.Since(start)) / float64(time.Millisecond)
+	if !warm.Warm {
+		return ChurnRow{}, fmt.Errorf("post-repair query was served cold")
+	}
+
+	// Cold alternative: apply the same delta to the pristine graph and
+	// pay a from-scratch pool build on a fresh server.
+	start = time.Now()
+	ng, _, err := graph.ApplyDelta(g, d, graph.DeltaOptions{})
+	if err != nil {
+		return ChurnRow{}, fmt.Errorf("cold graph apply: %w", err)
+	}
+	cold := serve.NewServer(opt)
+	if _, err := cold.AddGraph(name, ng, base.Seed); err != nil {
+		return ChurnRow{}, err
+	}
+	coldRes, err := cold.Query(base)
+	if err != nil {
+		return ChurnRow{}, fmt.Errorf("cold query: %w", err)
+	}
+	coldMS := float64(time.Since(start)) / float64(time.Millisecond)
+
+	match := reflect.DeepEqual(warm.Seeds, coldRes.Seeds) && warm.Theta == coldRes.Theta
+	if !match {
+		return ChurnRow{}, fmt.Errorf("repaired answer diverged from cold post-delta answer: %v (θ=%d) vs %v (θ=%d)",
+			warm.Seeds, warm.Theta, coldRes.Seeds, coldRes.Theta)
+	}
+
+	total := repairMS + queryMS
+	return ChurnRow{
+		UpdateRate:    rate,
+		AddEdges:      len(d.Add),
+		RemEdges:      len(d.Remove),
+		DirtyVertices: res.DirtyVertices,
+		SetsResampled: res.SetsResampled,
+		FullResamples: res.FullResamples,
+		RepairMS:      repairMS,
+		RepairQueryMS: queryMS,
+		ColdMS:        coldMS,
+		Speedup:       safeDiv(coldMS, total),
+		RepairWins:    coldMS > total,
+		SeedsMatch:    match,
+	}, nil
+}
+
+// churnDelta derives a deterministic edge delta touching ~adds+rems
+// edges of g: distinct existing edges to remove and absent
+// non-self-loop pairs to add, both drawn from an xorshift stream (the
+// same derivation cmd/graphgen's -delta-out uses, so harness rows and
+// CI deltas are comparable).
+func churnDelta(g *graph.Graph, adds, rems int, seed uint64) graph.Delta {
+	type pair [2]int32
+	present := make(map[pair]bool, g.M)
+	edges := make([]pair, 0, g.M)
+	for u := int32(0); u < g.N; u++ {
+		for p := g.OutIndex[u]; p < g.OutIndex[u+1]; p++ {
+			e := pair{u, g.OutEdges[p]}
+			present[e] = true
+			edges = append(edges, e)
+		}
+	}
+	x := seed ^ 0x9e3779b97f4a7c15
+	next := func() uint64 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return x
+	}
+	d := graph.Delta{Seed: seed}
+	chosen := make(map[pair]bool, rems)
+	for len(edges) > 0 && len(d.Remove) < rems && len(chosen) < len(edges) {
+		e := edges[next()%uint64(len(edges))]
+		if chosen[e] {
+			continue
+		}
+		chosen[e] = true
+		d.Remove = append(d.Remove, graph.Edge{Src: e[0], Dst: e[1]})
+	}
+	for g.N > 1 && len(d.Add) < adds {
+		u, v := int32(next()%uint64(g.N)), int32(next()%uint64(g.N))
+		e := pair{u, v}
+		if u == v || present[e] {
+			continue
+		}
+		present[e] = true
+		d.Add = append(d.Add, graph.Edge{Src: u, Dst: v})
+	}
+	return d
+}

@@ -1,0 +1,42 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestChurnSweep(t *testing.T) {
+	cfg := quick(t, true)
+	rows, err := ChurnSweep(cfg, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(churnRates) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(churnRates))
+	}
+	for i, r := range rows {
+		if !r.SeedsMatch {
+			t.Fatalf("row %d (rate %g): repaired answer diverged from cold", i, r.UpdateRate)
+		}
+		if r.SetsResampled == 0 && r.FullResamples == 0 {
+			t.Fatalf("row %d (rate %g): delta repaired nothing: %+v", i, r.UpdateRate, r)
+		}
+		if i > 0 && r.UpdateRate <= rows[i-1].UpdateRate {
+			t.Fatalf("rates not increasing at row %d", i)
+		}
+	}
+	// The resample count must grow with the update rate across the
+	// ladder (individual adjacent rows may tie on a tiny graph).
+	if first, last := rows[0], rows[len(rows)-1]; last.SetsResampled <= first.SetsResampled {
+		t.Fatalf("resamples did not grow with churn: %d (rate %g) vs %d (rate %g)",
+			first.SetsResampled, first.UpdateRate, last.SetsResampled, last.UpdateRate)
+	}
+	data, err := os.ReadFile(filepath.Join(cfg.OutDir, "churn_sweep.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("churn_sweep.csv is empty")
+	}
+}

@@ -170,17 +170,40 @@ func (rt *Router) owner(graph string, seed uint64) int {
 func (rt *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	for _, p := range []string{"/v1", ""} {
-		mux.HandleFunc("GET "+p+"/healthz", rt.handleHealth)
-		mux.HandleFunc("GET "+p+"/graphs", rt.handleGraphs)
-		mux.HandleFunc("GET "+p+"/stats", rt.handleStats)
-		mux.HandleFunc("GET "+p+"/query", rt.handleQuery)
-		mux.HandleFunc("POST "+p+"/query", rt.handleQuery)
-		mux.HandleFunc("POST "+p+"/batch", rt.handleBatch)
-		mux.HandleFunc("GET "+p+"/jobs", rt.handleJobsList)
-		mux.HandleFunc("POST "+p+"/jobs", rt.handleJobSubmit)
-		mux.HandleFunc("GET "+p+"/jobs/{id}", rt.handleJobByID)
+		// The unversioned aliases carry the same deprecation headers the
+		// nodes stamp; new endpoints exist only under /v1.
+		wrap := func(h http.HandlerFunc) http.HandlerFunc { return h }
+		if p == "" {
+			wrap = legacy
+		}
+		mux.HandleFunc("GET "+p+"/healthz", wrap(rt.handleHealth))
+		mux.HandleFunc("GET "+p+"/stats", wrap(rt.handleStats))
+		mux.HandleFunc("GET "+p+"/query", wrap(rt.handleQuery))
+		mux.HandleFunc("POST "+p+"/query", wrap(rt.handleQuery))
+		mux.HandleFunc("POST "+p+"/batch", wrap(rt.handleBatch))
+		mux.HandleFunc("GET "+p+"/jobs", wrap(rt.handleJobsList))
+		mux.HandleFunc("POST "+p+"/jobs", wrap(rt.handleJobSubmit))
+		mux.HandleFunc("GET "+p+"/jobs/{id}", wrap(rt.handleJobByID))
 	}
+	mux.HandleFunc("GET /v1/graphs", rt.handleGraphsV1)
+	mux.HandleFunc("GET /graphs", legacy(rt.handleGraphs))
+	// Graph lifecycle, /v1 only: writes broadcast to the whole fleet so
+	// every node can serve any pool key the ring assigns it.
+	mux.HandleFunc("POST /v1/graphs", rt.handleGraphRegister)
+	mux.HandleFunc("GET /v1/graphs/{name}", rt.handleGraphGet)
+	mux.HandleFunc("DELETE /v1/graphs/{name}", rt.handleGraphDelete)
+	mux.HandleFunc("POST /v1/graphs/{name}/edges", rt.handleGraphEdges)
 	return serve.EnvelopeFallbacks(mux)
+}
+
+// legacy stamps the deprecation headers the serving nodes use on the
+// router's own unversioned aliases.
+func legacy(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", serve.LegacyDeprecation)
+		w.Header().Set("Sucessor-Version", "/v1"+r.URL.Path)
+		h(w, r)
+	}
 }
 
 // queryIdentity extracts the routing and dedup identity of one query
@@ -270,6 +293,18 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 	rt.mu.Unlock()
 
 	fl.status, fl.retryAfter, fl.body = rt.forward(node, r, body)
+	// The ring decides placement, but only nodes know which graphs they
+	// hold: a graph registered after boot directly on some nodes (not
+	// through the router's broadcast) is invisible to the owner. On an
+	// unknown-graph refusal, poll the fleet for a holder and re-forward
+	// — the freshly registered graph becomes routable with no restart.
+	if fl.status == http.StatusNotFound && id.ok {
+		if code, _ := unwrapEnvelope(fl.body, fl.status); code == "unknown_graph" {
+			if alt, ok := rt.findHolder(id.req.Graph, node); ok {
+				fl.status, fl.retryAfter, fl.body = rt.forward(alt, r, body)
+			}
+		}
+	}
 
 	if id.ok {
 		rt.mu.Lock()
@@ -455,7 +490,7 @@ func (rt *Router) handleJobByID(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	path := strings.TrimSuffix(r.URL.Path, r.PathValue("id")) + local
-	status, _, resp := rt.forwardPath(node, http.MethodGet, path)
+	status, _, resp := rt.forwardPath(node, http.MethodGet, path, nil)
 	if status != http.StatusOK {
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(status)
@@ -507,27 +542,11 @@ func (rt *Router) handleGraphs(w http.ResponseWriter, r *http.Request) {
 		}
 		return graphs
 	})
-	byName := make(map[string]serve.GraphInfo)
-	reached := 0
-	for _, rep := range replies {
-		graphs, ok := rep.([]serve.GraphInfo)
-		if !ok {
-			continue
-		}
-		reached++
-		for _, g := range graphs {
-			byName[g.Name] = g
-		}
-	}
+	out, reached := unionGraphs(replies)
 	if reached == 0 {
 		serve.WriteErrorEnvelope(w, http.StatusServiceUnavailable, "node_unavailable", "no node is reachable")
 		return
 	}
-	out := make([]serve.GraphInfo, 0, len(byName))
-	for _, g := range byName {
-		out = append(out, g)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -601,7 +620,7 @@ func (rt *Router) fanOut(path string, f func(node, status int, body []byte) any)
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			status, _, body := rt.forwardPath(i, http.MethodGet, path)
+			status, _, body := rt.forwardPath(i, http.MethodGet, path, nil)
 			out[i] = f(i, status, body)
 		}(i)
 	}
@@ -610,11 +629,18 @@ func (rt *Router) fanOut(path string, f func(node, status int, body []byte) any)
 }
 
 // forwardPath is forward for router-initiated requests (no inbound
-// request to mirror).
-func (rt *Router) forwardPath(node int, method, path string) (status int, retryAfter string, body []byte) {
-	req, err := http.NewRequest(method, rt.nodes[node]+path, nil)
+// request to mirror); body may be nil.
+func (rt *Router) forwardPath(node int, method, path string, body []byte) (status int, retryAfter string, respBody []byte) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, rt.nodes[node]+path, rd)
 	if err != nil {
 		return http.StatusInternalServerError, "", envelope("internal", err.Error())
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := rt.client.Do(req)
 	if err != nil {

@@ -284,10 +284,15 @@ func TestRouterJobs(t *testing.T) {
 func TestRouterSurface(t *testing.T) {
 	_, ts, _ := testFleet(t, 2)
 
-	var graphs []serve.GraphInfo
+	var graphs serve.GraphsResponse
 	getJSON(t, ts.URL+"/v1/graphs", http.StatusOK, &graphs)
-	if len(graphs) != 1 || graphs[0].Name != "g" {
+	if len(graphs.Graphs) != 1 || graphs.Graphs[0].Name != "g" {
 		t.Fatalf("graphs = %+v", graphs)
+	}
+	var legacy []serve.GraphInfo
+	getJSON(t, ts.URL+"/graphs", http.StatusOK, &legacy)
+	if len(legacy) != 1 || legacy[0].Name != "g" {
+		t.Fatalf("legacy graphs = %+v", legacy)
 	}
 
 	var e serve.ErrorResponse

@@ -25,4 +25,12 @@ var (
 	// ErrUnknownJob marks a lookup of a job id that was never issued or
 	// has been pruned (HTTP 404).
 	ErrUnknownJob = errors.New("unknown job")
+	// ErrGraphExists marks a registration under a name the registry
+	// already holds (HTTP 409) — drop-and-replace would silently
+	// invalidate warm pools, so replacement is an explicit DELETE + POST.
+	ErrGraphExists = errors.New("graph already registered")
+	// ErrInvalidDelta marks a malformed or rejected edge delta: strict
+	// violations (self-loops, duplicates, absent removals), out-of-range
+	// endpoints, or a mismatched probability vector (HTTP 400).
+	ErrInvalidDelta = errors.New("invalid delta")
 )

@@ -48,23 +48,60 @@ import (
 // monopolize the planner.
 const maxBatchQueries = 1024
 
-// Handler returns the HTTP front-end for s: the /v1/ surface, the
-// legacy unprefixed aliases, and the envelope fallbacks for unknown
-// paths and disallowed methods.
+// Handler returns the HTTP front-end for s: the /v1/ surface (queries,
+// jobs, and the graph-lifecycle endpoints), the deprecated unprefixed
+// aliases of the original surface, and the envelope fallbacks for
+// unknown paths and disallowed methods.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	for _, p := range []string{"/v1", ""} {
-		mux.HandleFunc("GET "+p+"/healthz", s.handleHealth)
-		mux.HandleFunc("GET "+p+"/graphs", s.handleGraphs)
-		mux.HandleFunc("GET "+p+"/stats", s.handleStats)
-		mux.HandleFunc("GET "+p+"/query", s.handleQueryGet)
-		mux.HandleFunc("POST "+p+"/query", s.handleQueryPost)
-		mux.HandleFunc("POST "+p+"/batch", s.handleBatch)
-		mux.HandleFunc("GET "+p+"/jobs", s.handleJobsList)
-		mux.HandleFunc("POST "+p+"/jobs", s.handleJobSubmit)
-		mux.HandleFunc("GET "+p+"/jobs/{id}", s.handleJobByID)
+		// The unversioned aliases are deprecated: they answer exactly as
+		// before, but carry Deprecation headers and count in
+		// /v1/stats.legacy_requests. New endpoints exist only under /v1.
+		wrap := func(h http.HandlerFunc) http.HandlerFunc { return h }
+		if p == "" {
+			wrap = s.legacy
+		}
+		mux.HandleFunc("GET "+p+"/healthz", wrap(s.handleHealth))
+		mux.HandleFunc("GET "+p+"/stats", wrap(s.handleStats))
+		mux.HandleFunc("GET "+p+"/query", wrap(s.handleQueryGet))
+		mux.HandleFunc("POST "+p+"/query", wrap(s.handleQueryPost))
+		mux.HandleFunc("POST "+p+"/batch", wrap(s.handleBatch))
+		mux.HandleFunc("GET "+p+"/jobs", wrap(s.handleJobsList))
+		mux.HandleFunc("POST "+p+"/jobs", wrap(s.handleJobSubmit))
+		mux.HandleFunc("GET "+p+"/jobs/{id}", wrap(s.handleJobByID))
 	}
+	// The graph collection: /v1 serves the lifecycle-shaped response
+	// ({"graphs": [...]}); the legacy alias keeps the original bare
+	// array so pre-/v1 clients parse unchanged until removal.
+	mux.HandleFunc("GET /v1/graphs", s.handleGraphsV1)
+	mux.HandleFunc("GET /graphs", s.legacy(s.handleGraphs))
+	// Graph lifecycle, /v1 only.
+	mux.HandleFunc("POST /v1/graphs", s.handleGraphRegister)
+	mux.HandleFunc("GET /v1/graphs/{name}", s.handleGraphGet)
+	mux.HandleFunc("DELETE /v1/graphs/{name}", s.handleGraphDelete)
+	mux.HandleFunc("POST /v1/graphs/{name}/edges", s.handleGraphEdges)
 	return EnvelopeFallbacks(mux)
+}
+
+// LegacyDeprecation is the Deprecation header value (RFC 9745
+// @unix-timestamp form) stamped on every unversioned-alias response:
+// the date the aliases were deprecated in favor of /v1. README's
+// "Legacy paths" section records the removal timeline.
+const LegacyDeprecation = "@1786147200" // 2026-08-08T00:00:00Z
+
+// legacy wraps an unversioned-alias handler: the response gains the
+// Deprecation header and a Sucessor-Version header naming the /v1
+// replacement, and the hit counts in Stats.LegacyRequests.
+func (s *Server) legacy(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", LegacyDeprecation)
+		w.Header().Set("Sucessor-Version", "/v1"+r.URL.Path)
+		s.mu.Lock()
+		s.stats.LegacyRequests++
+		s.mu.Unlock()
+		h(w, r)
+	}
 }
 
 // EnvelopeFallbacks wraps mux so its built-in plain-text 404 and 405
@@ -301,8 +338,10 @@ func statusForError(err error) int {
 	switch {
 	case errors.Is(err, ErrUnknownGraph), errors.Is(err, ErrUnknownJob):
 		return http.StatusNotFound
-	case errors.Is(err, ErrInvalidQuery):
+	case errors.Is(err, ErrInvalidQuery), errors.Is(err, ErrInvalidDelta):
 		return http.StatusBadRequest
+	case errors.Is(err, ErrGraphExists):
+		return http.StatusConflict
 	case errors.Is(err, ErrOverloaded):
 		return http.StatusTooManyRequests
 	case errors.Is(err, ErrShuttingDown):
@@ -322,6 +361,10 @@ func codeForError(err error) string {
 		return "unknown_job"
 	case errors.Is(err, ErrInvalidQuery):
 		return "invalid_query"
+	case errors.Is(err, ErrInvalidDelta):
+		return "invalid_delta"
+	case errors.Is(err, ErrGraphExists):
+		return "graph_exists"
 	case errors.Is(err, ErrOverloaded):
 		return "overloaded"
 	case errors.Is(err, ErrShuttingDown):

@@ -231,9 +231,9 @@ func TestV1Aliases(t *testing.T) {
 	if health.Status != "ok" || health.Graphs != 1 {
 		t.Fatalf("/v1/healthz = %+v", health)
 	}
-	var graphs []GraphInfo
+	var graphs GraphsResponse
 	getJSON(t, ts.URL+"/v1/graphs", http.StatusOK, &graphs)
-	if len(graphs) != 1 || graphs[0].Name != "g" {
+	if len(graphs.Graphs) != 1 || graphs.Graphs[0].Name != "g" {
 		t.Fatalf("/v1/graphs = %+v", graphs)
 	}
 

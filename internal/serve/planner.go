@@ -192,7 +192,15 @@ func (s *Server) runBatch(ge *graphEntry, pe *poolEntry, batch []*batchWaiter) {
 	warm := pe.eng != nil
 	if !warm {
 		opt := s.queryOptions(batch[0].req)
-		eng, err := imm.NewWarmEngine(ge.g, opt)
+		// Snapshot the registry's current graph and epoch under the
+		// server mutex: a concurrent delta swaps ge.g, and its repair
+		// pass finds engines built against the pre-swap graph by the
+		// epoch recorded here.
+		s.mu.Lock()
+		g := ge.g
+		pe.epoch = ge.info.Epoch
+		s.mu.Unlock()
+		eng, err := imm.NewWarmEngine(g, opt)
 		if err != nil {
 			fail(err)
 			return
@@ -202,7 +210,7 @@ func (s *Server) runBatch(ge *graphEntry, pe *poolEntry, batch []*batchWaiter) {
 			// chunks. Slot determinism keeps the pool — and every answer
 			// from it — byte-identical to local generation, so this is
 			// purely a placement decision.
-			eng.SetRemote(s.opt.RemoteGen(ge.info.Name, ge.g, opt))
+			eng.SetRemote(s.opt.RemoteGen(ge.info.Name, g, opt))
 		}
 		pe.eng = eng
 	}

@@ -144,6 +144,13 @@ type GraphInfo struct {
 	// recorded in .imsnap headers). It is distinct from a query's RNG
 	// seed, which seeds RRR sampling only.
 	WeightSeed uint64 `json:"weight_seed"`
+	// Epoch counts the graph's applied deltas: 0 at registration,
+	// incremented by every delta that changes the graph. A pool built
+	// or repaired at epoch e answers queries for the epoch-e CSR.
+	Epoch int64 `json:"epoch"`
+	// UpdatedAt is when the graph last changed: registration time, then
+	// the wall time of each applied delta.
+	UpdatedAt time.Time `json:"updated_at"`
 }
 
 // QueryRequest identifies one seed-set query. Graph, K, Epsilon and
@@ -240,6 +247,24 @@ type Stats struct {
 	JobsDone      int64 `json:"jobs_done"`
 	JobsFailed    int64 `json:"jobs_failed"`
 
+	// Deltas counts applied graph deltas (no-ops included);
+	// DeltaEdgesAdded/DeltaEdgesRemoved the edges they changed.
+	// RepairedPools counts warm pools patched in place after a delta,
+	// RepairedSets the slots those repairs resampled, and FullResamples
+	// the repairs that degenerated to whole-pool regeneration (vertex
+	// growth changes every slot's root draw).
+	Deltas            int64 `json:"deltas"`
+	DeltaEdgesAdded   int64 `json:"delta_edges_added"`
+	DeltaEdgesRemoved int64 `json:"delta_edges_removed"`
+	RepairedPools     int64 `json:"repaired_pools"`
+	RepairedSets      int64 `json:"repaired_sets"`
+	FullResamples     int64 `json:"full_resamples"`
+
+	// LegacyRequests counts hits on the deprecated unversioned path
+	// aliases (every request outside /v1). See the Deprecation headers
+	// the handler attaches to those responses.
+	LegacyRequests int64 `json:"legacy_requests"`
+
 	// WireBytesSent/WireBytesReceived/WireMessages are the cluster
 	// transport's measured bytes-on-the-wire totals (frame headers
 	// included; all zero on single-node servers). RemoteFailovers counts
@@ -302,6 +327,11 @@ type poolEntry struct {
 	bytes  int64         // footprint last accounted into Server.usedBytes
 	elem   *list.Element // position in the LRU list
 	pinned int           // queries currently using the entry; > 0 blocks eviction
+	// epoch is the graph epoch the entry's engine was built or last
+	// repaired at (guarded by the server mutex; recorded when the
+	// drainer snapshots the graph). ApplyDelta's repair pass finds
+	// stale pools by comparing it against the registry epoch.
+	epoch int64
 }
 
 // enqueue appends w to the entry's wait queue and reports whether the
@@ -318,10 +348,14 @@ func (pe *poolEntry) enqueue(w *batchWaiter) (leader bool) {
 	return false
 }
 
-// graphEntry is one registered graph.
+// graphEntry is one registered graph. The graph pointer and info are
+// guarded by the server mutex (a delta swaps the pointer); deltaMu
+// serializes delta applications on this graph so every pool advances
+// one epoch at a time.
 type graphEntry struct {
-	g    *graph.Graph
-	info GraphInfo
+	g       *graph.Graph
+	info    GraphInfo
+	deltaMu sync.Mutex
 }
 
 // Server is the warm-pool query service. Construct with NewServer,
@@ -390,11 +424,11 @@ func (s *Server) AddGraph(name string, g *graph.Graph, weightSeed uint64) (Graph
 	if g == nil || g.N == 0 {
 		return GraphInfo{}, fmt.Errorf("serve: graph %q is empty", name)
 	}
-	info := GraphInfo{Name: name, Nodes: g.N, Edges: g.M, Model: g.Model().String(), WeightSeed: weightSeed}
+	info := GraphInfo{Name: name, Nodes: g.N, Edges: g.M, Model: g.Model().String(), WeightSeed: weightSeed, UpdatedAt: time.Now().UTC()}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.graphs[name]; ok {
-		return GraphInfo{}, fmt.Errorf("serve: graph %q already registered", name)
+		return GraphInfo{}, fmt.Errorf("serve: %w: %q", ErrGraphExists, name)
 	}
 	s.graphs[name] = &graphEntry{g: g, info: info}
 	s.stats.Graphs = len(s.graphs)
@@ -577,8 +611,10 @@ func (s *Server) execute(ge *graphEntry, req QueryRequest, mode admitMode) (*Que
 		// mutex; re-reading the engine here would race with a concurrent
 		// batch on the same pool. The pool only ever grows, so take the
 		// monotonic max — two queries finishing out of order must not let
-		// the smaller, staler measurement overwrite the larger one.
-		if res.PoolBytes > pe.bytes {
+		// the smaller, staler measurement overwrite the larger one. An
+		// entry RemoveGraph unregistered mid-flight is skipped: its bytes
+		// already left the budget.
+		if res.PoolBytes > pe.bytes && s.pools[pe.key] == pe {
 			s.usedBytes += res.PoolBytes - pe.bytes
 			pe.bytes = res.PoolBytes
 		}
@@ -586,11 +622,13 @@ func (s *Server) execute(ge *graphEntry, req QueryRequest, mode admitMode) (*Que
 		s.stats.GeneratedSets += res.GeneratedSets
 		s.stats.ReusedBytes += res.ReusedBytes
 		s.evictLocked(pe)
-	} else if pe.pinned == 0 && pe.bytes == 0 {
+	} else if pe.pinned == 0 && pe.bytes == 0 && s.pools[pe.key] == pe {
 		// The query failed, no query ever succeeded on this entry
 		// (successful queries always account a positive footprint), and
 		// nobody else is using it: drop the placeholder so later queries
-		// start clean instead of inheriting a dead entry.
+		// start clean instead of inheriting a dead entry. (The map check
+		// guards against unregistering a successor entry after
+		// RemoveGraph already dropped this one.)
 		s.removeEntryLocked(pe)
 	}
 	s.mu.Unlock()

@@ -38,8 +38,14 @@ type (
 	// ServeStats are the service counters (queries, warm hits, batches,
 	// shared extensions, admission rejections, evictions, job counts).
 	ServeStats = serve.Stats
-	// GraphInfo describes one graph registered with a Server.
+	// GraphInfo describes one graph registered with a Server, including
+	// its delta epoch and last-update time.
 	GraphInfo = serve.GraphInfo
+	// ServeDeltaResult reports one Server.ApplyDelta call: the
+	// post-delta graph shape, what changed, and the warm-pool repair
+	// accounting (pools repaired in place, sets resampled, full
+	// resamples).
+	ServeDeltaResult = serve.DeltaResult
 	// BatchItem is one member's outcome in a Server.QueryBatch answer.
 	BatchItem = serve.BatchItem
 	// ServeJob is the public view of one async query submitted with
@@ -58,6 +64,8 @@ var (
 	ErrServerOverloaded   = serve.ErrOverloaded
 	ErrServerShuttingDown = serve.ErrShuttingDown
 	ErrUnknownJob         = serve.ErrUnknownJob
+	ErrGraphExists        = serve.ErrGraphExists
+	ErrInvalidDelta       = serve.ErrInvalidDelta
 )
 
 // DefaultPoolBudgetBytes is the resident warm-pool byte budget applied
