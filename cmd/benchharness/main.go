@@ -25,9 +25,10 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: table1|fig1|fig2|table2|fig5|table3|fig6|fig7|table4|ablations|dist|mem|kernel|ingest|serve|load|churn|ci|all")
+		exp        = flag.String("exp", "all", "experiment: table1|fig1|fig2|table2|fig5|table3|fig6|fig7|table4|ablations|dist|mem|kernel|ingest|serve|tier|load|churn|ci|all")
 		ingScale   = flag.Int("ingest-scale", 0, "ingest experiment: log2 vertices of the generated graph (0 = 17 for ~1M+ edges, or 13 with -quick)")
 		srvScale   = flag.Int("serve-scale", 0, "serve experiment: log2 vertices of the generated graph (0 = 16, the CI dataset shape, or 12 with -quick)")
+		tierScale  = flag.Int("tier-scale", 0, "tier experiment: log2 vertices of the generated graph (0 = 14, or 11 with -quick)")
 		loadScale  = flag.Int("load-scale", 0, "load experiment: log2 vertices of the generated graph (0 = 13, or 10 with -quick)")
 		churnScale = flag.Int("churn-scale", 0, "churn experiment: log2 vertices of the generated graph (0 = 14, or 11 with -quick)")
 		out        = flag.String("out", "results", "output directory for CSVs and JSON logs")
@@ -257,6 +258,25 @@ func main() {
 			fmt.Printf("%-14s %4d %5.2f %10.1f %8d %10d %10d %12d %8.2fx %6v\n",
 				r.Phase, r.K, r.Epsilon, r.WallMS, r.Theta, r.ReusedSets, r.GeneratedSets,
 				r.ReusedBytes, r.SpeedupVsCold, r.SeedsMatch)
+		}
+		return nil
+	})
+
+	run("tier", func() error {
+		scale := *tierScale
+		if scale == 0 && *quick {
+			scale = 11
+		}
+		rows, err := harness.TierSweep(cfg, scale)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-20s %13s %8s %6s %10s %8s %6s %10s %6s\n",
+			"phase", "budget_bytes", "tenants", "held", "wall_ms", "theta", "warm", "generated", "match")
+		for _, r := range rows {
+			fmt.Printf("%-20s %13d %8d %6d %10.1f %8d %6v %10d %6v\n",
+				r.Phase, r.BudgetBytes, r.Tenants, r.TenantsHeld, r.WallMS,
+				r.Theta, r.Warm, r.GeneratedSets, r.SeedsMatch)
 		}
 		return nil
 	})

@@ -25,20 +25,31 @@
 //	immserver -rank 2 -peers root:0,h1:9401,h2:9402      # worker, listens on h2:9402
 //	immserver -load g.imsnap -peers root:0,h1:9401,h2:9402   # root (rank 0)
 //
+// With -pool-dir the warm-pool LRU becomes two-tier: pools squeezed
+// out by the byte budget are demoted to .impool snapshots instead of
+// destroyed and promoted back via mmap on their next query, POST
+// /v1/pools/save freezes every resident pool to disk, and a restart
+// rehydrates the directory so the first post-restart query answers
+// warm (zero generated sets, byte-identical seeds) — even after
+// kill -9:
+//
+//	immserver -load g.imsnap -pool-budget-mb 1024 -pool-dir /var/lib/immserver/pools
+//
 // Endpoints (the versioned /v1 prefix is canonical; the unprefixed
 // aliases of the original query surface still answer but are
-// deprecated — they carry Deprecation + Sucessor-Version headers and
+// deprecated — they carry Deprecation + Successor-Version headers and
 // count in /v1/stats legacy_requests; see README "Legacy paths" for
 // the removal timeline):
 //
 //	GET    /v1/healthz                             liveness + graph count
 //	GET    /v1/graphs                              registered graphs ({"graphs":[...]})
-//	GET    /v1/stats                               query/reuse/batch/eviction/delta counters
+//	GET    /v1/stats                               query/reuse/batch/eviction/tier/delta counters
 //	GET    /v1/query?graph=G&k=K&eps=E&seed=S      one seed-set query
 //	POST   /v1/query  {"graph":G,"k":K,"epsilon":E,"seed":S}
 //	POST   /v1/batch  {"queries":[...]}            many queries, one round-trip
 //	POST   /v1/jobs   {"graph":G,"k":K,...}        async query → job id (202)
 //	GET    /v1/jobs/{id}                           job state + result when done
+//	POST   /v1/pools/save {"dir":D?}               freeze resident pools to .impool snapshots
 //
 // Graph lifecycle (/v1 only) — graphs can be registered, updated with
 // streaming edge deltas, and dropped without a restart. Each delta
@@ -94,6 +105,7 @@ func main() {
 		selName      = flag.String("selection", "celf", "selection kernel: celf or scan")
 		maxTheta     = flag.Int64("max-theta", 0, "cap on RRR sets per query (0 = per-theory)")
 		budgetMB     = flag.Int64("pool-budget-mb", 1024, "resident warm-pool byte budget across graphs, in MiB")
+		poolDir      = flag.String("pool-dir", "", "directory for .impool pool snapshots: enables disk demotion under budget pressure, POST /v1/pools/save, and instant-warm rehydration at boot")
 		seed         = flag.Uint64("ingest-seed", 1, "weight-assignment seed for edge-list loads")
 		queryWorkers = flag.Int("query-workers", 0, "max concurrently executing queries (0 = 4x GOMAXPROCS)")
 		queueDepth   = flag.Int("queue-depth", 0, "max queries waiting for a worker before 429 (0 = default 256, negative = reject immediately)")
@@ -136,6 +148,7 @@ func main() {
 		Selection:       selection,
 		MaxTheta:        *maxTheta,
 		PoolBudgetBytes: *budgetMB << 20,
+		PoolDir:         *poolDir,
 		QueryWorkers:    *queryWorkers,
 		QueueDepth:      *queueDepth,
 		GatherWindow:    *gatherWindow,
@@ -161,6 +174,16 @@ func main() {
 		fatalIf(err)
 		fmt.Fprintf(os.Stderr, "immserver: registered %q: %d nodes, %d edges, model %s\n",
 			info.Name, info.Nodes, info.Edges, info.Model)
+	}
+	if *poolDir != "" {
+		// Rehydrate saved pools for the graphs registered above: entries
+		// appear disk-only and promote via mmap on first touch, so the
+		// first post-restart query answers warm with zero generated sets.
+		n, err := srv.LoadPools()
+		fatalIf(err)
+		if n > 0 {
+			fmt.Fprintf(os.Stderr, "immserver: rehydrated %d pool snapshot(s) from %s\n", n, *poolDir)
+		}
 	}
 
 	httpSrv := &http.Server{Addr: *listen, Handler: srv.Handler()}

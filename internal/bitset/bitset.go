@@ -30,6 +30,21 @@ func New(n int) *Bitset {
 	return &Bitset{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
 }
 
+// FromWords adopts an existing word slice as a Bitset holding n bits,
+// without copying. The slice must hold exactly (n+63)/64 words; bits at
+// positions >= n must be clear. The pool-snapshot thaw path uses this to
+// alias bitmap rows straight out of a memory-mapped file, so callers
+// adopting shared storage must treat the set as read-only.
+func FromWords(words []uint64, n int) *Bitset {
+	if n < 0 {
+		panic("bitset: negative size")
+	}
+	if len(words) != (n+wordBits-1)/wordBits {
+		panic("bitset: FromWords word count mismatch")
+	}
+	return &Bitset{words: words, n: n}
+}
+
 // Len returns the number of bits the set can hold.
 func (b *Bitset) Len() int { return b.n }
 

@@ -1,0 +1,220 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/imm"
+	"repro/internal/serve"
+)
+
+// ---------------------------------------------------------------------
+// Tier sweep — the two-tier (RAM + disk) pool LRU of the query service.
+// ---------------------------------------------------------------------
+
+// TierRow is one measurement of the tier sweep: a latency phase (cold
+// build vs promote-from-disk vs hot RAM hit on the same pool) or a
+// capacity phase (tenants answerable without regeneration at a fixed
+// byte budget, with and without the disk tier).
+type TierRow struct {
+	Phase       string // cold, hot, promote, promote-at-capacity, ram-capacity, disk-capacity
+	BudgetBytes int64
+	Tenants     int
+	// TenantsHeld counts tenants the server can still answer without
+	// regenerating their pool: resident entries, plus demoted entries
+	// the disk tier promotes back on touch.
+	TenantsHeld int
+
+	WallMS        float64
+	Theta         int64
+	Warm          bool
+	GeneratedSets int64
+	// SeedsMatch pins the tier contract: however the pool was served —
+	// cold, hot, or promoted from an .impool snapshot — the answer is
+	// byte-identical to a cold imm.Run.
+	SeedsMatch bool
+}
+
+// TierSweep measures the two-tier pool LRU on an R-MAT graph at the
+// given scale (log2 vertices; <= 0 means 14). The latency phases serve
+// one pool three ways — built cold, hot from RAM, and promoted from a
+// demoted .impool snapshot via mmap — and the capacity phases count how
+// many tenants (distinct query seeds) a fixed byte budget can hold
+// warm-answerable with and without a pool directory: RAM-only eviction
+// drops pools to fit, the disk tier keeps every tenant serveable.
+// Results land in tier_sweep.csv.
+func TierSweep(cfg Config, scale int) ([]TierRow, error) {
+	if scale <= 0 {
+		scale = 14
+	}
+	g, err := gen.RMAT(gen.DefaultRMAT(scale, 8), graph.IC, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	name := fmt.Sprintf("rmat%d", scale)
+	opt := serve.Options{Workers: runtime.NumCPU(), MaxTheta: cfg.MaxThetaIC}
+	req := serve.QueryRequest{Graph: name, K: cfg.K, Epsilon: cfg.Epsilon, Seed: cfg.Seed}
+
+	// Cold reference answer every tier of the same pool must reproduce.
+	refOpt := opt.EngineOptions()
+	refOpt.K = req.K
+	refOpt.Epsilon = req.Epsilon
+	refOpt.Seed = req.Seed
+	ref, err := imm.Run(g, refOpt)
+	if err != nil {
+		return nil, err
+	}
+
+	poolDir, err := os.MkdirTemp("", "impool-sweep-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(poolDir)
+
+	// Probe: one unbounded server measures a single pool's footprint so
+	// the budget below can be sized to hold exactly two pools.
+	probe := serve.NewServer(opt)
+	if _, err := probe.AddGraph(name, g, cfg.Seed); err != nil {
+		return nil, err
+	}
+	probeRes, err := probe.Query(req)
+	if err != nil {
+		return nil, err
+	}
+	onePool := probeRes.PoolBytes
+	if onePool == 0 {
+		return nil, fmt.Errorf("harness: tier probe pool has no resident bytes")
+	}
+	budget := 2*onePool + onePool/2
+
+	tierOpt := opt
+	tierOpt.PoolBudgetBytes = budget
+	tierOpt.PoolDir = poolDir
+	s := serve.NewServer(tierOpt)
+	if _, err := s.AddGraph(name, g, cfg.Seed); err != nil {
+		return nil, err
+	}
+
+	serveTimed := func(phase string, srv *serve.Server, q serve.QueryRequest, tenants, held int) (TierRow, error) {
+		start := time.Now()
+		res, err := srv.Query(q)
+		if err != nil {
+			return TierRow{}, fmt.Errorf("harness: tier %s: %w", phase, err)
+		}
+		match := q != req || (reflect.DeepEqual(res.Seeds, ref.Seeds) && res.Theta == ref.Theta)
+		return TierRow{
+			Phase:         phase,
+			BudgetBytes:   budget,
+			Tenants:       tenants,
+			TenantsHeld:   held,
+			WallMS:        float64(time.Since(start)) / float64(time.Millisecond),
+			Theta:         res.Theta,
+			Warm:          res.Warm,
+			GeneratedSets: res.GeneratedSets,
+			SeedsMatch:    match,
+		}, nil
+	}
+
+	var rows []TierRow
+	cold, err := serveTimed("cold", s, req, 1, 1)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, cold)
+	hot, err := serveTimed("hot", s, req, 1, 1)
+	if err != nil {
+		return nil, err
+	}
+	if !hot.Warm || hot.GeneratedSets != 0 {
+		return nil, fmt.Errorf("harness: tier hot row not served from RAM: %+v", hot)
+	}
+	rows = append(rows, hot)
+
+	// Two more tenants overflow the two-pool budget and demote the first
+	// pool; its comeback is the promote measurement.
+	for off := uint64(1); off <= 2; off++ {
+		q := req
+		q.Seed = cfg.Seed + off
+		if _, err := s.Query(q); err != nil {
+			return nil, err
+		}
+	}
+	if st := s.Stats(); st.Demotions == 0 {
+		return nil, fmt.Errorf("harness: tier pressure demoted nothing (%+v)", st)
+	}
+	promote, err := serveTimed("promote", s, req, 3, 3)
+	if err != nil {
+		return nil, err
+	}
+	if !promote.Warm || promote.GeneratedSets != 0 || !promote.SeedsMatch {
+		return nil, fmt.Errorf("harness: tier promote row regenerated or diverged: %+v", promote)
+	}
+	rows = append(rows, promote)
+
+	// Capacity at a fixed budget: the same tenant parade against a
+	// RAM-only server (evicted tenants must regenerate — they are lost)
+	// and a tiered one (demoted tenants stay answerable from disk).
+	const tenants = 20
+	ramOpt := opt
+	ramOpt.PoolBudgetBytes = budget
+	for _, leg := range []struct {
+		phase string
+		opt   serve.Options
+	}{
+		{"ram-capacity", ramOpt},
+		{"disk-capacity", tierOpt},
+	} {
+		srv := serve.NewServer(leg.opt)
+		if _, err := srv.AddGraph(name, g, cfg.Seed); err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		for off := uint64(0); off < tenants; off++ {
+			q := req
+			q.Seed = cfg.Seed + off
+			if _, err := srv.Query(q); err != nil {
+				return nil, err
+			}
+		}
+		wallMS := float64(time.Since(start)) / float64(time.Millisecond)
+		st := srv.Stats()
+		rows = append(rows, TierRow{
+			Phase:       leg.phase,
+			BudgetBytes: budget,
+			Tenants:     tenants,
+			TenantsHeld: st.Pools,
+			WallMS:      wallMS,
+			SeedsMatch:  true,
+		})
+		if leg.phase == "disk-capacity" {
+			if st.Pools != tenants {
+				return nil, fmt.Errorf("harness: disk tier lost tenants: held %d of %d (%+v)", st.Pools, tenants, st)
+			}
+			// Prove a held tenant really answers warm: the oldest pool
+			// has been on disk the longest.
+			back, err := serveTimed("promote-at-capacity", srv, req, tenants, tenants)
+			if err != nil {
+				return nil, err
+			}
+			if !back.Warm || back.GeneratedSets != 0 || !back.SeedsMatch {
+				return nil, fmt.Errorf("harness: tenant promoted at capacity regenerated or diverged: %+v", back)
+			}
+			rows = append(rows, back)
+		}
+	}
+
+	csv := [][]string{{"phase", "budget_bytes", "tenants", "tenants_held", "wall_ms", "theta", "warm", "generated_sets", "seeds_match"}}
+	for _, r := range rows {
+		csv = append(csv, []string{
+			r.Phase, i64(r.BudgetBytes), itoa(r.Tenants), itoa(r.TenantsHeld),
+			f2(r.WallMS), i64(r.Theta), fmt.Sprintf("%v", r.Warm),
+			i64(r.GeneratedSets), fmt.Sprintf("%v", r.SeedsMatch),
+		})
+	}
+	return rows, cfg.writeCSV("tier_sweep.csv", csv)
+}

@@ -1,0 +1,13 @@
+//go:build !unix
+
+package ingest
+
+import "repro/internal/imm"
+
+// MapPoolSnapshotFile on platforms without a usable mmap delegates to
+// the streaming reader; the decoded state owns copies instead of
+// aliasing the file, which is slower to promote but identical in
+// behaviour.
+func MapPoolSnapshotFile(path string) (*imm.PoolState, PoolSnapshotInfo, error) {
+	return ReadPoolSnapshotFile(path)
+}

@@ -1,0 +1,153 @@
+//go:build unix
+
+package ingest
+
+import (
+	"fmt"
+	"hash/crc32"
+	"os"
+	"syscall"
+	"unsafe"
+
+	"repro/internal/imm"
+)
+
+// hostLittleEndian reports whether this machine's byte order matches the
+// on-disk format. On the (rare) big-endian host the zero-copy aliasing
+// below would read garbage, so mapping falls back to the streaming
+// decoder, which byte-swaps explicitly.
+var hostLittleEndian = func() bool {
+	probe := uint16(1)
+	return *(*byte)(unsafe.Pointer(&probe)) == 1
+}()
+
+// MapPoolSnapshotFile memory-maps a .impool file read-only and returns a
+// PoolState whose payload slices alias the mapping — no copy of the set
+// data is made, which is what makes promoting a demoted pool back to the
+// hot tier cheap: the page cache already holds the bytes if the demotion
+// was recent, and a cold promotion faults pages in on demand as the
+// selection kernel touches them.
+//
+// Header, section table, and every section checksum are verified against
+// the mapping before anything aliases it, exactly as the streaming
+// reader would, so a corrupt file is rejected up front rather than
+// discovered mid-query. (The CRC pass also happens to pre-fault the
+// pages sequentially, the fastest way to pull the file in.)
+//
+// The mapping is intentionally never munmapped. Thawed engine sets alias
+// it with no back-reference to a handle, so unmapping would require
+// tracking every derived slice; instead the mapping lives for the
+// process. That costs address space, not memory: the pages are
+// file-backed and clean, so the OS reclaims them under pressure — which
+// is precisely the disk tier's contract.
+//
+// When mapping is not possible (empty file, big-endian host, mmap
+// failure) it falls back to the streaming reader transparently.
+func MapPoolSnapshotFile(path string) (*imm.PoolState, PoolSnapshotInfo, error) {
+	if !hostLittleEndian {
+		return ReadPoolSnapshotFile(path)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, PoolSnapshotInfo{}, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, PoolSnapshotInfo{}, err
+	}
+	size := fi.Size()
+	if size < snapHeaderSize+poolTableSize {
+		f.Close()
+		return nil, PoolSnapshotInfo{}, fmt.Errorf("%w: %d-byte file cannot hold a header", ErrPoolSnapshot, size)
+	}
+	if size > int64(int(^uint(0)>>1)) {
+		f.Close()
+		return ReadPoolSnapshotFile(path)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	f.Close() // the mapping outlives the descriptor
+	if err != nil {
+		return ReadPoolSnapshotFile(path)
+	}
+	st, info, err := poolStateFromMapping(data)
+	if err != nil {
+		syscall.Munmap(data)
+		return nil, info, err
+	}
+	return st, info, nil
+}
+
+// poolStateFromMapping decodes and validates a full .impool image,
+// aliasing payload sections in place.
+func poolStateFromMapping(data []byte) (*imm.PoolState, PoolSnapshotInfo, error) {
+	secs, info, err := parsePoolHeader(data[:snapHeaderSize+poolTableSize])
+	if err != nil {
+		return nil, info, err
+	}
+	if info.Bytes > int64(len(data)) {
+		return nil, info, fmt.Errorf("%w: sections need %d bytes, file holds %d", ErrPoolSnapshot, info.Bytes, len(data))
+	}
+	for i, sec := range secs {
+		got := crc32.Checksum(data[sec.offset:sec.offset+sec.byteLen], castagnoli)
+		if got != sec.crc {
+			return nil, info, fmt.Errorf("%w: section %d checksum mismatch", ErrPoolSnapshot, i)
+		}
+	}
+	meta := aliasI64(data, secs[0])
+	if err := applyPoolMeta(meta, &info); err != nil {
+		return nil, info, err
+	}
+	st := poolStateShell(info)
+	for s := range st.Shards {
+		sh := &st.Shards[s]
+		base := 1 + s*poolSecPerShard
+		sh.Kinds = aliasU8(data, secs[base+poolSecKinds])
+		sh.Sizes = aliasI32(data, secs[base+poolSecSizes])
+		sh.CompLens = aliasI32(data, secs[base+poolSecCompLens])
+		sh.ListData = aliasI32(data, secs[base+poolSecListData])
+		sh.CompData = aliasU8(data, secs[base+poolSecCompData])
+		sh.BitmapData = aliasU64(data, secs[base+poolSecBitmapData])
+		if secs[base+poolSecPostIdx].byteLen > 0 {
+			sh.PostIdx = aliasI32(data, secs[base+poolSecPostIdx])
+			sh.PostData = aliasI32(data, secs[base+poolSecPostData])
+		}
+	}
+	if err := validatePoolState(st); err != nil {
+		return nil, info, err
+	}
+	return st, info, nil
+}
+
+// The alias helpers reinterpret a section of the mapping in place.
+// parsePoolHeader has already proven byteLen is an element multiple and
+// the offset 64-byte aligned (for non-empty sections), which satisfies
+// every element type's alignment.
+
+func aliasU8(data []byte, sec snapSection) []byte {
+	if sec.byteLen == 0 {
+		return nil
+	}
+	return data[sec.offset : sec.offset+sec.byteLen : sec.offset+sec.byteLen]
+}
+
+func aliasI32(data []byte, sec snapSection) []int32 {
+	if sec.byteLen == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(&data[sec.offset])), sec.byteLen/4)
+}
+
+func aliasI64(data []byte, sec snapSection) []int64 {
+	if sec.byteLen == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int64)(unsafe.Pointer(&data[sec.offset])), sec.byteLen/8)
+}
+
+func aliasU64(data []byte, sec snapSection) []uint64 {
+	if sec.byteLen == 0 {
+		return nil
+	}
+	return unsafe.Slice((*uint64)(unsafe.Pointer(&data[sec.offset])), sec.byteLen/8)
+}

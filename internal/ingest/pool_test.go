@@ -1,0 +1,382 @@
+package ingest
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/imm"
+)
+
+// poolFixture runs a small warm query and freezes the resulting pool,
+// returning the graph it is bound to alongside the state.
+func poolFixture(t testing.TB, pool imm.PoolKind, adaptive bool, epoch int64) (*graph.Graph, imm.Options, *imm.PoolState) {
+	t.Helper()
+	g, err := gen.RMAT(gen.DefaultRMAT(6, 5), graph.IC, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := imm.Defaults()
+	opt.Workers = 2
+	opt.Seed = 11
+	opt.MaxTheta = 4000
+	opt.Pool = pool
+	opt.AdaptiveRep = adaptive
+	we, err := imm.NewWarmEngine(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := we.AnswerBatch(opt, []imm.BatchQuery{{K: 4, Epsilon: 0.5}}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := we.Freeze(epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Count == 0 {
+		t.Fatal("fixture froze an empty pool")
+	}
+	return g, opt, st
+}
+
+func i32eq(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// equalPoolState compares two states field by field, treating nil and
+// empty slices as equal (the reader yields nil for empty sections).
+func equalPoolState(a, b *imm.PoolState) bool {
+	if a.N != b.N || a.M != b.M || a.Model != b.Model || a.Epoch != b.Epoch ||
+		a.GraphSum != b.GraphSum || a.Seed != b.Seed || a.Pool != b.Pool ||
+		a.AdaptiveRep != b.AdaptiveRep || a.RepThreshold != b.RepThreshold ||
+		a.Count != b.Count || a.TotalMembers != b.TotalMembers {
+		return false
+	}
+	for s := range a.Shards {
+		x, y := &a.Shards[s], &b.Shards[s]
+		if !bytes.Equal(x.Kinds, y.Kinds) || !i32eq(x.Sizes, y.Sizes) ||
+			!i32eq(x.CompLens, y.CompLens) || !i32eq(x.ListData, y.ListData) ||
+			!bytes.Equal(x.CompData, y.CompData) ||
+			!i32eq(x.PostIdx, y.PostIdx) || !i32eq(x.PostData, y.PostData) {
+			return false
+		}
+		if len(x.BitmapData) != len(y.BitmapData) {
+			return false
+		}
+		for i := range x.BitmapData {
+			if x.BitmapData[i] != y.BitmapData[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestPoolSnapshotRoundTrip(t *testing.T) {
+	cases := []struct {
+		name     string
+		pool     imm.PoolKind
+		adaptive bool
+	}{
+		{"lists", imm.PoolSlices, false},
+		{"compressed", imm.PoolCompressed, false},
+		{"adaptive", imm.PoolSlices, true},
+	}
+	for _, c := range cases {
+		g, opt, st := poolFixture(t, c.pool, c.adaptive, 4)
+		var buf bytes.Buffer
+		if err := WritePoolSnapshot(&buf, st); err != nil {
+			t.Fatalf("%s: write: %v", c.name, err)
+		}
+		if got, want := int64(buf.Len()), PoolSnapshotSize(st); got != want {
+			t.Fatalf("%s: snapshot is %d bytes, PoolSnapshotSize predicts %d", c.name, got, want)
+		}
+		got, info, err := ReadPoolSnapshot(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: read: %v", c.name, err)
+		}
+		if !equalPoolState(st, got) {
+			t.Fatalf("%s: round trip changed the pool state", c.name)
+		}
+		if info.Seed != st.Seed || info.N != st.N || info.M != st.M || info.Epoch != 4 ||
+			info.Count != st.Count || info.TotalMembers != st.TotalMembers ||
+			info.Model != st.Model || info.GraphSum != st.GraphSum ||
+			info.Bytes != int64(buf.Len()) {
+			t.Fatalf("%s: info %+v does not match state", c.name, info)
+		}
+		if info.Compressed != (c.pool == imm.PoolCompressed) || info.Adaptive != c.adaptive {
+			t.Fatalf("%s: info flags %+v wrong", c.name, info)
+		}
+
+		// Canonical: a second encode of the same state is byte-identical.
+		var buf2 bytes.Buffer
+		if err := WritePoolSnapshot(&buf2, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Fatalf("%s: encoding is not canonical", c.name)
+		}
+
+		// The decoded state must bind and thaw against its own graph.
+		if err := ValidatePoolGraph(got, g, 4); err != nil {
+			t.Fatalf("%s: decoded state rejected by its own graph: %v", c.name, err)
+		}
+		if _, err := imm.ThawWarmEngine(g, opt, got); err != nil {
+			t.Fatalf("%s: decoded state failed to thaw: %v", c.name, err)
+		}
+	}
+}
+
+func TestPoolSnapshotFileAndInfo(t *testing.T) {
+	_, _, st := poolFixture(t, imm.PoolCompressed, true, 2)
+	path := filepath.Join(t.TempDir(), "p"+PoolSnapshotExt)
+	if err := WritePoolSnapshotFile(path, st); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := ReadPoolSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalPoolState(st, got) {
+		t.Fatal("file round trip changed the pool state")
+	}
+	info, err := ReadPoolSnapshotInfoFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Epoch != 2 || info.Count != st.Count || info.Seed != st.Seed ||
+		!info.Compressed || !info.Adaptive || info.Bytes != PoolSnapshotSize(st) {
+		t.Fatalf("header-only info %+v does not match state", info)
+	}
+}
+
+func TestPoolSnapshotMmap(t *testing.T) {
+	for _, pool := range []imm.PoolKind{imm.PoolSlices, imm.PoolCompressed} {
+		g, opt, st := poolFixture(t, pool, true, 0)
+		path := filepath.Join(t.TempDir(), "p"+PoolSnapshotExt)
+		if err := WritePoolSnapshotFile(path, st); err != nil {
+			t.Fatal(err)
+		}
+		mapped, info, err := MapPoolSnapshotFile(path)
+		if err != nil {
+			t.Fatalf("%v: map: %v", pool, err)
+		}
+		if !equalPoolState(st, mapped) {
+			t.Fatalf("%v: mapped state differs from frozen state", pool)
+		}
+		if info.Count != st.Count {
+			t.Fatalf("%v: mapped info %+v wrong", pool, info)
+		}
+		// The mapped (possibly aliased, read-only) state must thaw into a
+		// working engine: this is the promotion path.
+		if _, err := imm.ThawWarmEngine(g, opt, mapped); err != nil {
+			t.Fatalf("%v: mapped state failed to thaw: %v", pool, err)
+		}
+	}
+}
+
+func TestPoolSnapshotMmapRejectsCorruption(t *testing.T) {
+	_, _, st := poolFixture(t, imm.PoolSlices, false, 0)
+	var buf bytes.Buffer
+	if err := WritePoolSnapshot(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	dir := t.TempDir()
+
+	flipped := append([]byte(nil), raw...)
+	flipped[len(flipped)-1] ^= 0x40
+	for name, data := range map[string][]byte{
+		"flip.impool":  flipped,
+		"trunc.impool": raw[:len(raw)-64],
+		"tiny.impool":  raw[:16],
+	} {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := MapPoolSnapshotFile(path); !errors.Is(err, ErrPoolSnapshot) {
+			t.Fatalf("%s: got %v, want ErrPoolSnapshot", name, err)
+		}
+	}
+}
+
+// rewriteHeaderCRC recomputes the header+table checksum in place so a
+// test can alter header fields and still reach the deeper checks.
+func rewriteHeaderCRC(data []byte) {
+	crc := crc32.Checksum(data[:44], castagnoli)
+	crc = crc32.Update(crc, castagnoli, data[snapHeaderSize:snapHeaderSize+poolTableSize])
+	binary.LittleEndian.PutUint32(data[44:], crc)
+}
+
+// rewriteMetaWord alters one int64 of the metadata section and repairs
+// the section CRC in its table entry plus the header CRC, so only the
+// semantic metadata check can reject the result.
+func rewriteMetaWord(data []byte, word int, v int64) {
+	off := int64(binary.LittleEndian.Uint64(data[snapHeaderSize+8:]))
+	binary.LittleEndian.PutUint64(data[off+int64(8*word):], uint64(v))
+	crc := crc32.Checksum(data[off:off+8*poolMetaWords], castagnoli)
+	binary.LittleEndian.PutUint32(data[snapHeaderSize+24:], crc)
+	rewriteHeaderCRC(data)
+}
+
+func TestPoolSnapshotCorruption(t *testing.T) {
+	_, _, st := poolFixture(t, imm.PoolSlices, true, 3)
+	var buf bytes.Buffer
+	if err := WritePoolSnapshot(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	mutate := func(fn func(data []byte)) []byte {
+		c := append([]byte(nil), valid...)
+		fn(c)
+		return c
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"empty", nil, "truncated"},
+		{"truncated header", valid[:20], "truncated"},
+		{"truncated table", valid[:snapHeaderSize+poolTableSize/2], "truncated"},
+		{"truncated payload", valid[:len(valid)-32], "truncated"},
+		{"bad magic", mutate(func(d []byte) { d[0] ^= 0xff }), "bad magic"},
+		{"wrong version", mutate(func(d []byte) { binary.LittleEndian.PutUint32(d[8:], 9) }), "version"},
+		{"unknown flags", mutate(func(d []byte) {
+			d[12] |= 0x04
+			rewriteHeaderCRC(d)
+		}), "unknown flags"},
+		{"header bit flip", mutate(func(d []byte) { d[17] ^= 0x01 }), "checksum"},
+		{"table bit flip", mutate(func(d []byte) { d[snapHeaderSize+40] ^= 0x01 }), "checksum"},
+		{"payload bit flip", mutate(func(d []byte) { d[len(d)-1] ^= 0x40 }), "checksum"},
+		{"shard count mismatch (header)", mutate(func(d []byte) {
+			binary.LittleEndian.PutUint32(d[40:], 130)
+			rewriteHeaderCRC(d)
+		}), "16-shard"},
+		{"shard count mismatch (meta)", mutate(func(d []byte) { rewriteMetaWord(d, 6, 8) }), "shards"},
+		{"unknown model", mutate(func(d []byte) { rewriteMetaWord(d, 5, 42) }), "model"},
+		{"negative members", mutate(func(d []byte) { rewriteMetaWord(d, 2, -1) }), "negative"},
+		{"member sum mismatch", mutate(func(d []byte) { rewriteMetaWord(d, 2, st.TotalMembers+1) }), "member sum"},
+		{"non-canonical offset", mutate(func(d []byte) {
+			// Shift the last section's recorded offset: layout check fires.
+			e := snapHeaderSize + (poolSectionN-1)*snapEntrySize
+			off := binary.LittleEndian.Uint64(d[e+8:])
+			binary.LittleEndian.PutUint64(d[e+8:], off+64)
+			rewriteHeaderCRC(d)
+		}), "canonical"},
+	}
+	for _, c := range cases {
+		_, _, err := ReadPoolSnapshot(bytes.NewReader(c.data))
+		if !errors.Is(err, ErrPoolSnapshot) {
+			t.Errorf("%s: got %v, want ErrPoolSnapshot", c.name, err)
+			continue
+		}
+		if c.want != "" && !bytes.Contains([]byte(err.Error()), []byte(c.want)) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+		// The header-only info reader must reject header/meta damage the
+		// same way (payload damage is beyond what it reads).
+		if _, err := ReadPoolSnapshotInfo(bytes.NewReader(c.data)); err == nil &&
+			c.name != "payload bit flip" && c.name != "member sum mismatch" &&
+			c.name != "truncated payload" && c.name != "non-canonical offset" {
+			t.Errorf("%s: info reader accepted corrupt header", c.name)
+		}
+	}
+}
+
+func TestPoolSnapshotStaleBinding(t *testing.T) {
+	g, _, st := poolFixture(t, imm.PoolSlices, false, 0)
+	var buf bytes.Buffer
+	if err := WritePoolSnapshot(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := ReadPoolSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := ValidatePoolGraph(got, g, 0); err != nil {
+		t.Fatalf("fresh snapshot rejected: %v", err)
+	}
+
+	// A snapshot frozen at epoch 0 must be rejected once the graph has
+	// advanced past it — this is the delta-advanced restart scenario.
+	if err := ValidatePoolGraph(got, g, 1); !errors.Is(err, ErrPoolStale) {
+		t.Fatalf("epoch advance: got %v, want ErrPoolStale", err)
+	}
+
+	// Even at a matching epoch number, different graph content (here:
+	// the same graph with one extra edge) must be caught by the
+	// fingerprint, not served silently wrong.
+	g2, _, err := graph.ApplyDelta(g, graph.Delta{Add: []graph.Edge{{Src: 0, Dst: int32(g.N - 1)}}}, graph.DeltaOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidatePoolGraph(got, g2, 0); !errors.Is(err, ErrPoolStale) {
+		t.Fatalf("content change: got %v, want ErrPoolStale", err)
+	}
+
+	// Stale is not corrupt: the two sentinels must stay distinct so
+	// callers can regenerate on stale but alert on corrupt.
+	if errors.Is(ErrPoolStale, ErrPoolSnapshot) || errors.Is(ErrPoolSnapshot, ErrPoolStale) {
+		t.Fatal("ErrPoolStale and ErrPoolSnapshot must be distinct")
+	}
+}
+
+// FuzzPoolSnapshotRoundTrip feeds arbitrary bytes to the pool-snapshot
+// reader. It must reject garbage with a typed error — never panic or
+// over-allocate — and any accepted input must re-encode to its own
+// bytes and re-decode to the same state.
+func FuzzPoolSnapshotRoundTrip(f *testing.F) {
+	for _, pool := range []imm.PoolKind{imm.PoolSlices, imm.PoolCompressed} {
+		_, _, st := poolFixture(f, pool, pool == imm.PoolCompressed, 1)
+		var buf bytes.Buffer
+		if err := WritePoolSnapshot(&buf, st); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		f.Add(buf.Bytes()[:buf.Len()/2]) // truncation seed
+	}
+	f.Add([]byte("IMPOOL\x1a\x00 not a real pool snapshot"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, _, err := ReadPoolSnapshot(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrPoolSnapshot) {
+				t.Fatalf("rejection is not typed: %v", err)
+			}
+			return
+		}
+		var buf bytes.Buffer
+		if err := WritePoolSnapshot(&buf, st); err != nil {
+			t.Fatalf("re-encode of accepted snapshot failed: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), data[:len(buf.Bytes())]) {
+			t.Fatal("accepted snapshot does not re-encode to its own bytes")
+		}
+		st2, _, err := ReadPoolSnapshot(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !equalPoolState(st, st2) {
+			t.Fatal("round trip changed the pool state")
+		}
+	})
+}

@@ -190,11 +190,15 @@ func WriteSnapshotFile(path string, g *graph.Graph, seed uint64) error {
 	return f.Close()
 }
 
-// payload adapts one CSR array to streaming encode.
+// payload adapts one typed array to streaming encode. Each instance
+// populates exactly one field; the u8/u64 variants exist for the
+// .impool pool-snapshot sections.
 type payload struct {
 	i64 []int64
 	f32 []float32
 	i32 []int32
+	u8  []byte
+	u64 []uint64
 }
 
 func snapPayloads(g *graph.Graph) [snapSectionN]payload {
@@ -238,6 +242,20 @@ func (p payload) writeTo(w io.Writer) error {
 			return err
 		}
 	}
+	for _, v := range p.u64 {
+		buf = binary.LittleEndian.AppendUint64(buf, v)
+		if err := flush(false); err != nil {
+			return err
+		}
+	}
+	if len(p.u8) > 0 {
+		if err := flush(true); err != nil {
+			return err
+		}
+		if _, err := w.Write(p.u8); err != nil {
+			return err
+		}
+	}
 	return flush(true)
 }
 
@@ -262,7 +280,12 @@ func (p payload) crc() uint32 {
 		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
 		flush()
 	}
-	return crc32.Update(crc, castagnoli, buf)
+	for _, v := range p.u64 {
+		buf = binary.LittleEndian.AppendUint64(buf, v)
+		flush()
+	}
+	crc = crc32.Update(crc, castagnoli, buf)
+	return crc32.Update(crc, castagnoli, p.u8)
 }
 
 func writePad(w io.Writer, n int64) error {
@@ -452,6 +475,24 @@ func readF32Section(r io.Reader, byteLen int64) ([]float32, uint32, error) {
 	crc, err := readChunks(r, byteLen, func(b []byte) {
 		for i := 0; i < len(b); i += 4 {
 			out = append(out, math.Float32frombits(binary.LittleEndian.Uint32(b[i:])))
+		}
+	})
+	return out, crc, err
+}
+
+func readU8Section(r io.Reader, byteLen int64) ([]byte, uint32, error) {
+	out := make([]byte, 0, initialCap(byteLen, 1))
+	crc, err := readChunks(r, byteLen, func(b []byte) {
+		out = append(out, b...)
+	})
+	return out, crc, err
+}
+
+func readU64Section(r io.Reader, byteLen int64) ([]uint64, uint32, error) {
+	out := make([]uint64, 0, initialCap(byteLen, 8))
+	crc, err := readChunks(r, byteLen, func(b []byte) {
+		for i := 0; i < len(b); i += 8 {
+			out = append(out, binary.LittleEndian.Uint64(b[i:]))
 		}
 	})
 	return out, crc, err

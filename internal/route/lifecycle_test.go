@@ -161,9 +161,13 @@ func TestRouterLegacyDeprecation(t *testing.T) {
 	}
 	resp.Body.Close()
 	if resp.Header.Get("Deprecation") != serve.LegacyDeprecation ||
-		resp.Header.Get("Sucessor-Version") != "/v1/healthz" {
+		resp.Header.Get("Successor-Version") != "/v1/healthz" {
 		t.Fatalf("legacy router headers = %q / %q",
-			resp.Header.Get("Deprecation"), resp.Header.Get("Sucessor-Version"))
+			resp.Header.Get("Deprecation"), resp.Header.Get("Successor-Version"))
+	}
+	// The misspelled header ships one more release for scrapers keyed to it.
+	if resp.Header.Get("Sucessor-Version") != "/v1/healthz" {
+		t.Fatalf("misspelled compat header gone early: %q", resp.Header.Get("Sucessor-Version"))
 	}
 	resp, err = http.Get(ts.URL + "/v1/healthz")
 	if err != nil {

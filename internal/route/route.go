@@ -201,7 +201,8 @@ func (rt *Router) Handler() http.Handler {
 func legacy(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Deprecation", serve.LegacyDeprecation)
-		w.Header().Set("Sucessor-Version", "/v1"+r.URL.Path)
+		w.Header().Set("Successor-Version", "/v1"+r.URL.Path)
+		w.Header().Set("Sucessor-Version", "/v1"+r.URL.Path) // deprecated misspelling, kept one release
 		h(w, r)
 	}
 }

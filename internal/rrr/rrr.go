@@ -66,6 +66,13 @@ func NewListSet(vertices []int32) *ListSet {
 // used by the sampling hot path, which produces sorted output itself.
 func newListSetSorted(vertices []int32) *ListSet { return &ListSet{verts: vertices} }
 
+// AdoptSortedList adopts an already strictly-sorted unique member slice
+// without copying or validating it. This is the pool-snapshot thaw seam:
+// the caller (the .impool codec) has already validated sortedness and
+// range, and the slice may alias a memory-mapped file. The set never
+// writes to the slice.
+func AdoptSortedList(sorted []int32) *ListSet { return newListSetSorted(sorted) }
+
 // Contains uses binary search, the O(log n) probe the paper charges the
 // baseline for.
 func (s *ListSet) Contains(v int32) bool {
@@ -143,6 +150,15 @@ func NewBitmapSetUnique(n int32, unique []int32) *BitmapSet {
 	return &BitmapSet{bits: b, size: len(unique)}
 }
 
+// AdoptBitmap adopts an existing word row as a BitmapSet over n vertices
+// with a pre-counted cardinality, without copying or validating it. This
+// is the pool-snapshot thaw seam: the codec has already checked the word
+// count, the trailing-bit zeros, and the popcount; the words may alias a
+// memory-mapped file. The set never writes to the words.
+func AdoptBitmap(n int32, words []uint64, size int) *BitmapSet {
+	return &BitmapSet{bits: bitset.FromWords(words, int(n)), size: size}
+}
+
 // Contains is a single bit probe.
 func (s *BitmapSet) Contains(v int32) bool { return s.bits.Test(int(v)) }
 
@@ -198,6 +214,21 @@ func NewCompressedSet(vertices []int32) *CompressedSet {
 func NewCompressedSorted(sorted []int32) *CompressedSet {
 	return &CompressedSet{data: compress.AppendPlain(nil, sorted), count: int32(len(sorted))}
 }
+
+// AdoptCompressed adopts an already-encoded delta-varint payload (the
+// compress.AppendPlain plain encoding, exactly what Encoded returns)
+// with a pre-decoded member count, without copying or validating it.
+// This is the pool-snapshot thaw seam: the codec has already decoded the
+// payload once to validate count, sortedness, and range; the bytes may
+// alias a memory-mapped file. The set never writes to the payload.
+func AdoptCompressed(data []byte, count int32) *CompressedSet {
+	return &CompressedSet{data: data, count: count}
+}
+
+// Encoded exposes the delta-varint payload for serialization. The
+// returned slice aliases the set's backing storage and must not be
+// mutated.
+func (s *CompressedSet) Encoded() []byte { return s.data }
 
 // Contains scans the delta stream, stopping at the first member >= v.
 func (s *CompressedSet) Contains(v int32) bool { return compress.PlainContains(s.data, v) }

@@ -17,6 +17,7 @@ package serve
 //	POST /v1/jobs             async query: QueryRequest body → Job (202)
 //	GET  /v1/jobs             every retained job, oldest first
 //	GET  /v1/jobs/{id}        one job's state and, once done, its result
+//	POST /v1/pools/save       freeze resident pools to .impool snapshots
 //
 // Routing is by Go 1.22 method-qualified mux patterns, so method
 // dispatch lives in the route table rather than in per-handler checks.
@@ -81,6 +82,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/graphs/{name}", s.handleGraphGet)
 	mux.HandleFunc("DELETE /v1/graphs/{name}", s.handleGraphDelete)
 	mux.HandleFunc("POST /v1/graphs/{name}/edges", s.handleGraphEdges)
+	// Pool persistence, /v1 only.
+	mux.HandleFunc("POST /v1/pools/save", s.handlePoolsSave)
 	return EnvelopeFallbacks(mux)
 }
 
@@ -91,12 +94,18 @@ func (s *Server) Handler() http.Handler {
 const LegacyDeprecation = "@1786147200" // 2026-08-08T00:00:00Z
 
 // legacy wraps an unversioned-alias handler: the response gains the
-// Deprecation header and a Sucessor-Version header naming the /v1
+// Deprecation header and a Successor-Version header naming the /v1
 // replacement, and the hit counts in Stats.LegacyRequests.
+//
+// Earlier releases misspelled the header as "Sucessor-Version"; the
+// typo'd form is still emitted alongside the corrected one for one
+// release so scrapers keyed on it keep working, then it goes away with
+// the unversioned aliases.
 func (s *Server) legacy(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Deprecation", LegacyDeprecation)
-		w.Header().Set("Sucessor-Version", "/v1"+r.URL.Path)
+		w.Header().Set("Successor-Version", "/v1"+r.URL.Path)
+		w.Header().Set("Sucessor-Version", "/v1"+r.URL.Path) // deprecated misspelling
 		s.mu.Lock()
 		s.stats.LegacyRequests++
 		s.mu.Unlock()
@@ -238,6 +247,40 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		reqs[i] = req
 	}
 	writeJSON(w, http.StatusOK, BatchResponse{Results: s.QueryBatch(reqs)})
+}
+
+// PoolsSaveRequest is the optional POST /v1/pools/save body; with no
+// body (or an empty dir) the server's configured PoolDir is the target.
+type PoolsSaveRequest struct {
+	Dir string `json:"dir"`
+}
+
+// PoolsSaveResponse reports one save sweep.
+type PoolsSaveResponse struct {
+	Saved int    `json:"saved"`
+	Dir   string `json:"dir"`
+}
+
+func (s *Server) handlePoolsSave(w http.ResponseWriter, r *http.Request) {
+	var body PoolsSaveRequest
+	if r.ContentLength != 0 {
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&body); err != nil {
+			writeError(w, fmt.Errorf("serve: %w: invalid JSON body: %v", ErrInvalidQuery, err))
+			return
+		}
+	}
+	dir := body.Dir
+	if dir == "" {
+		dir = s.opt.PoolDir
+	}
+	saved, err := s.SavePools(dir)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, PoolsSaveResponse{Saved: saved, Dir: dir})
 }
 
 func (s *Server) handleJobsList(w http.ResponseWriter, r *http.Request) {

@@ -199,10 +199,17 @@ func (s *Server) repairPool(name string, pe *poolEntry, ng *graph.Graph, rep *gr
 	}
 	pe.epoch = epoch
 	eng := pe.eng
+	// Any disk-tier snapshot was frozen at a pre-delta epoch: repair
+	// fixes only the resident engine, so the file is stale either way.
+	// Dropping it here (rather than letting promotion reject it later)
+	// keeps the disk tier from answering for dead epochs even if this
+	// process crashes before the pool is saved again.
+	s.dropDiskLocked(pe)
 	s.mu.Unlock()
 	if eng == nil {
-		// Placeholder entry whose engine was never built (its first
-		// batch failed): the next drainer snapshots the current graph.
+		// Entry with no resident engine: a placeholder whose first batch
+		// failed, or a demoted/rehydrated pool whose snapshot we just
+		// discarded. The next drainer builds cold from the current graph.
 		return
 	}
 

@@ -309,8 +309,13 @@ func TestLegacyDeprecationHeaders(t *testing.T) {
 	if got := resp.Header.Get("Deprecation"); got != LegacyDeprecation {
 		t.Fatalf("legacy Deprecation header = %q, want %q", got, LegacyDeprecation)
 	}
+	if got := resp.Header.Get("Successor-Version"); got != "/v1/graphs" {
+		t.Fatalf("legacy Successor-Version header = %q, want /v1/graphs", got)
+	}
+	// Regression for the header typo: the misspelled form stays one more
+	// release so scrapers keyed to it have a migration window.
 	if got := resp.Header.Get("Sucessor-Version"); got != "/v1/graphs" {
-		t.Fatalf("legacy Sucessor-Version header = %q, want /v1/graphs", got)
+		t.Fatalf("misspelled compat header = %q, want /v1/graphs", got)
 	}
 
 	resp, err = http.Get(ts.URL + "/v1/graphs")
@@ -318,7 +323,8 @@ func TestLegacyDeprecationHeaders(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if resp.Header.Get("Deprecation") != "" || resp.Header.Get("Sucessor-Version") != "" {
+	if resp.Header.Get("Deprecation") != "" ||
+		resp.Header.Get("Successor-Version") != "" || resp.Header.Get("Sucessor-Version") != "" {
 		t.Fatal("/v1 endpoints must not carry deprecation headers")
 	}
 

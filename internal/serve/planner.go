@@ -191,6 +191,12 @@ func (s *Server) runBatch(ge *graphEntry, pe *poolEntry, batch []*batchWaiter) {
 	}
 	warm := pe.eng != nil
 	if !warm {
+		// Disk tier first: a demoted or rehydrated pool promotes via
+		// mmap instead of regenerating — still warm, zero generated
+		// sets, byte-identical answers (the freeze/thaw contract).
+		warm = s.tryPromote(ge, pe, s.queryOptions(batch[0].req))
+	}
+	if pe.eng == nil {
 		opt := s.queryOptions(batch[0].req)
 		// Snapshot the registry's current graph and epoch under the
 		// server mutex: a concurrent delta swaps ge.g, and its repair

@@ -78,6 +78,12 @@ type Options struct {
 	// pools; least-recently-used pools are dropped when a query pushes
 	// past it. 0 means DefaultPoolBudgetBytes.
 	PoolBudgetBytes int64
+	// PoolDir, when non-empty, enables the two-tier pool cache: pools
+	// squeezed out by PoolBudgetBytes are demoted to .impool snapshots
+	// under this directory instead of dropped, and promoted back via
+	// mmap on next touch. It is also the default target of SavePools and
+	// the directory LoadPools rehydrates at boot (see tier.go).
+	PoolDir string
 
 	// QueryWorkers bounds how many queries execute (or wait inside a
 	// pool batch) at once. <= 0 means 4 × runtime.GOMAXPROCS(0):
@@ -231,6 +237,21 @@ type Stats struct {
 	GeneratedSets int64 `json:"generated_sets"`
 	ReusedBytes   int64 `json:"reused_bytes"`
 
+	// The disk tier (Options.PoolDir). Demotions counts pools frozen to
+	// disk under budget pressure; Promotions pools mapped back into RAM
+	// on touch; PromoteFailures promotions that fell through to a cold
+	// rebuild (stale epoch, changed graph content, or a corrupt file);
+	// Rehydrated disk pools registered at boot by LoadPools; PoolsSaved
+	// snapshots written by SavePools. DiskPools/DiskBytes gauge the
+	// snapshots currently backing entries.
+	Demotions       int64 `json:"demotions"`
+	Promotions      int64 `json:"promotions"`
+	PromoteFailures int64 `json:"promote_failures"`
+	Rehydrated      int64 `json:"rehydrated"`
+	PoolsSaved      int64 `json:"pools_saved"`
+	DiskPools       int   `json:"disk_pools"`
+	DiskBytes       int64 `json:"disk_bytes"`
+
 	// Batches counts planner drains of any size; BatchedQueries the
 	// queries answered in drains of two or more; SharedExtensions the
 	// physical pool extensions performed inside such multi-member drains
@@ -332,6 +353,12 @@ type poolEntry struct {
 	// drainer snapshots the graph). ApplyDelta's repair pass finds
 	// stale pools by comparing it against the registry epoch.
 	epoch int64
+	// disk points at the entry's .impool snapshot when one backs it
+	// (demoted, saved, or rehydrated); demoting marks a victim whose
+	// freeze is in progress so eviction picks it only once. Both are
+	// guarded by the server mutex.
+	disk     *diskPool
+	demoting bool
 }
 
 // enqueue appends w to the entry's wait queue and reports whether the
@@ -475,6 +502,12 @@ func (s *Server) Stats() Stats {
 	st.Pools = len(s.pools)
 	st.PoolBytes = s.usedBytes
 	st.BudgetBytes = s.opt.PoolBudgetBytes
+	for _, pe := range s.pools {
+		if pe.disk != nil {
+			st.DiskPools++
+			st.DiskBytes += pe.disk.bytes
+		}
+	}
 	st.InFlight, st.QueueDepth = s.adm.gauges()
 	if s.opt.WireMeter != nil {
 		st.WireBytesSent, st.WireBytesReceived, st.WireMessages = s.opt.WireMeter()
@@ -597,6 +630,7 @@ func (s *Server) execute(ge *graphEntry, req QueryRequest, mode admitMode) (*Que
 	}
 	res, err := w.res, w.err
 
+	var demote []*poolEntry
 	s.mu.Lock()
 	pe.pinned--
 	if err == nil {
@@ -621,8 +655,8 @@ func (s *Server) execute(ge *graphEntry, req QueryRequest, mode admitMode) (*Que
 		s.stats.ReusedSets += res.ReusedSets
 		s.stats.GeneratedSets += res.GeneratedSets
 		s.stats.ReusedBytes += res.ReusedBytes
-		s.evictLocked(pe)
-	} else if pe.pinned == 0 && pe.bytes == 0 && s.pools[pe.key] == pe {
+		demote = s.evictLocked(pe)
+	} else if pe.pinned == 0 && pe.bytes == 0 && pe.disk == nil && s.pools[pe.key] == pe {
 		// The query failed, no query ever succeeded on this entry
 		// (successful queries always account a positive footprint), and
 		// nobody else is using it: drop the placeholder so later queries
@@ -632,6 +666,7 @@ func (s *Server) execute(ge *graphEntry, req QueryRequest, mode admitMode) (*Que
 		s.removeEntryLocked(pe)
 	}
 	s.mu.Unlock()
+	s.demoteEntries(demote)
 	return res, err
 }
 
@@ -645,36 +680,56 @@ func (s *Server) queryOptions(req QueryRequest) imm.Options {
 	return o
 }
 
-// removeEntryLocked unregisters a pool entry and returns its bytes to
-// the budget.
+// removeEntryLocked unregisters a pool entry, returns its bytes to the
+// budget, and discards any disk-tier snapshot backing it.
 func (s *Server) removeEntryLocked(pe *poolEntry) {
 	s.lru.Remove(pe.elem)
 	delete(s.pools, pe.key)
 	s.usedBytes -= pe.bytes
+	s.dropDiskLocked(pe)
 }
 
-// evictLocked drops least-recently-used pools until resident bytes fit
-// the budget. Pinned (in-flight) pools are skipped, and so is keep —
-// the pool the finishing query just used: evicting it would make a
+// evictLocked reclaims least-recently-used pools until resident bytes
+// fit the budget. Pinned (in-flight) pools are skipped, and so is keep
+// — the pool the finishing query just used: evicting it would make a
 // single over-budget pool its own victim and turn every repeat query
 // into a cold regeneration (the budget may transiently overshoot
 // instead, exactly as it already does for pinned pools). At least one
 // pool may therefore remain over budget, which is the correct behavior
 // when a single pool exceeds the budget on its own.
-func (s *Server) evictLocked(keep *poolEntry) {
+//
+// Without a disk tier victims are dropped outright. With
+// Options.PoolDir set they are demoted instead: their budget bytes are
+// released here (so admission of the triggering query is never blocked
+// on disk I/O) and the entries are returned for the caller to freeze
+// to disk after the registry unlocks — the freeze needs the engine
+// mutex, which must never be taken under s.mu.
+func (s *Server) evictLocked(keep *poolEntry) (demote []*poolEntry) {
 	for s.usedBytes > s.opt.PoolBudgetBytes {
 		victim := (*poolEntry)(nil)
 		for e := s.lru.Back(); e != nil; e = e.Prev() {
 			pe := e.Value.(*poolEntry)
-			if pe.pinned == 0 && pe != keep {
-				victim = pe
-				break
+			if pe.pinned != 0 || pe == keep {
+				continue
 			}
+			if s.opt.PoolDir != "" && (pe.demoting || pe.bytes == 0) {
+				continue // freeze in progress, or nothing resident to demote
+			}
+			victim = pe
+			break
 		}
 		if victim == nil {
-			return // everything resident is in flight or just-used
+			return demote // everything resident is in flight or just-used
+		}
+		if s.opt.PoolDir != "" {
+			victim.demoting = true
+			s.usedBytes -= victim.bytes
+			victim.bytes = 0
+			demote = append(demote, victim)
+			continue
 		}
 		s.removeEntryLocked(victim)
 		s.stats.Evictions++
 	}
+	return demote
 }

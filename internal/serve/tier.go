@@ -1,0 +1,340 @@
+package serve
+
+// The disk tier: demotion, promotion, and pool-snapshot persistence.
+//
+// With Options.PoolDir set the LRU becomes two-tier. When resident
+// bytes exceed PoolBudgetBytes, the eviction scan no longer drops cold
+// pools — it demotes them: the victim's engine is frozen into a
+// versioned .impool snapshot (internal/ingest), the file is installed
+// under PoolDir, and the engine pointer is released so the RAM returns
+// to the budget while the entry stays registered with a disk pointer.
+// The next query on a demoted pool promotes it back: the snapshot is
+// memory-mapped, validated against the graph's current delta epoch and
+// content fingerprint, and thawed into a warm engine whose set payloads
+// alias the mapping — no resampling, no copy, and the answer is
+// byte-identical to both the demoted engine's and a cold run's (the
+// freeze/thaw contract internal/imm/persist.go establishes and
+// TestDemotedPoolAnswersIdentically pins).
+//
+// The same snapshot format powers instant-warm restarts: POST
+// /v1/pools/save (or Server.SavePools) freezes every resident pool to
+// disk, and a restarted server with -pool-dir rehydrates the directory
+// at boot — entries appear with only disk pointers and promote lazily
+// on first touch, so a SIGKILLed server answers its next query warm.
+//
+// Lock order everywhere here matches the planner: pe.mu first, then
+// s.mu. Demotion candidates are therefore only *selected* under s.mu
+// (inside evictLocked, which also releases their budget bytes
+// immediately and marks them demoting so one demotion runs per entry);
+// the freeze itself runs after the registry unlocks, taking the
+// engine mutex so an in-flight batch drains before its pool freezes.
+//
+// A demoted snapshot can go stale: a delta advances the graph epoch,
+// or an operator restarts onto different graph content. Promotion
+// validates before thawing and treats any failure — stale binding,
+// corrupt file, unreadable file — the same way: count it, drop the
+// disk pointer, and fall through to cold regeneration. Staleness is
+// never an error a client sees; it only costs the regeneration that
+// would have happened anyway.
+
+import (
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/imm"
+	"repro/internal/ingest"
+)
+
+// diskPool is one pool's disk-tier residue: an .impool snapshot on
+// disk. The pointer (and its fields) are guarded by the server mutex.
+type diskPool struct {
+	path  string
+	epoch int64 // graph epoch the snapshot was frozen at
+	bytes int64 // file size, reported as Stats.DiskBytes
+}
+
+// poolFileName maps a pool key to its snapshot file name. The graph
+// name is path-escaped (it may hold separators), the seed appended
+// after the last dash — parsePoolFileName splits on the last dash with
+// an all-digit suffix, so graph names containing dashes stay
+// unambiguous.
+func poolFileName(key poolKey) string {
+	return url.PathEscape(key.graph) + "-" + strconv.FormatUint(key.seed, 10) + ingest.PoolSnapshotExt
+}
+
+// parsePoolFileName inverts poolFileName.
+func parsePoolFileName(name string) (poolKey, bool) {
+	stem, ok := strings.CutSuffix(name, ingest.PoolSnapshotExt)
+	if !ok {
+		return poolKey{}, false
+	}
+	i := strings.LastIndexByte(stem, '-')
+	if i <= 0 {
+		return poolKey{}, false
+	}
+	seed, err := strconv.ParseUint(stem[i+1:], 10, 64)
+	if err != nil {
+		return poolKey{}, false
+	}
+	graph, err := url.PathUnescape(stem[:i])
+	if err != nil || graph == "" {
+		return poolKey{}, false
+	}
+	return poolKey{graph: graph, seed: seed}, true
+}
+
+// writePoolFileAtomic writes st to dir/name via a temp file and rename,
+// so a crash mid-write never leaves a half-written snapshot where the
+// rehydration scan would find it, and returns the file size.
+func writePoolFileAtomic(dir, name string, st *imm.PoolState) (int64, error) {
+	tmp, err := os.CreateTemp(dir, name+".tmp*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := ingest.WritePoolSnapshot(tmp, st); err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, err
+	}
+	size := ingest.PoolSnapshotSize(st)
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
+		return 0, err
+	}
+	return size, nil
+}
+
+// demoteEntries freezes each marked victim to the disk tier. Callers
+// (execute, after evictLocked marked the victims and released s.mu)
+// pass entries whose demoting flag they own.
+func (s *Server) demoteEntries(victims []*poolEntry) {
+	for _, pe := range victims {
+		s.demote(pe)
+	}
+}
+
+// demote freezes one marked victim's engine into PoolDir and releases
+// the engine. On any failure the entry is dropped entirely — the pool
+// regenerates cold on next touch, exactly as a plain eviction.
+func (s *Server) demote(pe *poolEntry) {
+	pe.mu.Lock()
+	defer pe.mu.Unlock()
+
+	s.mu.Lock()
+	eng := pe.eng
+	epoch := pe.epoch
+	alive := s.pools[pe.key] == pe
+	s.mu.Unlock()
+	if eng == nil || !alive {
+		// Never built, already demoted by an earlier pass, or removed
+		// (RemoveGraph) while we waited on the engine mutex.
+		s.mu.Lock()
+		pe.demoting = false
+		s.mu.Unlock()
+		return
+	}
+
+	name := poolFileName(pe.key)
+	st, err := eng.Freeze(epoch)
+	var size int64
+	if err == nil {
+		size, err = writePoolFileAtomic(s.opt.PoolDir, name, st)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pe.demoting = false
+	if err != nil {
+		if s.pools[pe.key] == pe {
+			s.removeEntryLocked(pe)
+			s.stats.Evictions++
+		}
+		return
+	}
+	pe.eng = nil
+	// A batch that ran while we waited for the engine mutex may have
+	// re-accounted the pool; the RAM is free now either way.
+	s.usedBytes -= pe.bytes
+	pe.bytes = 0
+	pe.disk = &diskPool{path: filepath.Join(s.opt.PoolDir, name), epoch: epoch, bytes: size}
+	s.stats.Demotions++
+}
+
+// tryPromote attempts to thaw pe's disk snapshot into a warm engine.
+// Callers hold pe.mu with pe.eng == nil. On success the engine is
+// installed (warm, current epoch) and true is returned; on any failure
+// — stale epoch, changed graph content, corrupt or unreadable file —
+// the disk pointer and file are dropped, the failure counted, and the
+// caller falls through to a cold build.
+func (s *Server) tryPromote(ge *graphEntry, pe *poolEntry, opt imm.Options) bool {
+	s.mu.Lock()
+	disk := pe.disk
+	g := ge.g
+	epoch := ge.info.Epoch
+	s.mu.Unlock()
+	if disk == nil {
+		return false
+	}
+
+	st, _, err := ingest.MapPoolSnapshotFile(disk.path)
+	if err == nil {
+		err = ingest.ValidatePoolGraph(st, g, epoch)
+	}
+	var eng *imm.WarmEngine
+	if err == nil {
+		eng, err = imm.ThawWarmEngine(g, opt, st)
+	}
+	if err != nil {
+		os.Remove(disk.path)
+		s.mu.Lock()
+		if pe.disk == disk {
+			pe.disk = nil
+		}
+		s.stats.PromoteFailures++
+		s.mu.Unlock()
+		return false
+	}
+	if s.opt.RemoteGen != nil {
+		eng.SetRemote(s.opt.RemoteGen(ge.info.Name, g, opt))
+	}
+	pe.eng = eng
+	s.mu.Lock()
+	pe.epoch = epoch
+	s.stats.Promotions++
+	s.mu.Unlock()
+	return true
+}
+
+// dropDiskLocked discards pe's disk-tier snapshot (pointer and file),
+// if any. Callers hold s.mu.
+func (s *Server) dropDiskLocked(pe *poolEntry) {
+	if pe.disk != nil {
+		os.Remove(pe.disk.path)
+		pe.disk = nil
+	}
+}
+
+// SavePools freezes every resident warm pool into dir as .impool
+// snapshots and returns how many it wrote. With dir empty it defaults
+// to Options.PoolDir. Entries whose engine is not built (placeholders,
+// already-demoted pools) are skipped — their state is either nothing or
+// already on disk. When dir is the server's own PoolDir the written
+// snapshot also becomes the entry's disk-tier copy.
+func (s *Server) SavePools(dir string) (int, error) {
+	if dir == "" {
+		dir = s.opt.PoolDir
+	}
+	if dir == "" {
+		return 0, fmt.Errorf("serve: %w: no pool directory configured and none given", ErrInvalidQuery)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+
+	s.mu.Lock()
+	entries := make([]*poolEntry, 0, len(s.pools))
+	for _, pe := range s.pools {
+		entries = append(entries, pe)
+	}
+	s.mu.Unlock()
+
+	saved := 0
+	for _, pe := range entries {
+		pe.mu.Lock()
+		s.mu.Lock()
+		eng := pe.eng
+		epoch := pe.epoch
+		alive := s.pools[pe.key] == pe
+		s.mu.Unlock()
+		if eng == nil || !alive {
+			pe.mu.Unlock()
+			continue
+		}
+		name := poolFileName(pe.key)
+		st, err := eng.Freeze(epoch)
+		var size int64
+		if err == nil {
+			size, err = writePoolFileAtomic(dir, name, st)
+		}
+		if err != nil {
+			pe.mu.Unlock()
+			return saved, fmt.Errorf("serve: save pool %s/%d: %w", pe.key.graph, pe.key.seed, err)
+		}
+		if dir == s.opt.PoolDir && s.opt.PoolDir != "" {
+			s.mu.Lock()
+			pe.disk = &diskPool{path: filepath.Join(dir, name), epoch: epoch, bytes: size}
+			s.mu.Unlock()
+		}
+		pe.mu.Unlock()
+		saved++
+	}
+
+	s.mu.Lock()
+	s.stats.PoolsSaved += int64(saved)
+	s.mu.Unlock()
+	return saved, nil
+}
+
+// LoadPools scans Options.PoolDir for .impool snapshots of registered
+// graphs and registers each as a disk-tier pool entry: no engine is
+// built and no payload bytes are read (only the snapshot header and
+// metadata block), so boot stays fast — the first query on each pool
+// promotes it via mmap, answering warm with zero generated sets.
+// Snapshots for unregistered graphs are left on disk untouched (their
+// graph may be registered later); unreadable or misnamed files are
+// skipped. Returns how many pools were rehydrated.
+func (s *Server) LoadPools() (int, error) {
+	if s.opt.PoolDir == "" {
+		return 0, nil
+	}
+	dirents, err := os.ReadDir(s.opt.PoolDir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+
+	loaded := 0
+	for _, de := range dirents {
+		if de.IsDir() {
+			continue
+		}
+		key, ok := parsePoolFileName(de.Name())
+		if !ok {
+			continue
+		}
+		path := filepath.Join(s.opt.PoolDir, de.Name())
+		info, err := ingest.ReadPoolSnapshotInfoFile(path)
+		if err != nil {
+			continue // corrupt or foreign file; promotion would reject it anyway
+		}
+
+		s.mu.Lock()
+		_, registered := s.graphs[key.graph]
+		_, exists := s.pools[key]
+		if !registered || exists {
+			s.mu.Unlock()
+			continue
+		}
+		pe := &poolEntry{
+			key:  key,
+			disk: &diskPool{path: path, epoch: info.Epoch, bytes: info.Bytes},
+		}
+		s.pools[key] = pe
+		// Rehydrated entries enter at the LRU cold end: they cost no RAM
+		// until promoted, and a budget squeeze should prefer dropping a
+		// never-touched disk entry over a hot resident pool.
+		pe.elem = s.lru.PushBack(pe)
+		s.stats.Rehydrated++
+		s.mu.Unlock()
+		loaded++
+	}
+	return loaded, nil
+}

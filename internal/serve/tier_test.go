@@ -1,0 +1,488 @@
+package serve
+
+// Two-tier (RAM + disk) pool LRU tests. The recurring correctness bar:
+// a pool answered from the disk tier — demoted and promoted back, or
+// rehydrated after a restart — must answer byte-identically to the
+// resident pool it was frozen from AND to a cold imm.Run on the same
+// graph epoch. Staleness (delta-advanced epoch, different graph
+// content) must fall back to cold regeneration, never a wrong answer.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestPoolFileNameRoundTrip(t *testing.T) {
+	keys := []poolKey{
+		{graph: "g", seed: 1},
+		{graph: "web-Google", seed: 42},         // dash in the name
+		{graph: "a-b-c-9", seed: 7},             // dashes and a trailing digit
+		{graph: "social/us-east", seed: 123456}, // path separator
+		{graph: "100", seed: 0},                 // all-digit name
+		{graph: "snap 2024 (v2)", seed: 9},      // spaces and parens
+		{graph: strings.Repeat("x", 100), seed: 1},
+	}
+	for _, key := range keys {
+		name := poolFileName(key)
+		if strings.ContainsRune(name, os.PathSeparator) {
+			t.Fatalf("file name %q for %+v contains a path separator", name, key)
+		}
+		got, ok := parsePoolFileName(name)
+		if !ok || got != key {
+			t.Fatalf("round trip %+v -> %q -> %+v (ok=%v)", key, name, got, ok)
+		}
+	}
+	for _, bad := range []string{
+		"",                 // empty
+		"g-1",              // wrong extension
+		"g-1.imsnap",       // snapshot, not pool
+		"g.impool",         // no seed
+		"-1.impool",        // empty graph
+		"g-x.impool",       // non-numeric seed
+		"g-1.impool.tmp42", // leftover temp file
+	} {
+		if key, ok := parsePoolFileName(bad); ok {
+			t.Fatalf("parsePoolFileName(%q) accepted as %+v", bad, key)
+		}
+	}
+}
+
+// tierProbe measures one pool's resident footprint so tier tests can
+// size budgets that force demotion deterministically.
+func tierProbe(t *testing.T, g *graph.Graph) int64 {
+	t.Helper()
+	probe := testServer(t, Options{Workers: 2, MaxTheta: 4000}, map[string]*graph.Graph{"g": g})
+	res, err := probe.Query(QueryRequest{Graph: "g", K: 8, Epsilon: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PoolBytes == 0 {
+		t.Fatal("probe pool has no resident bytes")
+	}
+	return res.PoolBytes
+}
+
+// TestDemotedPoolAnswersIdentically pins the tentpole contract: under
+// byte pressure with a pool directory, cold pools demote to .impool
+// snapshots instead of being dropped, and the next query on a demoted
+// pool promotes it back via mmap — warm, zero generated sets, and
+// byte-identical to both the original answer and a cold run.
+func TestDemotedPoolAnswersIdentically(t *testing.T) {
+	g := testGraph(t, 8, graph.IC)
+	onePool := tierProbe(t, g)
+	dir := t.TempDir()
+	opt := Options{Workers: 2, MaxTheta: 4000, PoolBudgetBytes: 2*onePool + onePool/2, PoolDir: dir}
+	s := testServer(t, opt, map[string]*graph.Graph{"g": g})
+
+	var first []*QueryResult
+	for _, seed := range []uint64{1, 2, 3} {
+		r, err := s.Query(QueryRequest{Graph: "g", K: 8, Epsilon: 0.5, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		first = append(first, r)
+	}
+	st := s.Stats()
+	if st.Demotions == 0 {
+		t.Fatalf("no demotions under byte pressure with a pool dir: %+v", st)
+	}
+	if st.Evictions != 0 {
+		t.Fatalf("tiered mode evicted instead of demoting: %+v", st)
+	}
+	if st.DiskPools == 0 || st.DiskBytes == 0 {
+		t.Fatalf("demotion left no disk-tier accounting: %+v", st)
+	}
+	if st.PoolBytes > st.BudgetBytes {
+		t.Fatalf("resident %d bytes exceeds budget %d after demotion", st.PoolBytes, st.BudgetBytes)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil || len(ents) == 0 {
+		t.Fatalf("pool dir after demotion: entries=%d err=%v", len(ents), err)
+	}
+
+	// Seed 1 was demoted (least recently used). The repeat must be a
+	// warm promotion: no resampling at all.
+	r, err := s.Query(QueryRequest{Graph: "g", K: 8, Epsilon: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Warm || r.GeneratedSets != 0 {
+		t.Fatalf("promoted pool did not answer warm: warm=%v generated=%d", r.Warm, r.GeneratedSets)
+	}
+	if !reflect.DeepEqual(r.Seeds, first[0].Seeds) || r.Theta != first[0].Theta {
+		t.Fatalf("promoted answer diverged: %v/θ=%d vs %v/θ=%d", r.Seeds, r.Theta, first[0].Seeds, first[0].Theta)
+	}
+	cold := coldRun(t, g, opt, QueryRequest{Graph: "g", K: 8, Epsilon: 0.5, Seed: 1})
+	if !reflect.DeepEqual(r.Seeds, cold.Seeds) {
+		t.Fatalf("promoted seeds %v != cold %v", r.Seeds, cold.Seeds)
+	}
+	if st = s.Stats(); st.Promotions == 0 {
+		t.Fatalf("warm answer without a recorded promotion: %+v", st)
+	}
+}
+
+// TestTwoTierSecondTenantPressure extends the PR 5 self-eviction
+// regression family to tiered mode: a pool whose footprint alone
+// exceeds the budget is never demoted by its own query, LRU pressure
+// from a second tenant demotes (not evicts) it, and the comeback query
+// is a promotion rather than a cold rebuild.
+func TestTwoTierSecondTenantPressure(t *testing.T) {
+	g := testGraph(t, 8, graph.IC)
+	s := testServer(t, Options{Workers: 2, MaxTheta: 4000, PoolBudgetBytes: 1, PoolDir: t.TempDir()},
+		map[string]*graph.Graph{"g": g})
+	req := QueryRequest{Graph: "g", K: 8, Epsilon: 0.5, Seed: 1}
+
+	first, err := s.Query(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := s.Query(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Warm || second.GeneratedSets != 0 {
+		t.Fatalf("repeat on the over-budget pool went cold (self-demotion): %+v", second)
+	}
+	if st := s.Stats(); st.Demotions != 0 || st.Evictions != 0 {
+		t.Fatalf("resident pool demoted with no competitor: %+v", st)
+	}
+
+	// The second tenant makes seed 1 the LRU victim: demoted, not evicted.
+	if _, err := s.Query(QueryRequest{Graph: "g", K: 8, Epsilon: 0.5, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Demotions != 1 || st.Evictions != 0 {
+		t.Fatalf("second tenant pressure: want 1 demotion 0 evictions, got %+v", st)
+	}
+	if st.Pools != 2 {
+		t.Fatalf("demotion dropped the entry: %+v", st)
+	}
+
+	third, err := s.Query(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !third.Warm || third.GeneratedSets != 0 {
+		t.Fatalf("comeback query did not promote: %+v", third)
+	}
+	if !reflect.DeepEqual(third.Seeds, first.Seeds) {
+		t.Fatalf("promoted seeds %v != original %v", third.Seeds, first.Seeds)
+	}
+}
+
+// TestSaveAndRehydrateAcrossServers pins the instant-warm restart path:
+// save pools, shut the server down, boot a fresh one on the same pool
+// directory, and the first query answers warm with zero generated sets
+// and byte-identical seeds.
+func TestSaveAndRehydrateAcrossServers(t *testing.T) {
+	g := testGraph(t, 8, graph.IC)
+	dir := t.TempDir()
+	opt := Options{Workers: 2, MaxTheta: 4000, PoolDir: dir}
+	req := QueryRequest{Graph: "g", K: 8, Epsilon: 0.5, Seed: 1}
+
+	s1 := testServer(t, opt, map[string]*graph.Graph{"g": g})
+	first, err := s1.Query(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved, err := s1.SavePools("")
+	if err != nil || saved != 1 {
+		t.Fatalf("SavePools = %d, %v", saved, err)
+	}
+	if err := s1.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := testServer(t, opt, map[string]*graph.Graph{"g": g})
+	loaded, err := s2.LoadPools()
+	if err != nil || loaded != 1 {
+		t.Fatalf("LoadPools = %d, %v", loaded, err)
+	}
+	st := s2.Stats()
+	if st.Rehydrated != 1 || st.DiskPools != 1 || st.PoolBytes != 0 {
+		t.Fatalf("rehydrated entry accounting: %+v", st)
+	}
+	r, err := s2.Query(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Warm || r.GeneratedSets != 0 {
+		t.Fatalf("first post-restart query not instant-warm: warm=%v generated=%d", r.Warm, r.GeneratedSets)
+	}
+	if !reflect.DeepEqual(r.Seeds, first.Seeds) || r.Theta != first.Theta {
+		t.Fatalf("restart answer diverged: %v/θ=%d vs %v/θ=%d", r.Seeds, r.Theta, first.Seeds, first.Theta)
+	}
+	cold := coldRun(t, g, opt, req)
+	if !reflect.DeepEqual(r.Seeds, cold.Seeds) {
+		t.Fatalf("restart seeds %v != cold %v", r.Seeds, cold.Seeds)
+	}
+}
+
+// TestDemotedPoolSurvivesShutdownReload is the demote-then-restart
+// variant: the snapshot written by budget-pressure demotion (not an
+// explicit save) must rehydrate and answer warm in the next process.
+func TestDemotedPoolSurvivesShutdownReload(t *testing.T) {
+	g := testGraph(t, 8, graph.IC)
+	onePool := tierProbe(t, g)
+	dir := t.TempDir()
+	opt := Options{Workers: 2, MaxTheta: 4000, PoolBudgetBytes: 2*onePool + onePool/2, PoolDir: dir}
+
+	s1 := testServer(t, opt, map[string]*graph.Graph{"g": g})
+	var first []*QueryResult
+	for _, seed := range []uint64{1, 2, 3} {
+		r, err := s1.Query(QueryRequest{Graph: "g", K: 8, Epsilon: 0.5, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		first = append(first, r)
+	}
+	if st := s1.Stats(); st.Demotions == 0 {
+		t.Fatalf("setup did not demote: %+v", st)
+	}
+	if err := s1.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := testServer(t, opt, map[string]*graph.Graph{"g": g})
+	loaded, err := s2.LoadPools()
+	if err != nil || loaded == 0 {
+		t.Fatalf("LoadPools after demotion = %d, %v", loaded, err)
+	}
+	r, err := s2.Query(QueryRequest{Graph: "g", K: 8, Epsilon: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Warm || r.GeneratedSets != 0 {
+		t.Fatalf("demoted snapshot did not survive restart warm: %+v", r)
+	}
+	if !reflect.DeepEqual(r.Seeds, first[0].Seeds) {
+		t.Fatalf("post-reload seeds %v != original %v", r.Seeds, first[0].Seeds)
+	}
+}
+
+// TestStaleSnapshotRejected pins the two staleness paths: a delta
+// advancing the graph epoch drops this graph's disk snapshots (repair
+// cannot fix a file), and a snapshot binding different graph content is
+// rejected at promotion — both fall back to a cold build with correct
+// post-change answers, never a stale one.
+func TestStaleSnapshotRejected(t *testing.T) {
+	t.Run("delta-advanced epoch", func(t *testing.T) {
+		g := testGraph(t, 8, graph.IC)
+		dir := t.TempDir()
+		opt := Options{Workers: 2, MaxTheta: 4000, PoolDir: dir}
+		s := testServer(t, opt, map[string]*graph.Graph{"g": g})
+		req := QueryRequest{Graph: "g", K: 8, Epsilon: 0.5, Seed: 1}
+		if _, err := s.Query(req); err != nil {
+			t.Fatal(err)
+		}
+		if saved, err := s.SavePools(""); err != nil || saved != 1 {
+			t.Fatalf("SavePools = %d, %v", saved, err)
+		}
+
+		d := graph.Delta{Add: freshEdges(g, 8), Seed: 5}
+		res, err := s.ApplyDelta("g", d, graph.DeltaOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Epoch != 1 {
+			t.Fatalf("delta epoch = %d, want 1", res.Epoch)
+		}
+		// The repair pass must have discarded the epoch-0 snapshot: the
+		// disk tier never answers for dead epochs, even across a crash.
+		if st := s.Stats(); st.DiskPools != 0 {
+			t.Fatalf("stale snapshot still registered after delta: %+v", st)
+		}
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ents) != 0 {
+			t.Fatalf("stale snapshot file survived the delta: %v", ents)
+		}
+
+		// The repaired pool still answers identically to a cold run on
+		// the post-delta graph.
+		ng, _, err := graph.ApplyDelta(g, d, graph.DeltaOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := s.Query(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold := coldRun(t, ng, opt, req)
+		if !reflect.DeepEqual(r.Seeds, cold.Seeds) {
+			t.Fatalf("post-delta seeds %v != cold %v", r.Seeds, cold.Seeds)
+		}
+	})
+
+	t.Run("different graph content", func(t *testing.T) {
+		gA := testGraph(t, 8, graph.IC)
+		// Same shape, different RMAT seed: different edges and weights,
+		// so the snapshot's content checksum cannot match.
+		gB, err := gen.RMAT(gen.DefaultRMAT(8, 6), graph.IC, 77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir := t.TempDir()
+		opt := Options{Workers: 2, MaxTheta: 4000, PoolDir: dir}
+		req := QueryRequest{Graph: "g", K: 8, Epsilon: 0.5, Seed: 1}
+
+		s1 := testServer(t, opt, map[string]*graph.Graph{"g": gA})
+		if _, err := s1.Query(req); err != nil {
+			t.Fatal(err)
+		}
+		if saved, err := s1.SavePools(""); err != nil || saved != 1 {
+			t.Fatalf("SavePools = %d, %v", saved, err)
+		}
+		if err := s1.Shutdown(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+
+		// Same graph name, different content: the snapshot's checksum
+		// binding no longer matches, so promotion must reject it and the
+		// query must build cold against the graph actually registered.
+		s2 := testServer(t, opt, map[string]*graph.Graph{"g": gB})
+		if loaded, err := s2.LoadPools(); err != nil || loaded != 1 {
+			t.Fatalf("LoadPools = %d, %v", loaded, err)
+		}
+		r, err := s2.Query(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Warm {
+			t.Fatal("stale snapshot served a warm answer for different graph content")
+		}
+		cold := coldRun(t, gB, opt, req)
+		if !reflect.DeepEqual(r.Seeds, cold.Seeds) {
+			t.Fatalf("seeds %v != cold %v on the actual graph", r.Seeds, cold.Seeds)
+		}
+		st := s2.Stats()
+		if st.PromoteFailures == 0 {
+			t.Fatalf("stale rejection not counted: %+v", st)
+		}
+		if st.DiskPools != 0 {
+			t.Fatalf("rejected snapshot still registered: %+v", st)
+		}
+	})
+}
+
+// TestConcurrentDemotePromoteRace runs concurrent queries over more
+// pools than the budget holds, so demotion, promotion, and cold builds
+// race on the same entries (exercised under -race). Every answer for a
+// seed must be identical, however its pool was served.
+func TestConcurrentDemotePromoteRace(t *testing.T) {
+	g := testGraph(t, 8, graph.IC)
+	onePool := tierProbe(t, g)
+	s := testServer(t,
+		Options{Workers: 2, MaxTheta: 4000, PoolBudgetBytes: onePool + onePool/2, PoolDir: t.TempDir()},
+		map[string]*graph.Graph{"g": g})
+
+	seeds := []uint64{1, 2, 3}
+	const rounds = 4
+	results := make([][]*QueryResult, rounds)
+	var wg sync.WaitGroup
+	for round := 0; round < rounds; round++ {
+		results[round] = make([]*QueryResult, len(seeds))
+		for i, seed := range seeds {
+			wg.Add(1)
+			go func(round, i int, seed uint64) {
+				defer wg.Done()
+				r, err := s.Query(QueryRequest{Graph: "g", K: 8, Epsilon: 0.5, Seed: seed})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				results[round][i] = r
+			}(round, i, seed)
+		}
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	for i, seed := range seeds {
+		want := results[0][i].Seeds
+		for round := 1; round < rounds; round++ {
+			if !reflect.DeepEqual(results[round][i].Seeds, want) {
+				t.Fatalf("seed %d round %d: %v != %v", seed, round, results[round][i].Seeds, want)
+			}
+		}
+		cold := coldRun(t, g, Options{Workers: 2, MaxTheta: 4000},
+			QueryRequest{Graph: "g", K: 8, Epsilon: 0.5, Seed: seed})
+		if !reflect.DeepEqual(want, cold.Seeds) {
+			t.Fatalf("seed %d: served %v != cold %v", seed, want, cold.Seeds)
+		}
+	}
+	if st := s.Stats(); st.PoolBytes > st.BudgetBytes+onePool {
+		// Transient overshoot of one in-flight pool is legal (pinned
+		// entries are never victims); unbounded growth is not.
+		t.Fatalf("budget lost under racing demotion: %+v", st)
+	}
+}
+
+// TestRemoveGraphDropsSnapshots pins disk-tier cleanup: unregistering a
+// graph removes its .impool files along with the pool entries.
+func TestRemoveGraphDropsSnapshots(t *testing.T) {
+	g := testGraph(t, 8, graph.IC)
+	dir := t.TempDir()
+	s := testServer(t, Options{Workers: 2, MaxTheta: 4000, PoolDir: dir},
+		map[string]*graph.Graph{"g": g})
+	if _, err := s.Query(QueryRequest{Graph: "g", K: 8, Epsilon: 0.5, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if saved, err := s.SavePools(""); err != nil || saved != 1 {
+		t.Fatalf("SavePools = %d, %v", saved, err)
+	}
+	if _, _, err := s.RemoveGraph("g"); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("snapshots survived graph removal: %v", ents)
+	}
+}
+
+// TestPoolsSaveEndpoint covers POST /v1/pools/save: explicit directory,
+// the no-directory error, and that a saved snapshot is a real .impool
+// file named for its pool key.
+func TestPoolsSaveEndpoint(t *testing.T) {
+	_, ts := testHTTP(t) // no PoolDir configured
+
+	getJSON(t, ts.URL+"/v1/query?graph=g&k=8&eps=0.5&seed=1", http.StatusOK, nil)
+
+	// No configured dir and none given: invalid_query envelope.
+	postJSON(t, ts.URL+"/v1/pools/save", `{}`, http.StatusBadRequest, nil)
+
+	dir := t.TempDir()
+	dirJSON, err := json.Marshal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var save PoolsSaveResponse
+	postJSON(t, ts.URL+"/v1/pools/save", `{"dir":`+string(dirJSON)+`}`, http.StatusOK, &save)
+	if save.Saved != 1 || save.Dir != dir {
+		t.Fatalf("pools/save = %+v", save)
+	}
+	path := filepath.Join(dir, poolFileName(poolKey{graph: "g", seed: 1}))
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("saved snapshot missing: %v", err)
+	}
+
+	// Unknown body fields are rejected like every other endpoint.
+	postJSON(t, ts.URL+"/v1/pools/save", `{"dirr":"x"}`, http.StatusBadRequest, nil)
+}
