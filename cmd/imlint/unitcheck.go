@@ -1,0 +1,130 @@
+package main
+
+// The go vet driver protocol: for each package in the build, the go
+// command materializes a JSON "vet config" naming the sources, the
+// import map, and the export-data file of every dependency, then
+// invokes the vet tool with that file as its sole argument. The tool
+// type-checks from those ingredients (no go list, no network), runs
+// its analyzers, prints findings to stderr, writes its (here: empty)
+// facts file, and exits 2 when it found anything.
+//
+// This is the same contract golang.org/x/tools/go/analysis/unitchecker
+// implements; rebuilding it here keeps the module stdlib-only.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"repro/internal/analysis/checker"
+	"repro/internal/analysis/load"
+	"repro/internal/analysis/suite"
+)
+
+// vetConfig mirrors the fields of cmd/go's vet config that imlint
+// consumes. Unknown fields are ignored by encoding/json.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func unitcheck(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "imlint: reading vet config: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "imlint: parsing vet config %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// The driver requires a facts file regardless of outcome; imlint
+	// uses no cross-package facts, so it is always empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "imlint: writing facts: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "imlint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "imlint: type-checking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	pkg := &load.Package{
+		PkgPath:   cfg.ImportPath,
+		Name:      tpkg.Name(),
+		Dir:       cfg.Dir,
+		Fset:      fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}
+	findings, err := checker.Run([]*load.Package{pkg}, suite.Analyzers(), suite.DefaultScope())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "imlint: %v\n", err)
+		return 1
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s [%s]\n", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message, f.Analyzer)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}

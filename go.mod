@@ -1,3 +1,11 @@
 module repro
 
+// Dependency pin: this module deliberately requires nothing beyond the
+// standard library. In particular, the imlint analyzer suite
+// (cmd/imlint, internal/analysis) is built on go/ast + go/types + the
+// gc export-data importer rather than golang.org/x/tools/go/analysis,
+// with the same Analyzer/Pass/Diagnostic shape, so the passes port
+// mechanically if x/tools is ever vendored. Adding a requirement here
+// is an API decision, not a convenience — see DESIGN.md "Static
+// invariant enforcement".
 go 1.22

@@ -1,0 +1,100 @@
+// Package analysis is the repo's static-invariant framework: a
+// deliberately small, stdlib-only mirror of the
+// golang.org/x/tools/go/analysis API (Analyzer, Pass, Diagnostic)
+// that cmd/imlint drives over the module.
+//
+// Why not depend on x/tools directly? The build environment pins the
+// module graph to the standard library (no network module fetches),
+// and the five invariant passes below need nothing the stdlib
+// go/ast + go/types stack doesn't already provide: full type
+// information comes from `go list -export` export data (see the load
+// subpackage), and none of the passes use cross-package facts. The
+// API shape is kept deliberately congruent with x/tools so the passes
+// port mechanically if the dependency ever lands; until then go.mod
+// stays pinned to stdlib-only and the tool version is the module
+// itself.
+//
+// The suite encodes invariants prose review keeps missing under
+// refactor pressure (see DESIGN.md "Static invariant enforcement"):
+//
+//   - determinism: kernel/codec packages must not let map iteration
+//     order or ambient entropy (math/rand globals, wall-clock-as-seed)
+//     reach serialization, hashing, or returned orderings.
+//   - lockcheck: *Locked functions document "caller holds the lock";
+//     they must not re-acquire it, and their call sites must be
+//     dominated by the acquisition they document.
+//   - envelope: HTTP handlers fail through the one JSON error
+//     envelope, never raw http.Error / WriteHeader(4xx|5xx).
+//   - endian: codec packages are little-endian only and CRC with the
+//     Castagnoli polynomial only.
+//   - meteredio: cluster I/O flows through wire.Conn / wire.Meter so
+//     measured-communication accounting cannot drift from reality.
+//
+// A diagnostic is suppressed by an
+//
+//	//imlint:ignore <pass> <reason>
+//
+// comment on the flagged line or the line directly above it; the
+// reason is mandatory and empty reasons are themselves diagnosed.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one invariant-checking pass.
+type Analyzer struct {
+	// Name identifies the pass in diagnostics and in
+	// //imlint:ignore comments. Lower-case, no spaces.
+	Name string
+
+	// Doc is the one-paragraph description `imlint help` prints.
+	Doc string
+
+	// Run applies the pass to one package and reports findings
+	// through pass.Report. The returned error aborts the whole run
+	// (loader-level breakage), not an individual finding.
+	Run func(pass *Pass) error
+}
+
+// A Pass is the interface between one Analyzer and one package being
+// checked: the syntax trees, the type information, and the Report
+// sink.
+type Pass struct {
+	Analyzer *Analyzer
+
+	// Fset maps token.Pos values in Files to file positions.
+	Fset *token.FileSet
+
+	// Files holds the package's non-test syntax trees, parsed with
+	// comments.
+	Files []*ast.File
+
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+
+	// TypesInfo carries Types, Defs, Uses and Selections for every
+	// expression in Files.
+	TypesInfo *types.Info
+
+	// Report delivers one finding. The checker attaches the analyzer
+	// name and applies //imlint:ignore suppression.
+	Report func(Diagnostic)
+}
+
+// Reportf is the convenience formatter every pass uses.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+
+	// Analyzer is filled in by the checker so formatted output and
+	// suppression matching know which pass spoke.
+	Analyzer string
+}

@@ -1,0 +1,147 @@
+// Package analysistest runs one analyzer over testdata packages and
+// compares its findings against // want annotations — the same
+// contract as golang.org/x/tools/go/analysis/analysistest, rebuilt on
+// the repo's stdlib-only framework.
+//
+// Layout mirrors the x/tools harness: testdata/src/<pkg>/... holds
+// ordinary compilable Go files (violations included — they must still
+// type-check). A line expecting a diagnostic carries a trailing
+// comment of one or more quoted regular expressions:
+//
+//	for k := range m { // want `map iteration order`
+//
+// Each reported diagnostic must match an unconsumed expectation on its
+// exact file and line, and every expectation must be consumed.
+// Because findings flow through the checker, //imlint:ignore
+// suppression is active in tests too — a file can assert the
+// round-trip by carrying a violation, a suppression, and no want.
+package analysistest
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/checker"
+	"repro/internal/analysis/load"
+)
+
+// wantRe extracts the quoted regexps of a // want comment. Both
+// backquotes and double quotes delimit.
+var wantRe = regexp.MustCompile("`[^`]*`|\"[^\"]*\"")
+
+// Run loads testdata/src/<pkg> for each named package, applies the
+// analyzer through the checker (suppressions active, no scope), and
+// diffs findings against // want expectations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgNames ...string) {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module imlinttest\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src := filepath.Join(testdata, "src")
+	var patterns []string
+	for _, name := range pkgNames {
+		if err := copyTree(filepath.Join(src, name), filepath.Join(dir, name)); err != nil {
+			t.Fatalf("copying testdata package %s: %v", name, err)
+		}
+		patterns = append(patterns, "./"+name+"/...")
+	}
+	pkgs, err := load.Packages(dir, patterns...)
+	if err != nil {
+		t.Fatalf("loading testdata: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no packages loaded from %s", testdata)
+	}
+	findings, err := checker.Run(pkgs, []*analysis.Analyzer{a}, nil)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, pkgs)
+	for _, f := range findings {
+		key := posKey{file: f.Pos.Filename, line: f.Pos.Line}
+		matched := false
+		for i, w := range wants[key] {
+			if w.consumed || !w.re.MatchString(f.Message) {
+				continue
+			}
+			wants[key][i].consumed = true
+			matched = true
+			break
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", a.Name, f)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.consumed {
+				t.Errorf("%s: %s:%d: expected diagnostic matching %q was not reported", a.Name, key.file, key.line, w.re)
+			}
+		}
+	}
+}
+
+type posKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re       *regexp.Regexp
+	consumed bool
+}
+
+// collectWants scans every loaded file for // want comments.
+func collectWants(t *testing.T, pkgs []*load.Package) map[posKey][]want {
+	t.Helper()
+	wants := make(map[posKey][]want)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					idx := strings.Index(c.Text, "// want ")
+					if idx < 0 {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					for _, q := range wantRe.FindAllString(c.Text[idx+len("// want "):], -1) {
+						re, err := regexp.Compile(q[1 : len(q)-1])
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp %s: %v", pos.Filename, pos.Line, q, err)
+						}
+						key := posKey{file: pos.Filename, line: pos.Line}
+						wants[key] = append(wants[key], want{re: re})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func copyTree(from, to string) error {
+	return filepath.Walk(from, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(from, path)
+		if err != nil {
+			return err
+		}
+		dst := filepath.Join(to, rel)
+		if info.IsDir() {
+			return os.MkdirAll(dst, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(dst, data, 0o644)
+	})
+}

@@ -1,0 +1,171 @@
+// Package checker runs a set of analyzers over loaded packages,
+// applying per-pass package scoping and //imlint:ignore suppression,
+// and renders findings in the conventional file:line:col form.
+package checker
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+// Scope maps an analyzer name to the package paths it applies to.
+// Paths are matched as import-path suffixes on whole segments
+// ("internal/serve" matches "repro/internal/serve" but not
+// "repro/internal/serve2"). An analyzer absent from the scope — or
+// mapped to nil — runs over every package.
+type Scope map[string][]string
+
+// AppliesTo reports whether the named analyzer runs over pkgPath.
+func (s Scope) AppliesTo(name, pkgPath string) bool {
+	pats, ok := s[name]
+	if !ok || len(pats) == 0 {
+		return true
+	}
+	for _, pat := range pats {
+		if pkgPath == pat || strings.HasSuffix(pkgPath, "/"+pat) {
+			return true
+		}
+	}
+	return false
+}
+
+// A Finding is one reported, unsuppressed diagnostic with its position
+// resolved.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message, f.Analyzer)
+}
+
+// Run applies every analyzer to every in-scope package and returns the
+// surviving findings sorted by position. Suppression comments that are
+// missing their mandatory reason are themselves findings, so a bare
+// //imlint:ignore can never silently disable a pass.
+func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer, scope Scope) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		sup, malformed := suppressions(pkg)
+		findings = append(findings, malformed...)
+		for _, a := range analyzers {
+			if !scope.AppliesTo(a.Name, pkg.PkgPath) {
+				continue
+			}
+			var diags []analysis.Diagnostic
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("checker: %s on %s: %v", a.Name, pkg.PkgPath, err)
+			}
+			for _, d := range diags {
+				pos := pkg.Fset.Position(d.Pos)
+				if sup.covers(a.Name, pos) {
+					continue
+				}
+				findings = append(findings, Finding{Pos: pos, Analyzer: a.Name, Message: d.Message})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// ignoreDirective is the suppression comment prefix. The full form is
+//
+//	//imlint:ignore <pass> <reason>
+//
+// and it silences <pass> findings on its own line and on the line
+// directly below it (so it can ride at end-of-line or stand above the
+// flagged statement).
+const ignoreDirective = "//imlint:ignore"
+
+// suppressionSet records, per file and line, which analyzers are
+// silenced.
+type suppressionSet map[string]map[int]map[string]bool
+
+func (s suppressionSet) covers(analyzer string, pos token.Position) bool {
+	lines := s[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[pos.Line][analyzer]
+}
+
+func (s suppressionSet) add(file string, line int, analyzer string) {
+	if s[file] == nil {
+		s[file] = make(map[int]map[string]bool)
+	}
+	if s[file][line] == nil {
+		s[file][line] = make(map[string]bool)
+	}
+	s[file][line][analyzer] = true
+}
+
+// suppressions scans a package's comments for ignore directives.
+// Malformed directives (no pass name, or no reason) come back as
+// findings attributed to the pseudo-analyzer "imlint".
+func suppressions(pkg *load.Package) (suppressionSet, []Finding) {
+	set := make(suppressionSet)
+	var malformed []Finding
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignoreDirective) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignoreDirective)
+				fields := strings.Fields(rest)
+				pos := pkg.Fset.Position(c.Pos())
+				if len(fields) < 2 {
+					malformed = append(malformed, Finding{
+						Pos:      pos,
+						Analyzer: "imlint",
+						Message:  "malformed suppression: want //imlint:ignore <pass> <reason>",
+					})
+					continue
+				}
+				set.add(pos.Filename, pos.Line, fields[0])
+				set.add(pos.Filename, pos.Line+1, fields[0])
+			}
+		}
+	}
+	return set, malformed
+}
+
+// FileOf returns the *ast.File of pos within pkg, for passes that need
+// file-level context (imports, comment maps).
+func FileOf(pkg *load.Package, pos token.Pos) *ast.File {
+	for _, f := range pkg.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}

@@ -1,0 +1,187 @@
+package checker
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+func TestScopeAppliesTo(t *testing.T) {
+	scope := Scope{
+		"envelope": {"internal/serve", "internal/route"},
+		"endian":   nil,
+	}
+	cases := []struct {
+		name, pkg string
+		want      bool
+	}{
+		{"envelope", "repro/internal/serve", true},
+		{"envelope", "repro/internal/route", true},
+		{"envelope", "repro/internal/imm", false},
+		// Suffix matching is per whole path segment, not per byte.
+		{"envelope", "repro/internal/serve2", false},
+		{"envelope", "repro/xinternal/serve", false},
+		// Exact match without any prefix.
+		{"envelope", "internal/serve", true},
+		// nil scope entry and absent analyzer both mean "everywhere".
+		{"endian", "repro/internal/imm", true},
+		{"lockcheck", "repro/internal/imm", true},
+	}
+	for _, c := range cases {
+		if got := scope.AppliesTo(c.name, c.pkg); got != c.want {
+			t.Errorf("AppliesTo(%q, %q) = %v, want %v", c.name, c.pkg, got, c.want)
+		}
+	}
+}
+
+// parseOnlyPackage builds a load.Package from source text without
+// type-checking — enough for suppression scanning and for analyzers
+// that only look at the AST.
+func parseOnlyPackage(t *testing.T, src string) *load.Package {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &load.Package{
+		PkgPath: "example/a",
+		Name:    "a",
+		Dir:     dir,
+		Fset:    fset,
+		Files:   []*ast.File{f},
+	}
+}
+
+func TestMalformedSuppressionIsAFinding(t *testing.T) {
+	pkg := parseOnlyPackage(t, `package a
+
+//imlint:ignore
+func missingEverything() {}
+
+//imlint:ignore determinism
+func missingReason() {}
+
+//imlint:ignore determinism has a reason, well formed
+func wellFormed() {}
+`)
+	findings, err := Run([]*load.Package{pkg}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2: %v", len(findings), findings)
+	}
+	for _, f := range findings {
+		if f.Analyzer != "imlint" {
+			t.Errorf("finding attributed to %q, want pseudo-analyzer \"imlint\"", f.Analyzer)
+		}
+		if !strings.Contains(f.Message, "malformed suppression") {
+			t.Errorf("unexpected message %q", f.Message)
+		}
+	}
+	if findings[0].Pos.Line != 3 || findings[1].Pos.Line != 6 {
+		t.Errorf("findings at lines %d and %d, want 3 and 6", findings[0].Pos.Line, findings[1].Pos.Line)
+	}
+}
+
+// lineReporter flags every function declaration — a minimal analyzer
+// for exercising suppression coverage and pass scoping.
+func lineReporter(name string) *analysis.Analyzer {
+	a := &analysis.Analyzer{Name: name, Doc: "test analyzer"}
+	a.Run = func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			for _, d := range f.Decls {
+				if fn, ok := d.(*ast.FuncDecl); ok {
+					pass.Reportf(fn.Pos(), "func %s flagged", fn.Name.Name)
+				}
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+func TestSuppressionCoversOwnAndNextLine(t *testing.T) {
+	pkg := parseOnlyPackage(t, `package a
+
+//imlint:ignore probe suppressed by the line above
+func above() {}
+
+func unsuppressed() {}
+
+func trailing() {} //imlint:ignore probe suppressed at end of line
+
+//imlint:ignore otherpass wrong pass name does not silence probe
+func wrongPass() {}
+`)
+	findings, err := Run([]*load.Package{pkg}, []*analysis.Analyzer{lineReporter("probe")}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, f := range findings {
+		if f.Analyzer != "probe" {
+			t.Fatalf("unexpected analyzer %q in %v", f.Analyzer, f)
+		}
+		names = append(names, f.Message)
+	}
+	want := []string{"func unsuppressed flagged", "func wrongPass flagged"}
+	if len(names) != len(want) {
+		t.Fatalf("got findings %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("finding %d = %q, want %q", i, names[i], want[i])
+		}
+	}
+}
+
+func TestScopeFiltersPasses(t *testing.T) {
+	pkg := parseOnlyPackage(t, `package a
+
+func f() {}
+`)
+	scope := Scope{"probe": {"internal/serve"}}
+	findings, err := Run([]*load.Package{pkg}, []*analysis.Analyzer{lineReporter("probe")}, scope)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("out-of-scope package produced findings: %v", findings)
+	}
+}
+
+func TestFindingsSortedByPosition(t *testing.T) {
+	pkg := parseOnlyPackage(t, `package a
+
+func b() {}
+
+func a() {}
+`)
+	findings, err := Run([]*load.Package{pkg}, []*analysis.Analyzer{lineReporter("zprobe"), lineReporter("aprobe")}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 4 {
+		t.Fatalf("got %d findings, want 4", len(findings))
+	}
+	for i := 1; i < len(findings); i++ {
+		p, q := findings[i-1], findings[i]
+		if p.Pos.Line > q.Pos.Line || (p.Pos.Line == q.Pos.Line && p.Analyzer > q.Analyzer) {
+			t.Errorf("findings out of order at %d: %v before %v", i, p, q)
+		}
+	}
+}

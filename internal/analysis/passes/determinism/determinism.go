@@ -1,0 +1,241 @@
+// Package determinism flags constructs that let nondeterminism leak
+// into code whose entire contract is byte-identical replay: map
+// iteration order reaching ordering-sensitive sinks, math/rand global
+// state, and the wall clock used as data.
+//
+// The repo's load-bearing claim (paper §parallel-equivalence, DESIGN
+// "Determinism") is that every kernel, rank count, worker count, warm
+// pool, repair and thaw produces the same seed sets as the sequential
+// reference. The differential and fuzz tests catch violations after
+// the fact; this pass catches the three constructs that cause nearly
+// all of them at compile time:
+//
+//  1. `for ... range m` over a map whose loop body feeds an
+//     ordering-sensitive sink — a Write/Encode/Fprint/hash call, a
+//     channel send, or an append whose target is never subsequently
+//     sorted. Aggregations (counters, min/max, building another map)
+//     are order-insensitive and stay clean, as does the canonical
+//     collect-then-sort idiom.
+//  2. Any use of math/rand (or math/rand/v2) package-level functions.
+//     All sampling must flow through internal/rng's slot-indexed
+//     streams; explicit constructors (rand.New, rand.NewSource, ...)
+//     are tolerated because deterministic code seeds them from fixed
+//     values — seeding them from the clock is caught by rule 3.
+//  3. The wall clock converted to a number: time.Now().UnixNano() and
+//     friends. Bare time.Now() stays legal — duration measurement for
+//     Result timing fields is fine — but the instant's numeric value
+//     is entropy and must never become a seed, an ID, or payload.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc:  "flag map-iteration order, math/rand globals, and clock-derived values reaching deterministic kernels",
+	Run:  run,
+}
+
+// sinkMethods are call names whose argument order is observable:
+// serialization, hashing, and stream output.
+var sinkMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true, "EncodeToken": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+	"Update": true, "Checksum": true, "Sum": true, "Sum32": true, "Sum64": true,
+}
+
+// randConstructors are the math/rand names that build explicit,
+// seedable state and therefore stay legal.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+	"Rand": true, "Source": true, "Source64": true, "Zipf": true,
+	"PCG": true, "ChaCha8": true,
+}
+
+// clockToNumber are the time.Time methods that turn an instant into a
+// plain number — the wall clock escaping as data.
+var clockToNumber = map[string]bool{
+	"Unix": true, "UnixMilli": true, "UnixMicro": true, "UnixNano": true,
+	"Nanosecond": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				checkMapRanges(pass, fn)
+			}
+		}
+		checkEntropy(pass, f)
+	}
+	return nil
+}
+
+// checkMapRanges inspects every map-keyed range statement in fn
+// (closures included: a sort inside the same declaration still
+// re-establishes order).
+func checkMapRanges(pass *analysis.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRangeBody(pass, fn, rs)
+		return true
+	})
+}
+
+func checkMapRangeBody(pass *analysis.Pass, fn *ast.FuncDecl, rs *ast.RangeStmt) {
+	// appendTargets collects the objects the loop body appends to;
+	// they are tolerated iff a later sort re-establishes order. Direct
+	// sinks report once per range statement: one finding per root
+	// cause, not one per Write call in the body.
+	appendTargets := map[types.Object]ast.Expr{}
+	sinkReported := false
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if !sinkReported {
+				sinkReported = true
+				pass.Reportf(rs.For, "map iteration order reaches a channel send; receivers observe a nondeterministic sequence")
+			}
+			return true
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sinkMethods[sel.Sel.Name] {
+				if !sinkReported {
+					sinkReported = true
+					pass.Reportf(rs.For, "map iteration order reaches ordering-sensitive sink %s.%s without an intervening sort", analysis.ExprString(sel.X), sel.Sel.Name)
+				}
+				return true
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pass.TypesInfo, call) || i >= len(n.Lhs) {
+					continue
+				}
+				if id, ok := n.Lhs[i].(*ast.Ident); ok {
+					if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+						appendTargets[obj] = id
+					}
+				}
+			}
+		}
+		return true
+	})
+	for obj, at := range appendTargets {
+		if !sortedWithin(pass, fn.Body, obj) {
+			pass.Reportf(at.Pos(), "slice %s accumulates map-iteration results and is never sorted; callers observe a nondeterministic order", obj.Name())
+		}
+	}
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// sortedWithin reports whether obj appears as an argument (or inside
+// an argument) of a sorting call anywhere in body. Sorting through the
+// sort or slices packages and methods/functions with "Sort" in the
+// name all count.
+func sortedWithin(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isSortingCall(pass.TypesInfo, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if mentionsObject(pass.TypesInfo, arg, obj) {
+				found = true
+				return false
+			}
+		}
+		// Method form: byName(out).Sort().
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && mentionsObject(pass.TypesInfo, sel.X, obj) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func isSortingCall(info *types.Info, call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if obj := info.Uses[fun.Sel]; obj != nil && obj.Pkg() != nil {
+			p := obj.Pkg().Path()
+			if p == "sort" || p == "slices" {
+				return true
+			}
+		}
+		return strings.Contains(fun.Sel.Name, "Sort")
+	case *ast.Ident:
+		return strings.Contains(fun.Name, "Sort")
+	}
+	return false
+}
+
+func mentionsObject(info *types.Info, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// checkEntropy flags math/rand globals and clock-to-number
+// conversions anywhere in the file.
+func checkEntropy(pass *analysis.Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[sel.Sel]
+		if obj != nil && obj.Pkg() != nil {
+			switch obj.Pkg().Path() {
+			case "math/rand", "math/rand/v2":
+				if !randConstructors[obj.Name()] {
+					pass.Reportf(sel.Pos(), "use of math/rand global %s; all sampling must flow through internal/rng slot-indexed streams", obj.Name())
+				}
+			}
+		}
+		// time.Now().UnixNano() and friends: the receiver of a
+		// clock-to-number method is itself a direct time.Now() call.
+		if clockToNumber[sel.Sel.Name] {
+			if recv, ok := sel.X.(*ast.CallExpr); ok && analysis.IsPkgFunc(pass.TypesInfo, recv, "time", "Now") {
+				pass.Reportf(sel.Pos(), "wall clock escapes as data (time.Now().%s()); deterministic code must derive values from internal/rng or explicit inputs", sel.Sel.Name)
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,99 @@
+// Package a is the determinism pass's fixture: each function is one
+// positive (// want) or negative (clean) case.
+package a
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// listingsUnsorted leaks map order to its caller: positive.
+func listingsUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `slice out accumulates map-iteration results and is never sorted`
+	}
+	return out
+}
+
+// listingsSorted is the canonical collect-then-sort idiom: negative.
+func listingsSorted(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// listingsSortSlice sorts through sort.Slice: negative.
+func listingsSortSlice(m map[string]int) []int {
+	vals := make([]int, 0, len(m))
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// encodeDirect streams keys in map order: positive.
+func encodeDirect(m map[string]int, buf *bytes.Buffer) {
+	for k := range m { // want `map iteration order reaches ordering-sensitive sink buf.WriteString`
+		buf.WriteString(k)
+	}
+}
+
+// sendOut leaks map order through a channel: positive.
+func sendOut(m map[string]int, ch chan string) {
+	for k := range m { // want `map iteration order reaches a channel send`
+		ch <- k
+	}
+}
+
+// countValues aggregates order-insensitively: negative.
+func countValues(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// invert builds another map: negative (maps are order-insensitive).
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// globalRand samples from process-global state: positive.
+func globalRand() int {
+	return rand.Intn(10) // want `use of math/rand global Intn`
+}
+
+// seededRand builds explicit seedable state: negative.
+func seededRand() *rand.Rand {
+	return rand.New(rand.NewSource(1))
+}
+
+// clockSeed turns the wall clock into a number: positive.
+func clockSeed() int64 {
+	return time.Now().UnixNano() // want `wall clock escapes as data`
+}
+
+// elapsed measures a duration, never exposing the instant's value:
+// negative.
+func elapsed() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+
+// suppressed carries a violation and the mandatory-reason suppression:
+// the round-trip must stay silent.
+func suppressed() int {
+	return rand.Intn(10) //imlint:ignore determinism fixture pinning the suppression round-trip
+}

@@ -1,0 +1,12 @@
+package endian_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/endian"
+)
+
+func TestEndian(t *testing.T) {
+	analysistest.Run(t, "testdata", endian.Analyzer, "a")
+}

@@ -1,0 +1,61 @@
+// Package a is the endian pass's fixture: byte-order and CRC32
+// polynomial contracts for the codec packages.
+package a
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// writeHeader is the blessed shape — little-endian fields, Castagnoli
+// checksum: negative.
+func writeHeader(w io.Writer, magic uint32, n uint64) error {
+	var buf [12]byte
+	binary.LittleEndian.PutUint32(buf[0:4], magic)
+	binary.LittleEndian.PutUint64(buf[4:12], n)
+	sum := crc32.Checksum(buf[:], castagnoli)
+	_ = sum
+	_, err := w.Write(buf[:])
+	return err
+}
+
+// writeRaw writes with no checksum and in big-endian order: two
+// positives, one per broken contract.
+func writeRaw(w io.Writer, n uint64) error { // want `writeRaw writes to an io.Writer but never touches a CRC32 checksum`
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], n) // want `binary.BigEndian in a codec package`
+	_, err := w.Write(buf[:])
+	return err
+}
+
+// sumIEEE uses the wrong polynomial: positive.
+func sumIEEE(b []byte) uint32 {
+	return crc32.ChecksumIEEE(b) // want `crc32.ChecksumIEEE uses a non-Castagnoli polynomial`
+}
+
+// tableLiteral smuggles the IEEE polynomial in as a literal: positive
+// (the MakeTable check, since no crc32 selector names it).
+var tableLiteral = crc32.MakeTable(0xedb88320) // want `crc32.MakeTable with a non-Castagnoli polynomial`
+
+// nativeOrder would make snapshots non-portable: positive.
+func nativeOrder(b []byte) uint64 {
+	return binary.NativeEndian.Uint64(b) // want `binary.NativeEndian in a codec package`
+}
+
+// readHeader only reads; the writer-CRC rule does not apply: negative.
+func readHeader(b []byte) uint32 {
+	return binary.LittleEndian.Uint32(b)
+}
+
+// writePadding emits alignment bytes outside CRC coverage — the
+// documented by-design exception, suppressed with a reason: silent.
+//
+//imlint:ignore endian padding bytes are outside CRC coverage by format design
+func writePadding(w io.Writer, n int) error {
+	pad := make([]byte, n)
+	_, err := w.Write(pad)
+	return err
+}

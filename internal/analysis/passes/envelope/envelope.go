@@ -1,0 +1,75 @@
+// Package envelope enforces the HTTP error contract of the serving
+// surface: every failure a handler emits goes through the one shared
+// JSON envelope — {"error":{"code":...,"message":...}} — so clients,
+// the sharding router, and the smoke tests can rely on a single error
+// shape across the whole fleet.
+//
+// Two constructs bypass the envelope and are flagged:
+//
+//   - http.Error(w, ...): writes text/plain with no code field.
+//   - w.WriteHeader(<constant 4xx/5xx>): a raw error status whose body
+//     (if any) is whatever the handler writes next, not the envelope.
+//
+// Forwarding a backend's status verbatim (w.WriteHeader(resp.status))
+// stays legal because the value is not a constant — the proxied body
+// is already enveloped by the node that produced it. The function that
+// implements the envelope itself is declared with
+//
+//	//imlint:envelope-writer
+//
+// on its doc comment, which exempts its own raw writes.
+package envelope
+
+import (
+	"go/ast"
+	"go/constant"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "envelope",
+	Doc:  "handlers must emit errors through the shared JSON envelope, never http.Error or raw 4xx/5xx WriteHeader",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if _, ok := analysis.FuncDocHasDirective(fn, "envelope-writer"); ok {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if analysis.IsPkgFunc(pass.TypesInfo, call, "net/http", "Error") {
+			pass.Reportf(call.Pos(), "http.Error bypasses the JSON error envelope; use the shared envelope writer (serve.WriteErrorEnvelope)")
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "WriteHeader" || len(call.Args) != 1 {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[call.Args[0]]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+			return true
+		}
+		if code, ok := constant.Int64Val(tv.Value); ok && code >= 400 && code <= 599 {
+			pass.Reportf(call.Pos(), "raw WriteHeader(%d) bypasses the JSON error envelope; use the shared envelope writer (serve.WriteErrorEnvelope)", code)
+		}
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package envelope_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/envelope"
+)
+
+func TestEnvelope(t *testing.T) {
+	analysistest.Run(t, "testdata", envelope.Analyzer, "a")
+}

@@ -1,0 +1,61 @@
+// Package a is the envelope pass's fixture: handlers that bypass the
+// JSON error envelope versus the idioms that stay legal.
+package a
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// plainError uses the stdlib helper: positive.
+func plainError(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "boom", http.StatusInternalServerError) // want `http.Error bypasses the JSON error envelope`
+}
+
+// rawNamedStatus writes a named error constant: positive, and the
+// message carries the resolved code.
+func rawNamedStatus(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusInternalServerError) // want `raw WriteHeader\(500\) bypasses the JSON error envelope`
+}
+
+// rawLiteralStatus writes an integer literal: positive.
+func rawLiteralStatus(w http.ResponseWriter) {
+	w.WriteHeader(404) // want `raw WriteHeader\(404\) bypasses the JSON error envelope`
+}
+
+// created writes a success status: negative (only 4xx/5xx bypass the
+// error envelope).
+func created(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusCreated)
+}
+
+// forwarded relays a backend's status verbatim: negative (the value is
+// not a constant; the proxied body is already enveloped upstream).
+func forwarded(w http.ResponseWriter, backendStatus int) {
+	w.WriteHeader(backendStatus)
+}
+
+// writeErrorEnvelope is the envelope implementation itself: its raw
+// WriteHeader is the point, exempted by the directive.
+//
+//imlint:envelope-writer
+func writeErrorEnvelope(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	if status == 0 {
+		status = 500
+	}
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]any{
+		"error": map[string]string{"code": code, "message": msg},
+	})
+}
+
+// enveloped routes through the shared writer: negative.
+func enveloped(w http.ResponseWriter) {
+	writeErrorEnvelope(w, 404, "not_found", "no such graph")
+}
+
+// suppressed pins the suppression round-trip: silent.
+func suppressed(w http.ResponseWriter) {
+	http.Error(w, "pprof passthrough", 503) //imlint:ignore envelope fixture pinning the suppression round-trip
+}

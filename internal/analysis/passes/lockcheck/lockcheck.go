@@ -1,0 +1,349 @@
+// Package lockcheck enforces the repo's *Locked naming convention:
+// a function whose name ends in "Locked" documents that its caller
+// already holds a specific mutex.
+//
+// Two invariants follow, and both have shipped as real deadlocks or
+// races in systems like this one:
+//
+//  1. The *Locked function must not itself acquire the mutex it
+//     documents as held — with sync.Mutex that is an instant
+//     self-deadlock, with RWMutex an upgrade deadlock under
+//     contention.
+//  2. Every call site of a *Locked function must be dominated by an
+//     acquisition of that same mutex (Lock or RLock on the same
+//     receiver path, not released in between), or sit inside another
+//     *Locked function so the obligation propagates outward.
+//
+// Which mutex a *Locked function means is inferred: the receiver's
+// single sync.Mutex/RWMutex field (by convention "mu"). When the
+// guard is not a receiver field — it belongs to a parameter, or to a
+// nested struct — the function declares it explicitly:
+//
+//	//imlint:locked-by p.mu
+//	func (c *Cluster) ensureConnLocked(p *peerConn) error { ... }
+//
+// The analysis is a positional AST heuristic, not a full
+// happens-before proof: an acquisition anywhere earlier in the
+// enclosing function body (with no later release at the same path,
+// deferred releases excluded) satisfies the check. Constructions the
+// heuristic cannot see — locks taken by a helper, conditional
+// acquisition — use //imlint:ignore lockcheck with a reason.
+package lockcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockcheck",
+	Doc:  "check *Locked functions: no self-acquisition of the documented mutex, and call sites dominated by it",
+	Run:  run,
+}
+
+// lockedFunc describes one *Locked declaration and the guard it
+// documents.
+type lockedFunc struct {
+	decl *ast.FuncDecl
+	// guardPath is the guard split at dots: ["s","mu"] or ["p","mu"].
+	// The first element names the receiver or a parameter; call-site
+	// checking substitutes the concrete argument for it.
+	guardPath []string
+	// paramIndex is the index of the parameter the guard hangs off,
+	// or -1 when it is the receiver.
+	paramIndex int
+}
+
+func run(pass *analysis.Pass) error {
+	locked := map[types.Object]*lockedFunc{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || !strings.HasSuffix(fn.Name.Name, "Locked") || fn.Body == nil {
+				continue
+			}
+			lf := resolveGuard(pass, fn)
+			if lf == nil {
+				continue // no inferable guard: nothing to check against
+			}
+			if obj := pass.TypesInfo.Defs[fn.Name]; obj != nil {
+				locked[obj] = lf
+			}
+			checkSelfAcquire(pass, lf)
+		}
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkCallSites(pass, fn, locked)
+		}
+	}
+	return nil
+}
+
+// resolveGuard determines which mutex fn documents as held. An
+// explicit //imlint:locked-by wins; otherwise the receiver's single
+// mutex-typed field is the guard.
+func resolveGuard(pass *analysis.Pass, fn *ast.FuncDecl) *lockedFunc {
+	if arg, ok := analysis.FuncDocHasDirective(fn, "locked-by"); ok && arg != "" {
+		path := strings.Split(arg, ".")
+		if len(path) == 1 && fn.Recv != nil && len(fn.Recv.List[0].Names) > 0 {
+			// Bare field name: shorthand for <receiver>.<field>.
+			path = []string{fn.Recv.List[0].Names[0].Name, path[0]}
+		}
+		lf := &lockedFunc{decl: fn, guardPath: path, paramIndex: -1}
+		if fn.Recv == nil || len(fn.Recv.List[0].Names) == 0 || fn.Recv.List[0].Names[0].Name != path[0] {
+			lf.paramIndex = paramIndexOf(fn, path[0])
+			if lf.paramIndex < 0 {
+				pass.Reportf(fn.Pos(), "//imlint:locked-by %s names neither the receiver nor a parameter of %s", strings.Join(path, "."), fn.Name.Name)
+				return nil
+			}
+		}
+		return lf
+	}
+	if fn.Recv == nil || len(fn.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	recvName := fn.Recv.List[0].Names[0].Name
+	field := mutexFieldOf(pass, fn.Recv.List[0].Type)
+	if field == "" {
+		return nil
+	}
+	return &lockedFunc{decl: fn, guardPath: []string{recvName, field}, paramIndex: -1}
+}
+
+func paramIndexOf(fn *ast.FuncDecl, name string) int {
+	i := 0
+	for _, f := range fn.Type.Params.List {
+		for _, n := range f.Names {
+			if n.Name == name {
+				return i
+			}
+			i++
+		}
+		if len(f.Names) == 0 {
+			i++
+		}
+	}
+	return -1
+}
+
+// mutexFieldOf returns the name of the mutex field of the receiver
+// struct, preferring the conventional "mu", or "" when there is none.
+func mutexFieldOf(pass *analysis.Pass, recvType ast.Expr) string {
+	t := pass.TypesInfo.TypeOf(recvType)
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return ""
+	}
+	first := ""
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !analysis.IsMutexType(f.Type()) {
+			continue
+		}
+		if f.Name() == "mu" {
+			return "mu"
+		}
+		if first == "" {
+			first = f.Name()
+		}
+	}
+	return first
+}
+
+// checkSelfAcquire flags acquisitions of the documented guard inside
+// the *Locked body itself.
+func checkSelfAcquire(pass *analysis.Pass, lf *lockedFunc) {
+	guard := strings.Join(lf.guardPath, ".")
+	ast.Inspect(lf.decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		if analysis.ExprString(sel.X) == guard {
+			pass.Reportf(call.Pos(), "%s acquires %s, which its name documents the caller already holds (self-deadlock)", lf.decl.Name.Name, guard)
+		}
+		return true
+	})
+}
+
+// lockEvent is one Lock/RLock/Unlock/RUnlock call on a rendered
+// selector path.
+type lockEvent struct {
+	pos     token.Pos
+	path    string
+	acquire bool
+}
+
+// checkCallSites verifies every call to a known *Locked function is
+// dominated by an acquisition of the substituted guard.
+func checkCallSites(pass *analysis.Pass, fn *ast.FuncDecl, locked map[types.Object]*lockedFunc) {
+	events := collectLockEvents(fn.Body)
+	callerIsLocked := strings.HasSuffix(fn.Name.Name, "Locked")
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var calleeIdent *ast.Ident
+		var recvExpr ast.Expr
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			calleeIdent, recvExpr = fun.Sel, fun.X
+		case *ast.Ident:
+			calleeIdent = fun
+		default:
+			return true
+		}
+		lf := locked[pass.TypesInfo.Uses[calleeIdent]]
+		if lf == nil || lf.decl == fn {
+			return true
+		}
+		// Obligation propagates: a *Locked caller passes the held
+		// lock through to its *Locked callees.
+		if callerIsLocked {
+			return true
+		}
+		guard := substituteGuard(lf, call, recvExpr)
+		if guard == "" {
+			return true
+		}
+		if !heldAt(events, guard, call.Pos()) {
+			pass.Reportf(call.Pos(), "call to %s is not dominated by %s.Lock(); the *Locked suffix documents that the caller must hold it", calleeIdent.Name, guard)
+		}
+		return true
+	})
+}
+
+// substituteGuard maps the declared guard path onto the call site: the
+// receiver element becomes the call's receiver expression, a parameter
+// element becomes the corresponding argument.
+func substituteGuard(lf *lockedFunc, call *ast.CallExpr, recvExpr ast.Expr) string {
+	rest := strings.Join(lf.guardPath[1:], ".")
+	var base string
+	if lf.paramIndex >= 0 {
+		if lf.paramIndex >= len(call.Args) {
+			return ""
+		}
+		base = analysis.ExprString(call.Args[lf.paramIndex])
+	} else if recvExpr != nil {
+		base = analysis.ExprString(recvExpr)
+	} else {
+		base = lf.guardPath[0] // plain function call in the same scope
+	}
+	if base == "" || base == "?" {
+		return ""
+	}
+	if rest == "" {
+		return base
+	}
+	return base + "." + rest
+}
+
+// collectLockEvents gathers Lock/RLock/Unlock/RUnlock calls in body.
+// Two classes of release never invalidate domination at an interior
+// call site and are excluded:
+//
+//   - deferred releases (defer mu.Unlock()): they run at return;
+//   - the unlock-and-bail idiom (mu.Unlock() immediately followed by
+//     return/break/continue/panic): control never reaches the call
+//     site being checked on that path.
+func collectLockEvents(body *ast.BlockStmt) []lockEvent {
+	var events []lockEvent
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			return false
+		}
+		stmts := stmtListOf(n)
+		if stmts == nil {
+			return true
+		}
+		for i, st := range stmts {
+			es, ok := st.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			switch sel.Sel.Name {
+			case "Lock", "RLock":
+				events = append(events, lockEvent{pos: call.Pos(), path: analysis.ExprString(sel.X), acquire: true})
+			case "Unlock", "RUnlock":
+				if i+1 < len(stmts) && terminates(stmts[i+1]) {
+					continue
+				}
+				events = append(events, lockEvent{pos: call.Pos(), path: analysis.ExprString(sel.X), acquire: false})
+			}
+		}
+		return true
+	})
+	return events
+}
+
+// stmtListOf returns n's statement list when n owns one.
+func stmtListOf(n ast.Node) []ast.Stmt {
+	switch n := n.(type) {
+	case *ast.BlockStmt:
+		return n.List
+	case *ast.CaseClause:
+		return n.Body
+	case *ast.CommClause:
+		return n.Body
+	}
+	return nil
+}
+
+// terminates reports whether st unconditionally leaves the enclosing
+// statement list.
+func terminates(st ast.Stmt) bool {
+	switch st := st.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return st.Tok == token.BREAK || st.Tok == token.CONTINUE || st.Tok == token.GOTO
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// heldAt reports whether the last Lock/Unlock event on path before pos
+// is an acquisition.
+func heldAt(events []lockEvent, path string, pos token.Pos) bool {
+	held := false
+	for _, e := range events {
+		if e.pos >= pos || e.path != path {
+			continue
+		}
+		held = e.acquire
+	}
+	return held
+}

@@ -1,0 +1,152 @@
+// Package a is the lockcheck pass's fixture: *Locked conventions,
+// the locked-by annotation, and the domination heuristic's idioms.
+package a
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	n  int
+}
+
+// bumpLocked re-acquires the mutex its name documents as held:
+// positive (self-deadlock).
+func (s *S) bumpLocked() {
+	s.mu.Lock() // want `bumpLocked acquires s.mu, which its name documents the caller already holds`
+	s.n++
+}
+
+func (s *S) addLocked(d int) {
+	s.n += d
+}
+
+// Add holds the mutex across the call: negative.
+func (s *S) Add(d int) {
+	s.mu.Lock()
+	s.addLocked(d)
+	s.mu.Unlock()
+}
+
+// AddDefer uses the defer idiom: negative (a deferred release runs at
+// return, not before the call).
+func (s *S) AddDefer(d int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.addLocked(d)
+}
+
+// AddChecked releases only on the early-exit path: negative (the
+// unlock-and-return idiom never reaches the call site).
+func (s *S) AddChecked(d int) {
+	s.mu.Lock()
+	if d < 0 {
+		s.mu.Unlock()
+		return
+	}
+	s.addLocked(d)
+	s.mu.Unlock()
+}
+
+// AddWrong never acquires: positive.
+func (s *S) AddWrong(d int) {
+	s.addLocked(d) // want `call to addLocked is not dominated by s.mu.Lock\(\)`
+}
+
+// AddAfterUnlock acquires and releases before the call: positive.
+func (s *S) AddAfterUnlock(d int) {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	s.addLocked(d) // want `call to addLocked is not dominated by s.mu.Lock\(\)`
+}
+
+// mergeLocked calling addLocked propagates the obligation outward:
+// negative inside, and Merge discharges it.
+func (s *S) mergeLocked(o int) {
+	s.addLocked(o)
+}
+
+func (s *S) Merge(o int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mergeLocked(o)
+}
+
+type R struct {
+	mu sync.RWMutex
+	v  int
+}
+
+func (r *R) peekLocked() int { return r.v }
+
+// Peek read-locks: negative (RLock satisfies domination).
+func (r *R) Peek() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.peekLocked()
+}
+
+// P carries its own mutex; M drains it under the caller-held p.mu, so
+// the guard lives on the parameter and must be annotated.
+type P struct {
+	mu sync.Mutex
+	v  int
+}
+
+type M struct{ total int }
+
+// drainLocked moves p's value into m. Caller holds p.mu.
+//
+//imlint:locked-by p.mu
+func (m *M) drainLocked(p *P) {
+	m.total += p.v
+	p.v = 0
+}
+
+// Drain locks the parameter's mutex: negative.
+func (m *M) Drain(p *P) {
+	p.mu.Lock()
+	m.drainLocked(p)
+	p.mu.Unlock()
+}
+
+// DrainWrong never locks p.mu: positive, and the message names the
+// substituted parameter guard, not a receiver field.
+func (m *M) DrainWrong(p *P) {
+	m.drainLocked(p) // want `call to drainLocked is not dominated by p.mu.Lock\(\)`
+}
+
+// U carries two mutexes; the annotation's bare-field shorthand picks
+// the non-default one.
+type U struct {
+	mu    sync.Mutex
+	runMu sync.Mutex
+	n     int
+}
+
+//imlint:locked-by runMu
+func (u *U) stepLocked() { u.n++ }
+
+// Step holds the annotated mutex: negative.
+func (u *U) Step() {
+	u.runMu.Lock()
+	u.stepLocked()
+	u.runMu.Unlock()
+}
+
+// StepWrong holds the wrong mutex: positive.
+func (u *U) StepWrong() {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.stepLocked() // want `call to stepLocked is not dominated by u.runMu.Lock\(\)`
+}
+
+// suppressedCall documents an acquisition the heuristic cannot see and
+// suppresses with a reason: silent.
+func (s *S) suppressedCall(d int) {
+	lockBoth(s)
+	s.addLocked(d) //imlint:ignore lockcheck lockBoth acquires s.mu on behalf of the caller
+	s.mu.Unlock()
+}
+
+func lockBoth(s *S) { s.mu.Lock() }

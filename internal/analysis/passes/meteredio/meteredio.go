@@ -1,0 +1,132 @@
+// Package meteredio enforces the measured-communication contract:
+// every byte the cluster moves is accounted by wire.Meter, so the
+// "measured" columns the harness and /v1/stats report cannot drift
+// from what actually crossed the network.
+//
+// The rule: outside the wire package's own Conn/Meter implementation,
+// nothing reads or writes a raw net.Conn. All traffic flows through
+// wire.Conn's framed, CRC-checked, metered Read/WriteFrame calls.
+// Flagged constructs:
+//
+//   - method calls Read/Write/ReadFrom/WriteTo on a value whose static
+//     type is net.Conn (or a concrete *net.TCPConn / *net.UnixConn)
+//   - io.Copy / io.ReadFull / io.ReadAll / io.WriteString where a raw
+//     conn is the source or destination
+//
+// Dialing, closing, and setting deadlines on a raw conn stay legal —
+// those move no payload bytes. Methods whose receiver is the wire
+// package's own Conn type are the metering implementation and are
+// exempt.
+package meteredio
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "meteredio",
+	Doc:  "raw net.Conn reads/writes outside wire.Conn/wire.Meter break measured-comm accounting",
+	Run:  run,
+}
+
+// rawIOMethods are the conn methods that move payload bytes.
+var rawIOMethods = map[string]bool{
+	"Read": true, "Write": true, "ReadFrom": true, "WriteTo": true,
+}
+
+// ioHelpers are the io-package functions that move bytes between
+// arbitrary readers and writers.
+var ioHelpers = map[string]bool{
+	"Copy": true, "CopyN": true, "CopyBuffer": true,
+	"ReadFull": true, "ReadAll": true, "ReadAtLeast": true,
+	"WriteString": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if isWireImplementation(pass, fn) {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+// isWireImplementation reports whether fn is a method of the wire
+// package's own Conn or Meter types — the one place raw conn I/O is
+// the point.
+func isWireImplementation(pass *analysis.Pass, fn *ast.FuncDecl) bool {
+	if pass.Pkg.Name() != "wire" || fn.Recv == nil {
+		return false
+	}
+	t := pass.TypesInfo.TypeOf(fn.Recv.List[0].Type)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj().Name() == "Conn" || named.Obj().Name() == "Meter"
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && rawIOMethods[sel.Sel.Name] && isRawConn(pass, sel.X) {
+			pass.Reportf(call.Pos(), "direct %s on a raw net.Conn bypasses wire.Conn metering; measured-comm accounting drifts from reality", sel.Sel.Name)
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && ioHelpers[sel.Sel.Name] {
+			if obj := pass.TypesInfo.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "io" {
+				for _, arg := range call.Args {
+					if isRawConn(pass, arg) {
+						pass.Reportf(call.Pos(), "io.%s over a raw net.Conn bypasses wire.Conn metering; measured-comm accounting drifts from reality", sel.Sel.Name)
+						break
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isRawConn reports whether e's static type is the net.Conn interface
+// or a concrete net connection type.
+func isRawConn(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "net" {
+		return false
+	}
+	switch obj.Name() {
+	case "Conn", "TCPConn", "UnixConn", "UDPConn":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package meteredio_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/meteredio"
+)
+
+func TestMeteredIO(t *testing.T) {
+	analysistest.Run(t, "testdata", meteredio.Analyzer, "a", "wire")
+}

@@ -1,0 +1,53 @@
+// Package a is the meteredio pass's fixture: raw net.Conn traffic
+// outside the wire package versus the control-plane calls that move no
+// payload bytes.
+package a
+
+import (
+	"io"
+	"net"
+	"time"
+)
+
+// rawRead moves payload bytes around the meter: positive.
+func rawRead(c net.Conn, buf []byte) (int, error) {
+	return c.Read(buf) // want `direct Read on a raw net.Conn bypasses wire.Conn metering`
+}
+
+// rawWrite on a concrete TCP conn: positive.
+func rawWrite(c *net.TCPConn, b []byte) (int, error) {
+	return c.Write(b) // want `direct Write on a raw net.Conn bypasses wire.Conn metering`
+}
+
+// helperRead moves bytes through an io helper with a raw conn
+// argument: positive.
+func helperRead(c net.Conn, buf []byte) error {
+	_, err := io.ReadFull(c, buf) // want `io.ReadFull over a raw net.Conn bypasses wire.Conn metering`
+	return err
+}
+
+// deadlines is control-plane only — no payload bytes move: negative.
+func deadlines(c net.Conn) error {
+	if err := c.SetReadDeadline(time.Time{}); err != nil {
+		return err
+	}
+	return c.Close()
+}
+
+// dial constructs the conn; the caller is expected to wrap it in
+// wire.Conn before any I/O: negative.
+func dial(addr string) (net.Conn, error) {
+	return net.Dial("tcp", addr)
+}
+
+// bufferCopy moves bytes between non-conn endpoints: negative (the
+// helper rule only fires when a raw conn is an argument).
+func bufferCopy(dst io.Writer, src io.Reader) (int64, error) {
+	return io.Copy(dst, src)
+}
+
+// suppressed pins the suppression round-trip: silent.
+func suppressed(c net.Conn) (int, error) {
+	var b [1]byte
+	return c.Read(b[:]) //imlint:ignore meteredio fixture pinning the suppression round-trip
+}

@@ -1,0 +1,38 @@
+// Package wire is the meteredio pass's exemption fixture: the metering
+// implementation itself is the one place raw conn I/O is the point.
+package wire
+
+import "net"
+
+// Meter counts bytes.
+type Meter struct{ in, out int64 }
+
+// Conn is the metered wrapper; its methods touch the raw conn by
+// design and are exempt.
+type Conn struct {
+	c net.Conn
+	m *Meter
+}
+
+// ReadFrame reads from the underlying raw conn: negative (receiver is
+// wire.Conn).
+func (c *Conn) ReadFrame(buf []byte) (int, error) {
+	n, err := c.c.Read(buf)
+	c.m.in += int64(n)
+	return n, err
+}
+
+// WriteFrame writes to the underlying raw conn: negative.
+func (c *Conn) WriteFrame(b []byte) (int, error) {
+	n, err := c.c.Write(b)
+	c.m.out += int64(n)
+	return n, err
+}
+
+// sniff is a plain function in the wire package, not a Conn/Meter
+// method — the exemption does not extend to it: positive.
+func sniff(c net.Conn) (byte, error) {
+	var b [1]byte
+	_, err := c.Read(b[:]) // want `direct Read on a raw net.Conn bypasses wire.Conn metering`
+	return b[0], err
+}

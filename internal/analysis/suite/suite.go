@@ -1,0 +1,51 @@
+// Package suite assembles the repo's invariant analyzers and the
+// package scope each one patrols. cmd/imlint and the CI lint job are
+// thin shells over this package, so "what does the linter check,
+// where" has exactly one definition.
+package suite
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/checker"
+	"repro/internal/analysis/passes/determinism"
+	"repro/internal/analysis/passes/endian"
+	"repro/internal/analysis/passes/envelope"
+	"repro/internal/analysis/passes/lockcheck"
+	"repro/internal/analysis/passes/meteredio"
+)
+
+// Analyzers returns the five invariant passes in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		determinism.Analyzer,
+		endian.Analyzer,
+		envelope.Analyzer,
+		lockcheck.Analyzer,
+		meteredio.Analyzer,
+	}
+}
+
+// DefaultScope maps each pass to the packages whose contracts it
+// encodes (import-path suffixes; see checker.Scope):
+//
+//   - determinism patrols the kernel and codec packages whose output
+//     must replay byte-identically, plus the serving layers whose JSON
+//     listings must be stably ordered.
+//   - lockcheck is unscoped: the *Locked convention is repo-wide.
+//   - envelope patrols the two HTTP surfaces (nodes and router).
+//   - endian patrols the two codec packages (.imsnap/.imdelta/.impool
+//     and the wire protocol).
+//   - meteredio patrols the wire transport and its cluster consumer.
+func DefaultScope() checker.Scope {
+	return checker.Scope{
+		"determinism": {
+			"internal/imm", "internal/rrr", "internal/diffusion",
+			"internal/dist", "internal/ingest", "internal/graph",
+			"internal/wire", "internal/serve", "internal/route",
+		},
+		"lockcheck": nil, // everywhere
+		"envelope":  {"internal/serve", "internal/route"},
+		"endian":    {"internal/ingest", "internal/wire"},
+		"meteredio": {"internal/wire", "internal/dist"},
+	}
+}

@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+func sprintf(format string, args ...any) string {
+	if len(args) == 0 {
+		return format
+	}
+	return fmt.Sprintf(format, args...)
+}
+
+// IsPkgFunc reports whether call invokes the package-level function
+// pkgPath.name, resolved through the type checker (so aliased imports
+// and shadowed identifiers are handled correctly).
+func IsPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := info.Uses[sel.Sel]
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// PkgObjectUse resolves id to the package-level object it uses, or nil.
+func PkgObjectUse(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return nil
+}
+
+// RootIdent walks a selector / index / call chain down to its base
+// identifier: s.pool.shards[i].mu → s. Returns nil when the base is
+// not a plain identifier (a function result, a composite literal...).
+func RootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.CallExpr:
+			e = x.Fun
+		default:
+			return nil
+		}
+	}
+}
+
+// ExprString renders a selector chain as source-ish text (s.mu,
+// pe.disk.f). Non-chain expressions render as "?".
+func ExprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return ExprString(x.X) + "." + x.Sel.Name
+	case *ast.ParenExpr:
+		return ExprString(x.X)
+	case *ast.StarExpr:
+		return ExprString(x.X)
+	case *ast.IndexExpr:
+		return ExprString(x.X) + "[...]"
+	default:
+		return "?"
+	}
+}
+
+// IsMutexType reports whether t (or *t) is sync.Mutex or sync.RWMutex.
+func IsMutexType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// FuncDocHasDirective scans fn's doc comment for a "//imlint:<name>"
+// directive and returns its trailing argument text.
+func FuncDocHasDirective(fn *ast.FuncDecl, name string) (string, bool) {
+	if fn.Doc == nil {
+		return "", false
+	}
+	prefix := "//imlint:" + name
+	for _, c := range fn.Doc.List {
+		if strings.HasPrefix(c.Text, prefix) {
+			return strings.TrimSpace(strings.TrimPrefix(c.Text, prefix)), true
+		}
+	}
+	return "", false
+}

@@ -197,6 +197,8 @@ func (c *Cluster) Close() error {
 
 // ensureConnLocked dials and handshakes p if it has no live connection.
 // Caller holds p.mu.
+//
+//imlint:locked-by p.mu
 func (c *Cluster) ensureConnLocked(p *peerConn) error {
 	if p.conn != nil {
 		return nil

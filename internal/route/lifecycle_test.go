@@ -165,9 +165,10 @@ func TestRouterLegacyDeprecation(t *testing.T) {
 		t.Fatalf("legacy router headers = %q / %q",
 			resp.Header.Get("Deprecation"), resp.Header.Get("Successor-Version"))
 	}
-	// The misspelled header ships one more release for scrapers keyed to it.
-	if resp.Header.Get("Sucessor-Version") != "/v1/healthz" {
-		t.Fatalf("misspelled compat header gone early: %q", resp.Header.Get("Sucessor-Version"))
+	// The misspelled "Sucessor-Version" header's one-release migration
+	// window has closed; it must be gone.
+	if got := resp.Header.Get("Sucessor-Version"); got != "" {
+		t.Fatalf("misspelled compat header still emitted: %q", got)
 	}
 	resp, err = http.Get(ts.URL + "/v1/healthz")
 	if err != nil {

@@ -1,0 +1,80 @@
+package route
+
+import (
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/serve"
+)
+
+// TestFleetGraphListingStableOrder pins the fleet-aggregation contract
+// the imlint determinism pass guards: unionGraphs merges per-node graph
+// lists through a map, but the router's /v1/graphs answer comes out
+// sorted by name — identically on every call, whichever node answers
+// first — with the max-epoch entry winning per name.
+func TestFleetGraphListingStableOrder(t *testing.T) {
+	g, err := gen.RMAT(gen.DefaultRMAT(6, 6), graph.IC, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Three nodes holding overlapping, unsorted graph subsets.
+	sets := [][]string{
+		{"zeta", "mm"},
+		{"alpha", "mm"},
+		{"kappa", "beta", "alpha"},
+	}
+	urls := make([]string, len(sets))
+	for i, names := range sets {
+		s := serve.NewServer(serve.Options{Workers: 1, MaxTheta: 2000})
+		for _, name := range names {
+			if _, err := s.AddGraph(name, g, 42); err != nil {
+				t.Fatal(err)
+			}
+		}
+		b := httptest.NewServer(s.Handler())
+		t.Cleanup(b.Close)
+		urls[i] = b.URL
+	}
+	rt, err := New(Options{Nodes: urls, Timeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(rt.Handler())
+	t.Cleanup(ts.Close)
+
+	want := []string{"alpha", "beta", "kappa", "mm", "zeta"}
+	for i := 0; i < 5; i++ {
+		var resp serve.GraphsResponse
+		getJSON(t, ts.URL+"/v1/graphs", 200, &resp)
+		var names []string
+		for _, info := range resp.Graphs {
+			names = append(names, info.Name)
+		}
+		if !reflect.DeepEqual(names, want) {
+			t.Fatalf("fleet /v1/graphs call %d: order %v, want %v", i, names, want)
+		}
+	}
+}
+
+// TestFleetStatsNodeOrder pins the router's /v1/stats shape: one entry
+// per node, in configured node order, every call.
+func TestFleetStatsNodeOrder(t *testing.T) {
+	rt, ts, _ := testFleet(t, 3)
+	for i := 0; i < 3; i++ {
+		var resp StatsResponse
+		getJSON(t, ts.URL+"/v1/stats", 200, &resp)
+		if len(resp.Nodes) != len(rt.nodes) {
+			t.Fatalf("stats call %d: %d node entries, want %d", i, len(resp.Nodes), len(rt.nodes))
+		}
+		for j, ns := range resp.Nodes {
+			if ns.Node != rt.nodes[j] {
+				t.Fatalf("stats call %d: node %d is %q, want %q", i, j, ns.Node, rt.nodes[j])
+			}
+		}
+	}
+}

@@ -202,7 +202,6 @@ func legacy(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Deprecation", serve.LegacyDeprecation)
 		w.Header().Set("Successor-Version", "/v1"+r.URL.Path)
-		w.Header().Set("Sucessor-Version", "/v1"+r.URL.Path) // deprecated misspelling, kept one release
 		h(w, r)
 	}
 }

@@ -98,14 +98,12 @@ const LegacyDeprecation = "@1786147200" // 2026-08-08T00:00:00Z
 // replacement, and the hit counts in Stats.LegacyRequests.
 //
 // Earlier releases misspelled the header as "Sucessor-Version"; the
-// typo'd form is still emitted alongside the corrected one for one
-// release so scrapers keyed on it keep working, then it goes away with
-// the unversioned aliases.
+// typo'd form rode alongside the corrected one for exactly one release
+// and is now gone. Scrapers must key on Successor-Version.
 func (s *Server) legacy(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Deprecation", LegacyDeprecation)
 		w.Header().Set("Successor-Version", "/v1"+r.URL.Path)
-		w.Header().Set("Sucessor-Version", "/v1"+r.URL.Path) // deprecated misspelling
 		s.mu.Lock()
 		s.stats.LegacyRequests++
 		s.mu.Unlock()

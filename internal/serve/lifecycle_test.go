@@ -312,10 +312,10 @@ func TestLegacyDeprecationHeaders(t *testing.T) {
 	if got := resp.Header.Get("Successor-Version"); got != "/v1/graphs" {
 		t.Fatalf("legacy Successor-Version header = %q, want /v1/graphs", got)
 	}
-	// Regression for the header typo: the misspelled form stays one more
-	// release so scrapers keyed to it have a migration window.
-	if got := resp.Header.Get("Sucessor-Version"); got != "/v1/graphs" {
-		t.Fatalf("misspelled compat header = %q, want /v1/graphs", got)
+	// Regression for the header typo: the misspelled "Sucessor-Version"
+	// form shipped for exactly one migration release and must now be gone.
+	if got := resp.Header.Get("Sucessor-Version"); got != "" {
+		t.Fatalf("misspelled compat header still emitted: %q", got)
 	}
 
 	resp, err = http.Get(ts.URL + "/v1/graphs")

@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestGraphsListingStableOrder pins the listing contract the imlint
+// determinism pass guards: the graph registry is map-backed, but every
+// listing of it — library Graphs() and GET /v1/graphs — comes out
+// sorted by name, identically on every call.
+func TestGraphsListingStableOrder(t *testing.T) {
+	g := testGraph(t, 6, graph.IC)
+	s := NewServer(Options{Workers: 1, MaxTheta: 2000})
+	for _, name := range []string{"zeta", "alpha", "mu", "beta", "kappa"} {
+		if _, err := s.AddGraph(name, g, 42); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []string{"alpha", "beta", "kappa", "mu", "zeta"}
+
+	for i := 0; i < 5; i++ {
+		var names []string
+		for _, info := range s.Graphs() {
+			names = append(names, info.Name)
+		}
+		if !reflect.DeepEqual(names, want) {
+			t.Fatalf("Graphs() call %d: order %v, want %v", i, names, want)
+		}
+	}
+
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	for i := 0; i < 5; i++ {
+		var resp GraphsResponse
+		getJSON(t, ts.URL+"/v1/graphs", 200, &resp)
+		var names []string
+		for _, info := range resp.Graphs {
+			names = append(names, info.Name)
+		}
+		if !reflect.DeepEqual(names, want) {
+			t.Fatalf("/v1/graphs call %d: order %v, want %v", i, names, want)
+		}
+	}
+}
+
+// TestSavePoolsDeterministicOrder pins SavePools's write sequence: the
+// pool table is map-keyed, but snapshots land on disk in (graph, seed)
+// order, so two sweeps over the same pools write files in the same
+// sequence and an interrupted sweep truncates at a deterministic point.
+func TestSavePoolsDeterministicOrder(t *testing.T) {
+	g := testGraph(t, 6, graph.IC)
+	s := testServer(t, Options{Workers: 1, MaxTheta: 2000},
+		map[string]*graph.Graph{"zz": g, "aa": g, "mm": g})
+
+	// Two pools per graph, created in an order unrelated to the sort.
+	for _, q := range []QueryRequest{
+		{Graph: "zz", K: 2, Epsilon: 0.5, Seed: 7},
+		{Graph: "aa", K: 2, Epsilon: 0.5, Seed: 9},
+		{Graph: "mm", K: 2, Epsilon: 0.5, Seed: 1},
+		{Graph: "zz", K: 2, Epsilon: 0.5, Seed: 2},
+	} {
+		if _, err := s.Query(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	dir := t.TempDir()
+	saved, err := s.SavePools(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if saved != 4 {
+		t.Fatalf("saved %d pools, want 4", saved)
+	}
+
+	// The files' modification times must be non-decreasing along the
+	// (graph, seed) sort — the map-random write order this regression
+	// guards against interleaves them.
+	keys := []poolKey{
+		{graph: "aa", seed: 9},
+		{graph: "mm", seed: 1},
+		{graph: "zz", seed: 2},
+		{graph: "zz", seed: 7},
+	}
+	var prev os.FileInfo
+	for _, key := range keys {
+		fi, err := os.Stat(filepath.Join(dir, poolFileName(key)))
+		if err != nil {
+			t.Fatalf("pool %s/%d not saved: %v", key.graph, key.seed, err)
+		}
+		if prev != nil && fi.ModTime().Before(prev.ModTime()) {
+			t.Fatalf("pool %s written before its (graph,seed) predecessor %s: %v < %v",
+				fi.Name(), prev.Name(), fi.ModTime(), prev.ModTime())
+		}
+		prev = fi
+	}
+}

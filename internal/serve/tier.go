@@ -42,6 +42,7 @@ import (
 	"net/url"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -243,6 +244,15 @@ func (s *Server) SavePools(dir string) (int, error) {
 		entries = append(entries, pe)
 	}
 	s.mu.Unlock()
+	// Save in key order, not map order: a save sweep that races an
+	// eviction or a crash truncates at a deterministic point, and two
+	// sweeps over the same pools write files in the same sequence.
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].key.graph != entries[j].key.graph {
+			return entries[i].key.graph < entries[j].key.graph
+		}
+		return entries[i].key.seed < entries[j].key.seed
+	})
 
 	saved := 0
 	for _, pe := range entries {
